@@ -1,0 +1,94 @@
+"""Ablation — SNIP-RH in dynamic environments (§VII-B discussion).
+
+Two dynamics the paper discusses:
+
+* day-to-day variation of each slot's contact capacity (SNIP-RH should
+  be insensitive while rush capacity covers the target);
+* a seasonal shift of the rush hours (the adaptive variant's background
+  probing plus learner decay should re-mark the slots and keep probing).
+
+Printed: per-epoch ζ for static SNIP-RH under rate drift, and for
+adaptive SNIP-RH under a 1 h/epoch rush shift; the static scheduler's
+collapse under the same shift is the comparison baseline.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import emit
+
+from repro.core.learning import LearnerConfig
+from repro.core.schedulers.adaptive import AdaptiveSnipRhScheduler
+from repro.core.schedulers.rh import SnipRhScheduler
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import FastRunner
+from repro.experiments.scenario import paper_roadside_scenario
+
+
+def run_with_trace_config(scheduler_factory, epochs=10, **trace_overrides):
+    scenario = paper_roadside_scenario(
+        phi_max_divisor=100, zeta_target=24.0, epochs=epochs, seed=31
+    )
+    scenario = dataclasses.replace(
+        scenario,
+        trace_config=dataclasses.replace(
+            scenario.trace_config, **trace_overrides
+        ),
+    )
+    result = FastRunner(scenario, scheduler_factory(scenario)).run()
+    return [row.zeta for row in result.metrics.epochs]
+
+
+def static_rh(scenario):
+    return SnipRhScheduler(
+        scenario.profile, scenario.model, initial_contact_length=2.0
+    )
+
+
+def adaptive_rh(scenario):
+    return AdaptiveSnipRhScheduler(
+        scenario.profile,
+        scenario.model,
+        learner_config=LearnerConfig(warmup_epochs=2, decay=0.5),
+        learning_duty_cycle=0.002,
+        background_duty_cycle=0.0005,
+        initial_contact_length=2.0,
+    )
+
+
+def generate_dynamics():
+    drift = run_with_trace_config(static_rh, rate_drift_cv=0.3)
+    static_shift = run_with_trace_config(
+        static_rh, rush_shift_per_epoch=1.0
+    )
+    adaptive_shift = run_with_trace_config(
+        adaptive_rh, rush_shift_per_epoch=1.0
+    )
+    return drift, static_shift, adaptive_shift
+
+
+def test_ablation_dynamics(once):
+    drift, static_shift, adaptive_shift = once(generate_dynamics)
+    epochs = list(range(len(drift)))
+    emit(
+        format_series(
+            "epoch",
+            epochs,
+            {
+                "static RH, rate drift": drift,
+                "static RH, rush shift": static_shift,
+                "adaptive RH, rush shift": adaptive_shift,
+            },
+            title="Ablation: zeta per epoch under environment dynamics",
+        )
+    )
+    # Rate drift: the gating keeps zeta near the target despite noisy
+    # per-slot capacity (paper: RH "is not sensitive to the variance").
+    steady = drift[2:]
+    assert sum(steady) / len(steady) == pytest.approx(24.0, rel=0.25)
+    # A 1 h/epoch shift drags the real peaks away from the static
+    # markings: by the late epochs static RH probes clearly less than
+    # the adaptive variant that re-learns its markings.
+    static_tail = sum(static_shift[-3:]) / 3
+    adaptive_tail = sum(adaptive_shift[-3:]) / 3
+    assert adaptive_tail > static_tail * 1.3

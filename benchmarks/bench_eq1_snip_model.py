@@ -1,0 +1,60 @@
+"""Equation 1 — the SNIP probing model Υ(d, Tcontact).
+
+The substrate result from the companion SNIP paper that this paper's
+schedulers are built on.  The bench sweeps duty-cycles across the knee
+and prints the closed form next to a Monte-Carlo measurement from the
+cycle-accurate engine (real beacon trains over random-phase contacts),
+plus the exponential-length variant discussed in footnote 1.
+"""
+
+from conftest import emit
+
+from repro.core.snip_model import upsilon, upsilon_exponential_lengths
+from repro.experiments.micro import measure_upsilon
+from repro.experiments.reporting import format_series
+from repro.radio.duty_cycle import DutyCycleConfig
+
+T_ON = 0.02
+CONTACT = 2.0
+DUTIES = [0.002, 0.005, 0.008, 0.01, 0.015, 0.02, 0.05, 0.1]
+
+
+def generate_eq1():
+    model_values = [upsilon(d, CONTACT, T_ON) for d in DUTIES]
+    measured = [
+        measure_upsilon(
+            DutyCycleConfig(t_on=T_ON, duty_cycle=d),
+            CONTACT,
+            contact_count=300,
+            seed=21,
+        ).measured_upsilon
+        for d in DUTIES
+    ]
+    exponential = [
+        upsilon_exponential_lengths(d, CONTACT, T_ON) for d in DUTIES
+    ]
+    return model_values, measured, exponential
+
+
+def test_eq1_snip_model(once):
+    model_values, measured, exponential = once(generate_eq1)
+    emit(
+        format_series(
+            "duty_cycle",
+            DUTIES,
+            {
+                "eq1 (fixed Tc)": model_values,
+                "cycle-accurate sim": measured,
+                "eq1 (Exp lengths)": exponential,
+            },
+            title="Eq. 1  Upsilon(d, Tcontact=2 s), Ton=20 ms",
+        )
+    )
+    for model_value, sim_value in zip(model_values, measured):
+        assert abs(model_value - sim_value) < 0.06
+    # The knee sits at d = 1%: linear below, flattening above.
+    knee_index = DUTIES.index(0.01)
+    assert model_values[knee_index] == 0.5
+    slope_below = (model_values[2] - model_values[0]) / (DUTIES[2] - DUTIES[0])
+    slope_above = (model_values[-1] - model_values[-2]) / (DUTIES[-1] - DUTIES[-2])
+    assert slope_above < slope_below / 5

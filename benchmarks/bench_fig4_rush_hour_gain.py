@@ -1,0 +1,38 @@
+"""Fig. 4 — the benefit surface of probing only during rush hours.
+
+Regenerates the paper's surface ΦAT/Φrh over the grid
+(Trh/Tepoch ∈ [0.05, 0.5]) x (frh/fother ∈ [2, 20]) and prints it as a
+table (rows: rate ratio, columns: rush fraction).  The paper's reading:
+the gain peaks above 10 when rush hours are short and busy.
+"""
+
+from conftest import emit
+
+from repro.core.analysis import rush_hour_gain, rush_hour_gain_surface
+from repro.experiments.reporting import format_table
+
+FRACTIONS = [x / 100.0 for x in range(5, 51, 5)]
+RATIOS = [float(r) for r in range(2, 21, 2)]
+
+
+def generate_fig4():
+    return rush_hour_gain_surface(FRACTIONS, RATIOS)
+
+
+def test_fig4_rush_hour_gain(once):
+    surface = once(generate_fig4)
+    headers = ["frh/fother"] + [f"x={fraction:.2f}" for fraction in FRACTIONS]
+    rows = [
+        [f"{ratio:g}"] + values for ratio, values in zip(RATIOS, surface)
+    ]
+    emit(format_table(headers, rows, title="Fig. 4  Phi_AT / Phi_rh"))
+
+    # Shape assertions matching the paper's axes (max ~10.3, min ~1).
+    peak = max(max(row) for row in surface)
+    trough = min(min(row) for row in surface)
+    assert 10.0 < peak < 11.0
+    assert 1.0 <= trough < 1.6
+    # The paper's own evaluation scenario sits at x=1/6, r=6 -> ~3.27.
+    paper_point = rush_hour_gain(4 / 24, 6.0)
+    emit(f"paper scenario point (x=1/6, r=6): {paper_point:.3f}")
+    assert 3.0 < paper_point < 3.6

@@ -1,0 +1,54 @@
+"""Fig. 5 — analysis results, Φmax = Tepoch/1000.
+
+Regenerates all three panels: (a) probed contact capacity ζ, (b) probing
+overhead Φ, (c) per-unit cost ρ, versus ζtarget, for SNIP-AT, SNIP-OPT,
+SNIP-RH.  Shape pinned: AT is budget-starved at 8.8 s everywhere; RH
+matches OPT; both cap at 28.8 s; ρ is 3 versus AT's 9.8.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.analysis import evaluate_schedulers
+from repro.experiments.reporting import format_series
+from repro.experiments.scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
+
+TARGETS = list(PAPER_ZETA_TARGETS)
+
+
+def generate_fig5():
+    scenario = paper_roadside_scenario(phi_max_divisor=1000)
+    return evaluate_schedulers(
+        scenario.profile,
+        scenario.model,
+        zeta_targets=TARGETS,
+        phi_max=scenario.phi_max,
+    )
+
+
+def test_fig5_analysis_tight_budget(once):
+    results = once(generate_fig5)
+    for metric, label in (("zeta", "(a) zeta (s)"), ("phi", "(b) Phi (s)"), ("rho", "(c) rho")):
+        series = {
+            name: [getattr(point, metric) for point in points]
+            for name, points in results.items()
+        }
+        emit(
+            format_series(
+                "zeta_target", TARGETS, series,
+                title=f"Fig. 5{label}, Phi_max = Tepoch/1000 = 86.4 s",
+            )
+        )
+    at = results["SNIP-AT"]
+    rh = results["SNIP-RH"]
+    opt = results["SNIP-OPT"]
+    # Panel (a): AT flat at 8.8; RH == OPT; cap at 28.8.
+    assert all(p.zeta == pytest.approx(8.8, rel=1e-3) for p in at)
+    for rh_point, opt_point in zip(rh, opt):
+        assert rh_point.zeta == pytest.approx(opt_point.zeta, rel=1e-3)
+    assert max(p.zeta for p in rh) == pytest.approx(28.8, rel=1e-3)
+    # Panel (b): Phi saturates at the budget.
+    assert all(p.phi <= 86.4 + 1e-6 for p in at + rh + opt)
+    # Panel (c): the cost gap the paper reports.
+    assert rh[0].rho == pytest.approx(3.0, rel=1e-3)
+    assert at[0].rho == pytest.approx(9.818, rel=1e-3)

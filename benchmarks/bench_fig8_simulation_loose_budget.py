@@ -1,0 +1,71 @@
+"""Fig. 8 — simulation results, Φmax = Tepoch/100.
+
+Same simulated grid as Fig. 7 under the loose budget.  Shape pinned: AT
+meets every target at ~3x RH's per-unit cost; RH tracks targets through
+48 s and saturates below 56 s (the rush-capacity cap); OPT stays the
+cheapest mechanism that meets each target.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.reporting import format_series
+from repro.experiments.scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
+from repro.experiments.sweep import sweep_zeta_targets
+
+TARGETS = list(PAPER_ZETA_TARGETS)
+SEEDS = (1, 2, 3)
+
+
+def generate_fig8():
+    sweeps = [
+        sweep_zeta_targets(
+            paper_roadside_scenario(phi_max_divisor=100, epochs=14, seed=seed),
+            TARGETS,
+        )
+        for seed in SEEDS
+    ]
+    averaged = {}
+    for mechanism in sweeps[0].points:
+        averaged[mechanism] = {
+            metric: [
+                sum(getattr(sweep.points[mechanism][i], metric) for sweep in sweeps)
+                / len(sweeps)
+                for i in range(len(TARGETS))
+            ]
+            for metric in ("zeta", "phi", "rho")
+        }
+    return averaged
+
+
+def test_fig8_simulation_loose_budget(once):
+    averaged = once(generate_fig8)
+    for metric, label in (("zeta", "(a) zeta (s)"), ("phi", "(b) Phi (s)"), ("rho", "(c) rho")):
+        series = {name: values[metric] for name, values in averaged.items()}
+        emit(
+            format_series(
+                "zeta_target", TARGETS, series,
+                title=(
+                    f"Fig. 8{label}, simulated 14 epochs x {len(SEEDS)} seeds, "
+                    "Phi_max = Tepoch/100"
+                ),
+            )
+        )
+    at = averaged["SNIP-AT"]
+    rh = averaged["SNIP-RH"]
+    opt = averaged["SNIP-OPT"]
+    # AT tracks every target (within simulation noise) at high cost.
+    for index, target in enumerate(TARGETS):
+        assert at["zeta"][index] == pytest.approx(target, rel=0.15)
+    assert at["phi"][-1] > 450.0
+    # RH tracks targets up to 48 and saturates below 56.
+    for index, target in enumerate(TARGETS[:4]):
+        assert rh["zeta"][index] == pytest.approx(target, rel=0.15)
+    assert rh["zeta"][-1] < 50.0
+    assert rh["zeta"][-1] == pytest.approx(rh["zeta"][-2], rel=0.1)
+    # Cost ordering: OPT <= RH << AT on the shared feasible range.
+    for index in range(4):
+        assert rh["phi"][index] < at["phi"][index] / 2.0
+        assert opt["phi"][index] <= rh["phi"][index] * 1.2
+    # The paper's factor: AT pays ~3.3x RH per probed second.
+    assert at["rho"][1] / rh["rho"][1] == pytest.approx(3.3, rel=0.25)

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper figure (or an ablation) and prints the
+rows/series the figure plots; pytest-benchmark additionally reports the
+wall-clock cost of regenerating it.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a report block, surviving pytest's capture (shown with -s)."""
+    print()
+    print(text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulations are heavy)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

@@ -1,0 +1,101 @@
+"""Roadside sensor network: a fleet of nodes compared across schedulers.
+
+The paper's motivating deployment (Fig. 1): sparse sensor nodes along a
+road, harvested by phones in passing vehicles.  This example derives the
+contact process from physical geometry (vehicle speed, radio range),
+simulates five sensor nodes with *different* per-node traffic levels,
+and compares SNIP-AT / SNIP-OPT / SNIP-RH per node — showing that the
+rush-hour advantage holds across the whole fleet, not just the paper's
+single calibration point.
+
+Run::
+
+    python examples/roadside_network.py
+"""
+
+from repro import FastRunner, Scenario, SnipAtScheduler, SnipRhScheduler
+from repro.core.schedulers.opt import SnipOptScheduler
+from repro.core.snip_model import SnipModel
+from repro.experiments.reporting import format_table
+from repro.mobility.profiles import RushHourSpec
+from repro.mobility.roadside import RoadsideScenario
+from repro.mobility.synthetic import ArrivalStyle, TraceConfig
+from repro.units import DAY
+
+
+def build_node_scenario(node_id, rush_interval, seed):
+    """One sensor node beside the road; traffic level varies per node."""
+    # Geometry: vehicles at 50 km/h through a ~14 m radio disk dwell ~2 s.
+    geometry = RoadsideScenario.for_contact_length(2.0, speed=13.9)
+    profile = RushHourSpec(
+        rush_interval=rush_interval,
+        other_interval=rush_interval * 6.0,  # the paper's 6x rate ratio
+        contact_length=geometry.contact_length(),
+    ).to_profile()
+    return Scenario(
+        profile=profile,
+        model=SnipModel(t_on=0.020),
+        phi_max=DAY / 100.0,
+        zeta_target=24.0,
+        epochs=7,
+        trace_config=TraceConfig(style=ArrivalStyle.NORMAL, cv=0.1, epochs=7),
+        seed=seed,
+    )
+
+
+def schedulers_for(scenario):
+    return {
+        "SNIP-AT": SnipAtScheduler(
+            scenario.profile, scenario.model,
+            zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
+        ),
+        "SNIP-OPT": SnipOptScheduler(
+            scenario.profile, scenario.model,
+            zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
+        ),
+        "SNIP-RH": SnipRhScheduler(
+            scenario.profile, scenario.model, initial_contact_length=2.0
+        ),
+    }
+
+
+def main() -> None:
+    # Five nodes at different spots: busier near the junction (node 0),
+    # quieter toward the edge of town.
+    traffic_levels = [150.0, 225.0, 300.0, 450.0, 600.0]
+    rows = []
+    savings = []
+    for node_index, rush_interval in enumerate(traffic_levels):
+        scenario = build_node_scenario(node_index, rush_interval, seed=100 + node_index)
+        phis = {}
+        for name, scheduler in schedulers_for(scenario).items():
+            result = FastRunner(scenario, scheduler).run()
+            phis[name] = result.mean_phi
+            rows.append(
+                [
+                    f"node-{node_index}",
+                    f"{rush_interval:.0f}s",
+                    name,
+                    result.mean_zeta,
+                    result.mean_phi,
+                    result.mean_rho,
+                ]
+            )
+        savings.append(phis["SNIP-AT"] / phis["SNIP-RH"])
+
+    print(
+        format_table(
+            ["node", "rush Tinterval", "mechanism", "zeta (s)", "Phi (s)", "rho"],
+            rows,
+            title="Roadside fleet, one week per node, zeta_target = 24 s",
+        )
+    )
+    print()
+    print(
+        "SNIP-RH probing-energy savings over SNIP-AT per node: "
+        + ", ".join(f"{s:.1f}x" for s in savings)
+    )
+
+
+if __name__ == "__main__":
+    main()

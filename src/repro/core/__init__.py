@@ -1,0 +1,59 @@
+"""The paper's contribution: SNIP scheduling for rush-hour exploitation.
+
+* :mod:`~repro.core.snip_model` — the closed-form SNIP probing model
+  (equation 1) and its inverses;
+* :mod:`~repro.core.ewma` — the exponentially weighted moving averages
+  SNIP-RH learns with;
+* :mod:`~repro.core.optimizer` — the two-step optimization behind
+  SNIP-OPT;
+* :mod:`~repro.core.schedulers` — SNIP-AT, SNIP-OPT, SNIP-RH and the
+  adaptive extension, as online policies;
+* :mod:`~repro.core.learning` — autonomous rush-hour identification;
+* :mod:`~repro.core.analysis` — the closed-form evaluation engine that
+  regenerates Figs. 4, 5 and 6.
+"""
+
+from .snip_model import (
+    SnipModel,
+    upsilon,
+    knee_duty_cycle,
+    duty_cycle_for_upsilon,
+    upsilon_exponential_lengths,
+)
+from .ewma import Ewma
+from .optimizer import SlotPlan, TwoStepOptimizer, OptimizationResult
+from .analysis import AnalysisPoint, evaluate_schedulers, rush_hour_gain
+from .learning import RushHourLearner, LearnerConfig
+from .schedulers import (
+    Scheduler,
+    SchedulerDecision,
+    SnipAtScheduler,
+    SnipOptScheduler,
+    SnipRhScheduler,
+    AdaptiveSnipRhScheduler,
+    RlScheduler,
+)
+
+__all__ = [
+    "SnipModel",
+    "upsilon",
+    "knee_duty_cycle",
+    "duty_cycle_for_upsilon",
+    "upsilon_exponential_lengths",
+    "Ewma",
+    "SlotPlan",
+    "TwoStepOptimizer",
+    "OptimizationResult",
+    "AnalysisPoint",
+    "evaluate_schedulers",
+    "rush_hour_gain",
+    "RushHourLearner",
+    "LearnerConfig",
+    "Scheduler",
+    "SchedulerDecision",
+    "SnipAtScheduler",
+    "SnipOptScheduler",
+    "SnipRhScheduler",
+    "AdaptiveSnipRhScheduler",
+    "RlScheduler",
+]

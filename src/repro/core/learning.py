@@ -1,0 +1,142 @@
+"""Autonomous rush-hour identification (paper §VII-B).
+
+The paper's deployment story: a node first runs SNIP-AT with a very
+small duty-cycle for a few epochs, counts what it probes per time-slot,
+and marks the busy slots as rush hours — "it only needs to learn the
+*order* of these time-slots' contact capacity", so a coarse, cheap
+sample suffices.  This module implements that learner plus the decay
+that lets it track seasonal shift when fed by the adaptive scheduler's
+background probing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..units import require_fraction, require_positive
+
+
+@dataclass(frozen=True)
+class LearnerConfig:
+    """Tuning knobs for :class:`RushHourLearner`.
+
+    Attributes:
+        ratio_threshold: a slot is marked rush when its per-epoch probed
+            capacity exceeds ``ratio_threshold`` x the all-slot mean.
+        min_rush_slots: never mark fewer than this many slots (falls back
+            to the top-k busiest); guards against a quiet learning phase
+            leaving the node with nothing to exploit.
+        decay: per-epoch multiplicative decay of accumulated statistics;
+            < 1 lets the learner forget old seasons and track drift.
+        warmup_epochs: epochs of observation required before the learner
+            reports markings at all.
+    """
+
+    ratio_threshold: float = 2.0
+    min_rush_slots: int = 1
+    decay: float = 1.0
+    warmup_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        require_positive("ratio_threshold", self.ratio_threshold)
+        if self.min_rush_slots < 1:
+            raise ConfigurationError("min_rush_slots must be >= 1")
+        require_fraction("decay", self.decay)
+        if self.decay == 0:
+            raise ConfigurationError("decay must be positive")
+        if self.warmup_epochs < 0:
+            raise ConfigurationError("warmup_epochs must be >= 0")
+
+
+class RushHourLearner:
+    """Accumulates per-slot probe statistics and marks rush hours."""
+
+    def __init__(self, slot_count: int, config: LearnerConfig = LearnerConfig()) -> None:
+        if slot_count <= 0:
+            raise ConfigurationError("slot_count must be positive")
+        self.slot_count = slot_count
+        self.config = config
+        self._capacity = [0.0] * slot_count
+        self._epochs_observed = 0
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe_probe(self, slot: int, probed_seconds: float) -> None:
+        """Credit a probed contact's capacity to its slot."""
+        if not 0 <= slot < self.slot_count:
+            raise ConfigurationError(f"slot {slot} out of range")
+        if probed_seconds < 0:
+            raise ConfigurationError("probed_seconds must be >= 0")
+        self._capacity[slot] += probed_seconds
+
+    def observe_epoch_end(self) -> None:
+        """Roll an epoch: count it and apply forgetting."""
+        self._epochs_observed += 1
+        if self.config.decay < 1.0:
+            self._capacity = [c * self.config.decay for c in self._capacity]
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """True once the warm-up period has been observed."""
+        return self._epochs_observed >= self.config.warmup_epochs
+
+    def slot_capacities(self) -> List[float]:
+        """Accumulated (decayed) probed capacity per slot."""
+        return list(self._capacity)
+
+    def slot_order(self) -> List[int]:
+        """Slot indices sorted by capacity, busiest first.
+
+        This is exactly what the paper says a node "only needs to learn".
+        """
+        return sorted(
+            range(self.slot_count), key=lambda i: self._capacity[i], reverse=True
+        )
+
+    def rush_flags(self) -> Optional[List[bool]]:
+        """Current markings, or None during warm-up.
+
+        A slot is marked when its capacity exceeds ``ratio_threshold``
+        times the mean; at least ``min_rush_slots`` are always marked
+        (top-k fallback).
+        """
+        if not self.ready:
+            return None
+        total = sum(self._capacity)
+        if total == 0:
+            # Nothing probed yet; mark the top-k (arbitrary but safe).
+            flags = [False] * self.slot_count
+            for index in range(self.config.min_rush_slots):
+                flags[index] = True
+            return flags
+        mean = total / self.slot_count
+        flags = [
+            capacity > self.config.ratio_threshold * mean
+            for capacity in self._capacity
+        ]
+        marked = sum(flags)
+        if marked < self.config.min_rush_slots:
+            for index in self.slot_order()[: self.config.min_rush_slots]:
+                flags[index] = True
+        return flags
+
+    def agreement(self, reference: Sequence[bool]) -> float:
+        """Fraction of slots whose marking matches *reference*.
+
+        Used by the learning benchmarks to report convergence.
+        """
+        if len(reference) != self.slot_count:
+            raise ConfigurationError("reference length mismatch")
+        flags = self.rush_flags()
+        if flags is None:
+            return 0.0
+        matches = sum(
+            1 for ours, theirs in zip(flags, reference) if ours == bool(theirs)
+        )
+        return matches / self.slot_count

@@ -1,0 +1,26 @@
+"""SNIP scheduling mechanisms as online policies.
+
+Each scheduler answers one question at every CPU wake-up: *should SNIP
+be running right now, and at what duty-cycle?*  The experiment runners
+(:mod:`repro.experiments.runner`, :mod:`repro.experiments.micro`) call
+:meth:`~repro.core.schedulers.base.Scheduler.decide` at decision points
+and feed probe outcomes back through
+:meth:`~repro.core.schedulers.base.Scheduler.on_probe`.
+"""
+
+from .base import Scheduler, SchedulerDecision
+from .at import SnipAtScheduler
+from .opt import SnipOptScheduler
+from .rh import SnipRhScheduler
+from .adaptive import AdaptiveSnipRhScheduler
+from .rl import RlScheduler
+
+__all__ = [
+    "Scheduler",
+    "SchedulerDecision",
+    "SnipAtScheduler",
+    "SnipOptScheduler",
+    "SnipRhScheduler",
+    "AdaptiveSnipRhScheduler",
+    "RlScheduler",
+]

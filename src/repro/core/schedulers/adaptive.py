@@ -1,0 +1,127 @@
+"""Adaptive SNIP-RH: rush-hour exploitation plus background tracking.
+
+The paper's §VII-B sketch (and stated future work): a deployed node
+should (a) *learn* its rush hours autonomously by first running SNIP-AT
+with a small duty-cycle, and (b) keep a "very very small" background
+SNIP-AT running outside rush hours so a seasonal shift of the rush hours
+is noticed and the markings updated.  This scheduler implements both on
+top of :class:`~repro.core.schedulers.rh.SnipRhScheduler` and
+:class:`~repro.core.learning.RushHourLearner`.
+
+Phases:
+
+1. **learning** — SNIP-AT at ``learning_duty_cycle`` everywhere; every
+   probe is credited to its slot.
+2. **exploiting** — once the learner is ready, its markings replace the
+   profile's; SNIP-RH conditions govern probing inside rush hours, while
+   a background duty-cycle ``background_duty_cycle`` keeps sampling the
+   other slots so the learner's statistics (with decay) stay current.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import ConfigurationError
+from ...mobility.contact import Contact
+from ...mobility.profiles import SlotProfile
+from ...node.sensor import SensorNode
+from ...radio.duty_cycle import DutyCycleConfig
+from ..learning import LearnerConfig, RushHourLearner
+from ..snip_model import SnipModel
+from .base import Scheduler, SchedulerDecision
+from .rh import SnipRhScheduler
+
+
+class AdaptiveSnipRhScheduler(Scheduler):
+    """SNIP-RH with autonomous rush-hour learning and drift tracking."""
+
+    name = "SNIP-RH-ADAPTIVE"
+
+    def __init__(
+        self,
+        profile: SlotProfile,
+        model: SnipModel,
+        *,
+        learner_config: LearnerConfig = LearnerConfig(decay=0.5),
+        learning_duty_cycle: float = 0.002,
+        background_duty_cycle: float = 0.0002,
+        initial_contact_length: float = 1.0,
+        ewma_weight: float = 0.125,
+    ) -> None:
+        if not 0 < learning_duty_cycle <= 1:
+            raise ConfigurationError("learning_duty_cycle must lie in (0, 1]")
+        if not 0 <= background_duty_cycle <= 1:
+            raise ConfigurationError("background_duty_cycle must lie in [0, 1]")
+        self.profile = profile
+        self.model = model
+        self.learner = RushHourLearner(profile.slot_count, learner_config)
+        self.learning_config = DutyCycleConfig(
+            t_on=model.t_on, duty_cycle=learning_duty_cycle
+        )
+        self.background_config = (
+            DutyCycleConfig(t_on=model.t_on, duty_cycle=background_duty_cycle)
+            if background_duty_cycle > 0
+            else None
+        )
+        # The inner SNIP-RH starts with *all* slots marked so that its
+        # conditions are well-formed before learning completes; its flags
+        # are replaced as soon as the learner is ready.
+        self.inner = SnipRhScheduler(
+            profile.with_rush_flags([True] * profile.slot_count),
+            model,
+            initial_contact_length=initial_contact_length,
+            ewma_weight=ewma_weight,
+        )
+        self._exploiting = False
+
+    # ------------------------------------------------------------------
+    # policy
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> str:
+        """"learning" or "exploiting" — for reports and tests."""
+        return "exploiting" if self._exploiting else "learning"
+
+    def decide(self, time: float, node: SensorNode) -> SchedulerDecision:
+        if not self._exploiting:
+            if node.account.exhausted:
+                return SchedulerDecision.off("budget")
+            return SchedulerDecision(self.learning_config, reason="learning")
+        decision = self.inner.decide(time, node)
+        if decision.active:
+            return decision
+        if decision.reason == "not-rush" and self.background_config is not None:
+            # Background tracking: tiny duty-cycle outside rush hours so
+            # the learner notices when the peaks move (§VII-B).
+            if node.account.exhausted:
+                return SchedulerDecision.off("budget")
+            return SchedulerDecision(self.background_config, reason="background")
+        return decision
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+    def on_probe(
+        self,
+        time: float,
+        contact: Contact,
+        probed_seconds: float,
+        uploaded: float,
+    ) -> None:
+        slot = self.profile.slot_index(time)
+        self.learner.observe_probe(slot, probed_seconds)
+        self.inner.on_probe(time, contact, probed_seconds, uploaded)
+
+    def on_epoch_start(self, epoch_index: int, node: SensorNode) -> None:
+        if epoch_index > 0:
+            self.learner.observe_epoch_end()
+        flags = self.learner.rush_flags() if self.learner.ready else None
+        if flags is not None:
+            self.inner.set_rush_flags(flags)
+            self._exploiting = True
+
+    @property
+    def rush_flags(self):
+        """Markings currently in force (all-True during learning)."""
+        return self.inner.rush_flags

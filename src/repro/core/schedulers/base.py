@@ -1,0 +1,72 @@
+"""The scheduler interface shared by SNIP-AT, SNIP-OPT and SNIP-RH."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from ...mobility.contact import Contact
+from ...node.sensor import SensorNode
+from ...radio.duty_cycle import DutyCycleConfig
+
+
+@dataclass(frozen=True)
+class SchedulerDecision:
+    """What the radio should do until the next decision point.
+
+    ``duty_cycle = None`` means SNIP is deactivated (radio stays off for
+    probing purposes).  ``reason`` is a short tag used by reports and
+    tests to explain *why* probing is off ("not-rush", "no-data",
+    "budget", "active").
+    """
+
+    duty_cycle: Optional[DutyCycleConfig]
+    reason: str = "active"
+
+    @property
+    def active(self) -> bool:
+        """True when SNIP should be probing."""
+        return self.duty_cycle is not None
+
+    @classmethod
+    def off(cls, reason: str) -> "SchedulerDecision":
+        """An inactive decision with an explanatory tag."""
+        return cls(duty_cycle=None, reason=reason)
+
+
+class Scheduler(abc.ABC):
+    """Decides when SNIP runs and at which duty-cycle.
+
+    Contract:
+
+    * :meth:`decide` is called at every CPU wake-up (decision point) and
+      must be side-effect free apart from the scheduler's own state;
+    * :meth:`on_probe` is called after every successfully probed contact
+      with the realized probe window and upload, so learning schedulers
+      can update their estimators;
+    * :meth:`on_epoch_start` is called at every epoch boundary (including
+      time zero) before any same-instant decision.
+    """
+
+    #: Human-readable mechanism name used in reports ("SNIP-RH", ...).
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def decide(self, time: float, node: SensorNode) -> SchedulerDecision:
+        """Return the probing decision effective from *time* onward."""
+
+    def on_probe(
+        self,
+        time: float,
+        contact: Contact,
+        probed_seconds: float,
+        uploaded: float,
+    ) -> None:
+        """Feedback hook after a probed contact; default no-op."""
+
+    def on_miss(self, time: float, contact: Contact) -> None:
+        """Feedback hook after a missed contact; default no-op."""
+
+    def on_epoch_start(self, epoch_index: int, node: SensorNode) -> None:
+        """Epoch rollover hook; default no-op."""

@@ -1,0 +1,167 @@
+"""A reinforcement-learning duty-cycle baseline (related work [18][22]).
+
+The paper's related-work section discusses RL-based probing controllers
+(Dyo & Mascolo's node discovery service; Di Francesco et al.'s adaptive
+strategy) and argues they struggle in this setting: a sensor node "can
+only explore a small number of states and strategies" and, at the low
+duty-cycles life longevity demands, the reward signal is too sparse to
+learn the time-varying contact process quickly.
+
+This module implements a faithful tabular baseline so that claim can be
+measured rather than asserted: states are the epoch's time-slots,
+actions are a small set of duty-cycle levels (as in [18]), learning is
+epsilon-greedy Q-value averaging with reward
+
+    reward(slot, action) = uploaded_during_slot - beta * energy_spent.
+
+It is intentionally *not* strawmanned: it sees the same feedback SNIP-RH
+sees, respects the same budget, and with enough epochs it does find the
+rush hours — the comparison point is how much capacity and energy it
+burns getting there (see ``benchmarks/bench_rl_baseline.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigurationError
+from ...mobility.contact import Contact
+from ...mobility.profiles import SlotProfile
+from ...node.sensor import SensorNode
+from ...radio.duty_cycle import DutyCycleConfig
+from ...sim.rng import RandomStreams
+from ...units import require_fraction, require_non_negative
+from ..snip_model import SnipModel
+from .base import Scheduler, SchedulerDecision
+
+
+class RlScheduler(Scheduler):
+    """Tabular epsilon-greedy duty-cycle controller.
+
+    Args:
+        profile: supplies the slot geometry only (the controller does
+            not see the rush flags or rates — it must learn them).
+        model: binds ``Ton`` so actions map to radio configs.
+        duty_levels: the action set; level 0.0 means "radio off".  The
+            default spans off to the knee of the nominal contact length,
+            mirroring the small strategy sets the paper says motes can
+            afford.
+        epsilon: exploration probability per slot visit.
+        learning_rate: Q-value step size.
+        energy_weight: beta — how many upload-seconds one radio-on
+            second must be worth to break even.
+        seed: RNG seed for exploration (reproducible runs).
+    """
+
+    name = "RL"
+
+    def __init__(
+        self,
+        profile: SlotProfile,
+        model: SnipModel,
+        *,
+        duty_levels: Sequence[float] = (0.0, 0.0025, 0.005, 0.01),
+        epsilon: float = 0.1,
+        learning_rate: float = 0.2,
+        energy_weight: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not duty_levels or any(not 0.0 <= d <= 1.0 for d in duty_levels):
+            raise ConfigurationError("duty_levels must be fractions in [0, 1]")
+        require_fraction("epsilon", epsilon)
+        require_fraction("learning_rate", learning_rate)
+        require_non_negative("energy_weight", energy_weight)
+        self.profile = profile
+        self.model = model
+        self.duty_levels = tuple(sorted(set(float(d) for d in duty_levels)))
+        self.epsilon = epsilon
+        self.learning_rate = learning_rate
+        self.energy_weight = energy_weight
+        self._rng = RandomStreams(seed).stream("rl.exploration")
+        # Q[slot][action_index]; optimistic zero init (rewards can be
+        # negative because of the energy term, so zero encourages trying
+        # everything once).
+        self.q_values: List[List[float]] = [
+            [0.0] * len(self.duty_levels) for _ in range(profile.slot_count)
+        ]
+        self.visit_counts: List[List[int]] = [
+            [0] * len(self.duty_levels) for _ in range(profile.slot_count)
+        ]
+        self._configs = [
+            DutyCycleConfig(t_on=model.t_on, duty_cycle=d) if d > 0 else None
+            for d in self.duty_levels
+        ]
+        # Per-slot episode state.
+        self._current_slot: Optional[int] = None
+        self._current_action: int = 0
+        self._slot_uploaded: float = 0.0
+
+    # ------------------------------------------------------------------
+    # policy
+    # ------------------------------------------------------------------
+    def decide(self, time: float, node: SensorNode) -> SchedulerDecision:
+        slot = self.profile.slot_index(time)
+        if slot != self._current_slot:
+            self._finish_slot_episode()
+            self._current_slot = slot
+            self._current_action = self._choose_action(slot)
+            self._slot_uploaded = 0.0
+        if node.account.exhausted:
+            return SchedulerDecision.off("budget")
+        config = self._configs[self._current_action]
+        if config is None:
+            return SchedulerDecision.off("rl-off")
+        return SchedulerDecision(config, reason="rl")
+
+    def on_probe(
+        self,
+        time: float,
+        contact: Contact,
+        probed_seconds: float,
+        uploaded: float,
+    ) -> None:
+        self._slot_uploaded += uploaded
+
+    def on_epoch_start(self, epoch_index: int, node: SensorNode) -> None:
+        # Close the last slot of the previous epoch.
+        self._finish_slot_episode()
+        self._current_slot = None
+
+    # ------------------------------------------------------------------
+    # learning internals
+    # ------------------------------------------------------------------
+    def _choose_action(self, slot: int) -> int:
+        if float(self._rng.uniform()) < self.epsilon:
+            return int(self._rng.integers(0, len(self.duty_levels)))
+        q_row = self.q_values[slot]
+        best = max(q_row)
+        # Break ties toward lower duty-cycles (cheaper exploration).
+        return q_row.index(best)
+
+    def _finish_slot_episode(self) -> None:
+        if self._current_slot is None:
+            return
+        slot = self._current_slot
+        action = self._current_action
+        duty = self.duty_levels[action]
+        energy = duty * self.profile.slot_length
+        reward = self._slot_uploaded - self.energy_weight * energy
+        old = self.q_values[slot][action]
+        self.q_values[slot][action] = old + self.learning_rate * (reward - old)
+        self.visit_counts[slot][action] += 1
+
+    # ------------------------------------------------------------------
+    # introspection (reports / tests)
+    # ------------------------------------------------------------------
+    def greedy_policy(self) -> List[float]:
+        """The currently-greedy duty-cycle per slot."""
+        policy = []
+        for q_row in self.q_values:
+            policy.append(self.duty_levels[q_row.index(max(q_row))])
+        return policy
+
+    def learned_rush_slots(self) -> List[int]:
+        """Slots whose greedy action is a non-zero duty-cycle."""
+        return [
+            slot for slot, duty in enumerate(self.greedy_policy()) if duty > 0
+        ]

@@ -1,0 +1,37 @@
+"""Experiment harness: scenarios, simulators, metrics, sweeps, reports.
+
+* :mod:`~repro.experiments.scenario` — the paper's roadside scenario and
+  general scenario configuration;
+* :mod:`~repro.experiments.runner` — the fast contact-driven simulator
+  (events only at contacts and decision points; beacon arithmetic is
+  analytic) used for the Fig. 7 / Fig. 8 reproductions;
+* :mod:`~repro.experiments.micro` — the cycle-accurate simulator that
+  enumerates every radio wake-up (the COOJA-fidelity substitute), used
+  to validate the fast engine and equation 1;
+* :mod:`~repro.experiments.metrics` — ζ/Φ/ρ extraction and aggregation;
+* :mod:`~repro.experiments.sweep` — parameter sweeps for figures and
+  ablations;
+* :mod:`~repro.experiments.reporting` — plain-text tables and series.
+"""
+
+from .scenario import Scenario, paper_roadside_scenario, PAPER_ZETA_TARGETS
+from .metrics import EpochMetrics, RunMetrics
+from .runner import FastRunner, RunResult
+from .micro import MicroRunner
+from .sweep import sweep_zeta_targets, SweepResult
+from .reporting import format_table, format_series
+
+__all__ = [
+    "Scenario",
+    "paper_roadside_scenario",
+    "PAPER_ZETA_TARGETS",
+    "EpochMetrics",
+    "RunMetrics",
+    "FastRunner",
+    "RunResult",
+    "MicroRunner",
+    "sweep_zeta_targets",
+    "SweepResult",
+    "format_table",
+    "format_series",
+]

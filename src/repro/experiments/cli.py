@@ -1,0 +1,244 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    repro-snip analyze --budget-divisor 1000
+    repro-snip simulate --budget-divisor 100 --epochs 14 --seed 3
+    repro-snip gain
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..core.analysis import evaluate_schedulers, rush_hour_gain_surface
+from .reporting import format_series, format_table
+from .scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
+from .sweep import sweep_zeta_targets
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--budget-divisor",
+        type=float,
+        default=1000.0,
+        help="Phi_max = Tepoch / divisor (paper: 1000 or 100)",
+    )
+    parser.add_argument(
+        "--targets",
+        type=float,
+        nargs="+",
+        default=list(PAPER_ZETA_TARGETS),
+        help="zeta_target sweep values in seconds",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The `repro-snip` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-snip",
+        description=(
+            "Reproduce the evaluation of 'Exploiting Rush Hours for "
+            "Energy-Efficient Contact Probing in Opportunistic Data "
+            "Collection' (ICDCSW 2011)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="closed-form results (Figs. 5/6)"
+    )
+    _add_common(analyze)
+
+    simulate = sub.add_parser(
+        "simulate", help="fast-simulator results (Figs. 7/8)"
+    )
+    _add_common(simulate)
+    simulate.add_argument("--epochs", type=int, default=14, help="days to simulate")
+    simulate.add_argument("--seed", type=int, default=1, help="RNG seed")
+
+    sub.add_parser("gain", help="the Fig. 4 rush-hour gain surface")
+
+    lifetime = sub.add_parser(
+        "lifetime", help="battery lifetime implied by probing budgets"
+    )
+    lifetime.add_argument(
+        "--capacity-mah", type=float, default=2500.0,
+        help="battery capacity in mAh",
+    )
+    lifetime.add_argument(
+        "--divisors", type=float, nargs="+",
+        default=[10000.0, 1000.0, 100.0, 10.0],
+        help="Phi_max divisors to tabulate (Phi_max = Tepoch/divisor)",
+    )
+
+    network = sub.add_parser(
+        "network", help="fleet demo: emergent rush hours from commuters"
+    )
+    network.add_argument("--nodes", type=int, default=3, help="sensor sites")
+    network.add_argument("--commuters", type=int, default=60, help="agents")
+    network.add_argument("--days", type=int, default=7, help="days simulated")
+    network.add_argument("--seed", type=int, default=1, help="RNG seed")
+    return parser
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Print the closed-form Fig. 5/6 series for the requested budget."""
+    scenario = paper_roadside_scenario(phi_max_divisor=args.budget_divisor)
+    results = evaluate_schedulers(
+        scenario.profile,
+        scenario.model,
+        zeta_targets=args.targets,
+        phi_max=scenario.phi_max,
+    )
+    for metric, label in (("zeta", "zeta (s)"), ("phi", "Phi (s)"), ("rho", "rho")):
+        series = {
+            name: [getattr(point, metric) for point in points]
+            for name, points in results.items()
+        }
+        print(
+            format_series(
+                "zeta_target",
+                args.targets,
+                series,
+                title=f"Analysis {label}, Phi_max = Tepoch/{args.budget_divisor:g}",
+            )
+        )
+        print()
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run the fast simulator over the grid and print Fig. 7/8 series."""
+    scenario = paper_roadside_scenario(
+        phi_max_divisor=args.budget_divisor, epochs=args.epochs, seed=args.seed
+    )
+    sweep = sweep_zeta_targets(scenario, args.targets)
+    for metric, label in (("zeta", "zeta (s)"), ("phi", "Phi (s)"), ("rho", "rho")):
+        print(
+            format_series(
+                "zeta_target",
+                args.targets,
+                sweep.series(metric),
+                title=(
+                    f"Simulation {label}, Phi_max = Tepoch/"
+                    f"{args.budget_divisor:g}, {args.epochs} epochs"
+                ),
+            )
+        )
+        print()
+    return 0
+
+
+def cmd_gain(_args: argparse.Namespace) -> int:
+    """Print the Fig. 4 rush-hour gain surface."""
+    fractions = [x / 100.0 for x in range(5, 51, 5)]
+    ratios = [float(r) for r in range(2, 21, 2)]
+    surface = rush_hour_gain_surface(fractions, ratios)
+    rows = [
+        [f"{ratio:g}"] + row
+        for ratio, row in zip(ratios, surface)
+    ]
+    headers = ["frh/fother"] + [f"{fraction:.2f}" for fraction in fractions]
+    print(
+        format_table(
+            headers,
+            rows,
+            title="Phi_AT / Phi_rh over (Trh/Tepoch columns, rate-ratio rows)",
+        )
+    )
+    return 0
+
+
+def cmd_lifetime(args: argparse.Namespace) -> int:
+    """Tabulate node lifetime for a set of probing budgets."""
+    from ..radio.lifetime import Battery, LifetimeModel
+    from ..units import DAY
+
+    model = LifetimeModel(battery=Battery(capacity_mah=args.capacity_mah))
+    rows = []
+    for divisor in args.divisors:
+        phi_max = DAY / divisor
+        rows.append(
+            [
+                f"Tepoch/{divisor:g}",
+                phi_max,
+                model.lifetime_days(phi_max),
+                model.lifetime_years(phi_max),
+            ]
+        )
+    print(
+        format_table(
+            ["budget", "Phi_max (s/day)", "lifetime (days)", "lifetime (years)"],
+            rows,
+            title=f"Node lifetime vs probing budget ({args.capacity_mah:g} mAh)",
+        )
+    )
+    return 0
+
+
+def cmd_network(args: argparse.Namespace) -> int:
+    """Run the emergent-rush-hour fleet demo and print per-node results."""
+    from ..core.schedulers.rh import SnipRhScheduler
+    from ..network.agents import CommutePattern, Population
+    from ..network.contacts import ContactExtractor
+    from ..network.deployment import RoadDeployment
+    from ..network.runner import NetworkRunner
+    from ..units import DAY
+
+    road = 2000.0 * (args.nodes + 1)
+    deployment = RoadDeployment.evenly_spaced(args.nodes, road)
+    population = Population(
+        args.commuters, road, seed=args.seed,
+        pattern=CommutePattern(workdays_per_week=7),
+    )
+    trips = population.trips(days=args.days, epoch_length=DAY)
+    report = ContactExtractor(deployment).extract(trips)
+    scenario = paper_roadside_scenario(
+        phi_max_divisor=100, zeta_target=16.0,
+        epochs=args.days, seed=args.seed,
+    )
+    network = NetworkRunner(
+        scenario,
+        report.contacts_by_node,
+        lambda s, node_id: SnipRhScheduler(
+            s.profile, s.model, initial_contact_length=2.0
+        ),
+    ).run()
+    rows = [
+        [node_id, len(report.contacts_by_node[node_id]),
+         outcome.zeta, outcome.phi, outcome.delivery_ratio]
+        for node_id, outcome in sorted(network.outcomes.items())
+    ]
+    print(
+        format_table(
+            ["node", "contacts", "zeta (s)", "Phi (s)", "delivery"],
+            rows,
+            title=(
+                f"SNIP-RH fleet: {args.commuters} commuters, "
+                f"{args.nodes} nodes, {args.days} days"
+            ),
+        )
+    )
+    print(f"fleet rho: {network.fleet_rho:.2f}  "
+          f"mean delivery: {network.mean_delivery_ratio:.2%}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-snip`` console script."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "analyze": cmd_analyze,
+        "simulate": cmd_simulate,
+        "gain": cmd_gain,
+        "lifetime": cmd_lifetime,
+        "network": cmd_network,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Metric records for simulation runs.
+
+The paper reports, per epoch (averaged over two simulated weeks):
+
+* ζ — probed contact capacity, seconds;
+* Φ — contact probing overhead, radio-on seconds;
+* ρ = Φ / ζ — energy cost per probed second.
+
+We additionally record uploads, misses, and buffer health, which the
+examples and ablations use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class EpochMetrics:
+    """Raw per-epoch accounting."""
+
+    epoch_index: int
+    zeta: float = 0.0
+    phi: float = 0.0
+    uploaded: float = 0.0
+    probed_contacts: int = 0
+    missed_contacts: int = 0
+    arrived_contacts: int = 0
+    arrived_capacity: float = 0.0
+    buffer_end_level: float = 0.0
+    #: Σ (delay x amount) over this epoch's deliveries, delay measured
+    #: from a report's (fluid) creation time to its upload.
+    delivery_delay_weight: float = 0.0
+    #: Largest single delivery delay seen this epoch, seconds.
+    max_delivery_delay: float = 0.0
+
+    @property
+    def rho(self) -> float:
+        """Per-unit probing cost, Φ / ζ."""
+        return float("inf") if self.zeta == 0 else self.phi / self.zeta
+
+    @property
+    def mean_delivery_delay(self) -> float:
+        """Amount-weighted mean delivery latency this epoch, seconds."""
+        if self.uploaded == 0:
+            return 0.0
+        return self.delivery_delay_weight / self.uploaded
+
+    @property
+    def contact_miss_ratio(self) -> float:
+        """Fraction of arrived contacts that went unprobed."""
+        if self.arrived_contacts == 0:
+            return 0.0
+        return self.missed_contacts / self.arrived_contacts
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate over a run's epochs (the paper plots epoch means)."""
+
+    epochs: List[EpochMetrics] = field(default_factory=list)
+
+    def append(self, metrics: EpochMetrics) -> None:
+        """Add one epoch's record."""
+        self.epochs.append(metrics)
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def epoch_count(self) -> int:
+        """Number of recorded epochs."""
+        return len(self.epochs)
+
+    @property
+    def mean_zeta(self) -> float:
+        """Mean probed capacity per epoch."""
+        return self._mean([e.zeta for e in self.epochs])
+
+    @property
+    def mean_phi(self) -> float:
+        """Mean probing overhead per epoch."""
+        return self._mean([e.phi for e in self.epochs])
+
+    @property
+    def mean_rho(self) -> float:
+        """Ratio of mean Φ to mean ζ (the paper's per-epoch average ρ)."""
+        zeta = self.mean_zeta
+        return float("inf") if zeta == 0 else self.mean_phi / zeta
+
+    @property
+    def mean_uploaded(self) -> float:
+        """Mean data uploaded per epoch, upload-seconds."""
+        return self._mean([e.uploaded for e in self.epochs])
+
+    @property
+    def mean_delivery_delay(self) -> float:
+        """Amount-weighted mean delivery latency over the run, seconds."""
+        uploaded = sum(e.uploaded for e in self.epochs)
+        if uploaded == 0:
+            return 0.0
+        return sum(e.delivery_delay_weight for e in self.epochs) / uploaded
+
+    @property
+    def max_delivery_delay(self) -> float:
+        """Largest delivery delay across the run, seconds."""
+        return max((e.max_delivery_delay for e in self.epochs), default=0.0)
+
+    @property
+    def total_missed(self) -> int:
+        """Contacts missed across the whole run."""
+        return sum(e.missed_contacts for e in self.epochs)
+
+    @property
+    def total_probed(self) -> int:
+        """Contacts probed across the whole run."""
+        return sum(e.probed_contacts for e in self.epochs)
+
+    def std_zeta(self) -> float:
+        """Sample standard deviation of per-epoch ζ."""
+        return self._std([e.zeta for e in self.epochs])
+
+    def std_phi(self) -> float:
+        """Sample standard deviation of per-epoch Φ."""
+        return self._std([e.phi for e in self.epochs])
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _mean(values: Sequence[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @staticmethod
+    def _std(values: Sequence[float]) -> float:
+        if len(values) < 2:
+            return 0.0
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        return math.sqrt(variance)

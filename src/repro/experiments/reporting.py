@@ -1,0 +1,139 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent and readable in a
+terminal (no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value: object, width: int) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            text = "inf"
+        else:
+            text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    materialized: List[List[str]] = []
+    for row in rows:
+        materialized.append(
+            [
+                cell if isinstance(cell, str) else
+                ("inf" if cell == float("inf") else f"{cell:.3f}")
+                if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    *,
+    title: str = "",
+) -> str:
+    """Render one figure panel: x column plus one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append([x] + [values[index] for values in series.values()])
+    return format_table(headers, rows, title=title)
+
+
+def ascii_line_plot(
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    *,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render series as a coarse ASCII scatter/line plot.
+
+    Each series gets a marker character; points are binned onto a
+    ``height``-row grid scaled to the global value range.  Used by the
+    benches to sketch the figure panels directly in a terminal.
+    """
+    if height < 2:
+        raise ValueError("height must be at least 2")
+    markers = "ox+*#@%&"
+    all_values = [v for values in series.values() for v in values
+                  if v == v and v != float("inf")]
+    if not all_values:
+        return title or "(no data)"
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+    columns = len(x_values)
+    grid = [[" "] * columns for _ in range(height)]
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for column, value in enumerate(values[:columns]):
+            if value != value or value == float("inf"):
+                continue
+            row = int(round((value - low) / span * (height - 1)))
+            grid[height - 1 - row][column] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:10.2f} ┤" + " ".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + " ".join(row))
+    lines.append(f"{low:10.2f} ┤" + " ".join(grid[-1]))
+    x_axis = " " * 12 + " ".join("┬" for _ in range(columns))
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """A horizontal ASCII bar chart (used by the Fig. 3 bench)."""
+    peak = max(values) if values else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar_length = 0 if peak == 0 else int(round(width * value / peak))
+        lines.append(
+            f"{label.rjust(label_width)} | {'#' * bar_length} {value:.1f}"
+        )
+    return "\n".join(lines)

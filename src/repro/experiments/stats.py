@@ -1,0 +1,112 @@
+"""Replication statistics for simulation experiments.
+
+The paper averages two simulated weeks and notes "a lot of variance";
+this module makes that rigor reproducible: run a scenario across seeds,
+and report means with Student-t confidence intervals for every metric.
+Used by the reporting layer and available to downstream users who want
+error bars on their own sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from scipy import stats as scipy_stats
+
+from ..core.schedulers.base import Scheduler
+from ..errors import ConfigurationError
+from .runner import FastRunner, RunResult
+from .scenario import Scenario
+
+SchedulerFactory = Callable[[Scenario], Scheduler]
+
+#: The metrics replicated by default (RunResult attributes).
+DEFAULT_METRICS = ("mean_zeta", "mean_phi", "mean_rho")
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    replications: int
+
+    @property
+    def low(self) -> float:
+        """Lower confidence bound."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper confidence bound."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True when *value* lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f}"
+
+
+def interval_from_samples(
+    samples: Sequence[float], *, confidence: float = 0.95
+) -> IntervalEstimate:
+    """Student-t confidence interval from i.i.d. replications."""
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must lie in (0, 1)")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return IntervalEstimate(mean, float("inf"), confidence, 1)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    critical = float(scipy_stats.t.ppf((1 + confidence) / 2, df=n - 1))
+    half_width = critical * math.sqrt(variance / n)
+    return IntervalEstimate(mean, half_width, confidence, n)
+
+
+@dataclass
+class ReplicatedResult:
+    """Per-metric interval estimates plus the raw runs."""
+
+    estimates: Dict[str, IntervalEstimate]
+    runs: List[RunResult]
+
+    def __getitem__(self, metric: str) -> IntervalEstimate:
+        return self.estimates[metric]
+
+
+def replicate(
+    scenario: Scenario,
+    scheduler_factory: SchedulerFactory,
+    *,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    confidence: float = 0.95,
+) -> ReplicatedResult:
+    """Run *scenario* across *seeds* and estimate each metric.
+
+    The scheduler factory is invoked fresh per replication so learning
+    state never leaks between seeds.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    runs: List[RunResult] = []
+    for seed in seeds:
+        replication = scenario.with_seed(seed)
+        runs.append(FastRunner(replication, scheduler_factory(replication)).run())
+    estimates = {}
+    for metric in metrics:
+        samples = [getattr(run, metric, None) for run in runs]
+        if any(sample is None for sample in samples):
+            samples = [getattr(run.metrics, metric) for run in runs]
+        estimates[metric] = interval_from_samples(
+            [float(s) for s in samples], confidence=confidence
+        )
+    return ReplicatedResult(estimates=estimates, runs=runs)

@@ -1,0 +1,126 @@
+"""Parameter sweeps over scenarios and schedulers.
+
+The paper's evaluation is a grid: mechanism x ζtarget x Φmax.  This
+module runs that grid on the fast simulator and pairs each simulated
+point with its closed-form prediction so benches can print both (the
+paper presents them as separate analysis and simulation figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core.analysis import AnalysisPoint, evaluate_schedulers
+from ..core.schedulers.at import SnipAtScheduler
+from ..core.schedulers.base import Scheduler
+from ..core.schedulers.opt import SnipOptScheduler
+from ..core.schedulers.rh import SnipRhScheduler
+from .runner import FastRunner, RunResult
+from .scenario import Scenario
+
+SchedulerFactory = Callable[[Scenario], Scheduler]
+
+
+def default_factories() -> Dict[str, SchedulerFactory]:
+    """The paper's three mechanisms, built from a scenario."""
+    return {
+        "SNIP-AT": lambda s: SnipAtScheduler(
+            s.profile, s.model, zeta_target=s.zeta_target, phi_max=s.phi_max
+        ),
+        "SNIP-OPT": lambda s: SnipOptScheduler(
+            s.profile, s.model, zeta_target=s.zeta_target, phi_max=s.phi_max
+        ),
+        "SNIP-RH": lambda s: SnipRhScheduler(
+            s.profile, s.model, initial_contact_length=2.0
+        ),
+    }
+
+
+@dataclass
+class SweepPoint:
+    """One (mechanism, ζtarget) cell of the evaluation grid."""
+
+    mechanism: str
+    zeta_target: float
+    simulated: RunResult
+    predicted: Optional[AnalysisPoint]
+
+    @property
+    def zeta(self) -> float:
+        """Simulated mean probed capacity per epoch."""
+        return self.simulated.mean_zeta
+
+    @property
+    def phi(self) -> float:
+        """Simulated mean probing overhead per epoch."""
+        return self.simulated.mean_phi
+
+    @property
+    def rho(self) -> float:
+        """Simulated mean per-unit cost."""
+        return self.simulated.mean_rho
+
+
+@dataclass
+class SweepResult:
+    """The full grid, keyed by mechanism then ζtarget order."""
+
+    points: Dict[str, List[SweepPoint]]
+    zeta_targets: Sequence[float]
+
+    def series(self, metric: str) -> Dict[str, List[float]]:
+        """Extract one metric as {mechanism: [value per target]}."""
+        return {
+            mechanism: [getattr(point, metric) for point in column]
+            for mechanism, column in self.points.items()
+        }
+
+    def predicted_series(self, metric: str) -> Dict[str, List[float]]:
+        """Same, from the closed-form predictions."""
+        return {
+            mechanism: [
+                getattr(point.predicted, metric) if point.predicted else float("nan")
+                for point in column
+            ]
+            for mechanism, column in self.points.items()
+        }
+
+
+def sweep_zeta_targets(
+    base: Scenario,
+    zeta_targets: Sequence[float],
+    *,
+    factories: Optional[Mapping[str, SchedulerFactory]] = None,
+    with_predictions: bool = True,
+) -> SweepResult:
+    """Run the mechanism x ζtarget grid on the fast simulator."""
+    factories = dict(factories) if factories is not None else default_factories()
+    predictions: Dict[str, List[AnalysisPoint]] = {}
+    if with_predictions:
+        known = [name for name in factories if name in ("SNIP-AT", "SNIP-OPT", "SNIP-RH")]
+        predictions = evaluate_schedulers(
+            base.profile,
+            base.model,
+            zeta_targets=zeta_targets,
+            phi_max=base.phi_max,
+            mechanisms=known,
+        )
+    points: Dict[str, List[SweepPoint]] = {name: [] for name in factories}
+    for target_index, target in enumerate(zeta_targets):
+        scenario = base.with_target(target)
+        for name, factory in factories.items():
+            scheduler = factory(scenario)
+            result = FastRunner(scenario, scheduler).run()
+            predicted = (
+                predictions[name][target_index] if name in predictions else None
+            )
+            points[name].append(
+                SweepPoint(
+                    mechanism=name,
+                    zeta_target=target,
+                    simulated=result,
+                    predicted=predicted,
+                )
+            )
+    return SweepResult(points=points, zeta_targets=zeta_targets)

@@ -1,0 +1,50 @@
+"""Mobility and contact substrate.
+
+Everything about *when* mobile nodes are within range of a sensor node:
+
+* :mod:`~repro.mobility.contact` — the Contact record and contact lists;
+* :mod:`~repro.mobility.arrival` — inter-contact arrival processes
+  (deterministic, normal-jittered as in the paper's simulation,
+  exponential/Poisson);
+* :mod:`~repro.mobility.profiles` — slot-based temporal rate profiles
+  (the rush-hour structure);
+* :mod:`~repro.mobility.roadside` — the paper's roadside scenario
+  expressed geometrically (vehicle speed + communication range);
+* :mod:`~repro.mobility.traces` — a CRAWDAD-style contact trace file
+  format with reader/writer;
+* :mod:`~repro.mobility.synthetic` — generators that combine profiles and
+  arrival processes into multi-day synthetic traces;
+* :mod:`~repro.mobility.travel_demand` — parametric bimodal travel-demand
+  curves reproducing the shape of the paper's Fig. 3.
+"""
+
+from .contact import Contact, ContactTrace
+from .arrival import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    NormalJitterArrivals,
+    PoissonArrivals,
+)
+from .profiles import SlotProfile, RushHourSpec
+from .roadside import RoadsideScenario
+from .traces import read_trace, write_trace
+from .synthetic import SyntheticTraceGenerator, TraceConfig
+from .travel_demand import TravelDemandProfile, midpoint_bridge_profile
+
+__all__ = [
+    "Contact",
+    "ContactTrace",
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "NormalJitterArrivals",
+    "PoissonArrivals",
+    "SlotProfile",
+    "RushHourSpec",
+    "RoadsideScenario",
+    "read_trace",
+    "write_trace",
+    "SyntheticTraceGenerator",
+    "TraceConfig",
+    "TravelDemandProfile",
+    "midpoint_bridge_profile",
+]

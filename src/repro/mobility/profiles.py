@@ -1,0 +1,184 @@
+"""Slot-based temporal profiles: the rush-hour structure of an epoch.
+
+The paper divides an epoch (24 h) into N equal time-slots (N = 24) and
+marks each slot "1" (rush hour) or "0".  :class:`SlotProfile` carries
+per-slot contact statistics (mean interval, mean length) and the
+rush-hour marking; :class:`RushHourSpec` is the convenient constructor
+for the paper's scenario style ("rush hours 07:00-09:00 and
+17:00-19:00, interval 300 s inside, 1800 s outside").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import DAY, HOUR, require_positive
+
+
+@dataclass(frozen=True)
+class SlotProfile:
+    """Per-slot contact process parameters over one epoch.
+
+    Attributes:
+        epoch_length: ``Tepoch`` in seconds.
+        mean_intervals: per-slot mean inter-contact interval (seconds);
+            ``float('inf')`` denotes a slot with no contacts.
+        mean_lengths: per-slot mean contact length (seconds).
+        rush_flags: the paper's "1"/"0" markings, as booleans.
+    """
+
+    epoch_length: float
+    mean_intervals: Tuple[float, ...]
+    mean_lengths: Tuple[float, ...]
+    rush_flags: Tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        require_positive("epoch_length", self.epoch_length)
+        n = len(self.mean_intervals)
+        if n == 0:
+            raise ConfigurationError("profile needs at least one slot")
+        if len(self.mean_lengths) != n or len(self.rush_flags) != n:
+            raise ConfigurationError(
+                "mean_intervals, mean_lengths and rush_flags must have equal length"
+            )
+        for interval in self.mean_intervals:
+            if interval <= 0:
+                raise ConfigurationError("mean intervals must be positive (inf allowed)")
+        for length in self.mean_lengths:
+            if length <= 0:
+                raise ConfigurationError("mean lengths must be positive")
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        """N — number of slots per epoch."""
+        return len(self.mean_intervals)
+
+    @property
+    def slot_length(self) -> float:
+        """Length of one slot in seconds."""
+        return self.epoch_length / self.slot_count
+
+    def slot_index(self, time: float) -> int:
+        """Slot index for an absolute time (folded into the epoch)."""
+        position = time % self.epoch_length
+        return min(int(position // self.slot_length), self.slot_count - 1)
+
+    def slot_bounds(self, index: int) -> Tuple[float, float]:
+        """[start, end) of slot *index* within the epoch."""
+        self._check_index(index)
+        return index * self.slot_length, (index + 1) * self.slot_length
+
+    # ------------------------------------------------------------------
+    # contact statistics
+    # ------------------------------------------------------------------
+    def rate(self, index: int) -> float:
+        """Contacts per second in slot *index* (0 for empty slots)."""
+        self._check_index(index)
+        interval = self.mean_intervals[index]
+        return 0.0 if interval == float("inf") else 1.0 / interval
+
+    def is_rush(self, index: int) -> bool:
+        """True when slot *index* is marked as rush hour."""
+        self._check_index(index)
+        return self.rush_flags[index]
+
+    def is_rush_at(self, time: float) -> bool:
+        """True when the absolute *time* falls in a rush-hour slot."""
+        return self.is_rush(self.slot_index(time))
+
+    def expected_contacts(self, index: int) -> float:
+        """Expected number of contacts arriving during slot *index*."""
+        return self.rate(index) * self.slot_length
+
+    def expected_capacity(self, index: int) -> float:
+        """Expected contact capacity (seconds) arriving in slot *index*."""
+        return self.expected_contacts(index) * self.mean_lengths[index]
+
+    def total_expected_capacity(self) -> float:
+        """Expected contact capacity over a whole epoch."""
+        return sum(self.expected_capacity(i) for i in range(self.slot_count))
+
+    def rush_expected_capacity(self) -> float:
+        """Expected capacity arriving inside rush-hour slots."""
+        return sum(
+            self.expected_capacity(i)
+            for i in range(self.slot_count)
+            if self.rush_flags[i]
+        )
+
+    def rush_duration(self) -> float:
+        """Total rush-hour seconds per epoch (``Trh``)."""
+        return self.slot_length * sum(self.rush_flags)
+
+    def rush_slot_indices(self) -> List[int]:
+        """Indices of rush-hour slots, ascending."""
+        return [i for i, flag in enumerate(self.rush_flags) if flag]
+
+    def with_rush_flags(self, rush_flags: Sequence[bool]) -> "SlotProfile":
+        """Copy with different markings (used by the learning module)."""
+        return SlotProfile(
+            self.epoch_length,
+            self.mean_intervals,
+            self.mean_lengths,
+            tuple(bool(flag) for flag in rush_flags),
+        )
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.slot_count:
+            raise ConfigurationError(
+                f"slot index {index} out of range [0, {self.slot_count})"
+            )
+
+
+@dataclass(frozen=True)
+class RushHourSpec:
+    """Declarative description of a two-rate (rush / other) epoch.
+
+    This mirrors the paper's evaluation scenario exactly; call
+    :meth:`to_profile` to obtain the general :class:`SlotProfile`.
+    """
+
+    epoch_length: float = DAY
+    slot_count: int = 24
+    #: Half-open hour ranges marked as rush hours, e.g. ((7, 9), (17, 19)).
+    rush_windows: Tuple[Tuple[float, float], ...] = ((7.0, 9.0), (17.0, 19.0))
+    rush_interval: float = 300.0
+    other_interval: float = 1800.0
+    contact_length: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_positive("epoch_length", self.epoch_length)
+        if self.slot_count <= 0:
+            raise ConfigurationError("slot_count must be positive")
+        require_positive("rush_interval", self.rush_interval)
+        require_positive("other_interval", self.other_interval)
+        require_positive("contact_length", self.contact_length)
+        for lo, hi in self.rush_windows:
+            if not 0 <= lo < hi <= self.epoch_length / HOUR:
+                raise ConfigurationError(
+                    f"rush window ({lo}, {hi}) must lie inside the epoch in hours"
+                )
+
+    def to_profile(self) -> SlotProfile:
+        """Expand into a :class:`SlotProfile`.
+
+        A slot is marked rush when its midpoint falls inside any rush
+        window (windows are given in hours from epoch start).
+        """
+        slot_length = self.epoch_length / self.slot_count
+        flags: List[bool] = []
+        intervals: List[float] = []
+        for index in range(self.slot_count):
+            midpoint_hours = (index + 0.5) * slot_length / HOUR
+            in_rush = any(lo <= midpoint_hours < hi for lo, hi in self.rush_windows)
+            flags.append(in_rush)
+            intervals.append(self.rush_interval if in_rush else self.other_interval)
+        lengths = [self.contact_length] * self.slot_count
+        return SlotProfile(
+            self.epoch_length, tuple(intervals), tuple(lengths), tuple(flags)
+        )

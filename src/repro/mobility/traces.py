@@ -1,0 +1,93 @@
+"""Contact-trace file format (CRAWDAD-style) with reader and writer.
+
+Real contact traces (e.g. CRAWDAD haggle/imote) are distributed as
+whitespace-separated columns of contact start/end times.  We use a
+compatible plain-text format so that published traces can be converted
+with a one-line awk script and loaded here:
+
+.. code-block:: text
+
+    # repro-contact-trace v1
+    # columns: start_seconds end_seconds mobile_id
+    120.0 122.5 phone-17
+    940.2 941.8 phone-3
+
+Lines starting with ``#`` are comments; the version header is required
+so format drift fails loudly instead of parsing garbage.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import List, TextIO, Union
+
+from ..errors import TraceFormatError
+from .contact import Contact, ContactTrace
+
+HEADER = "# repro-contact-trace v1"
+
+PathOrFile = Union[str, "os.PathLike[str]", TextIO]
+
+
+def write_trace(trace: ContactTrace, destination: PathOrFile) -> None:
+    """Serialize *trace* to a file path or text file object."""
+    if hasattr(destination, "write"):
+        _write_stream(trace, destination)  # type: ignore[arg-type]
+        return
+    with open(os.fspath(destination), "w", encoding="utf-8") as handle:
+        _write_stream(trace, handle)
+
+
+def read_trace(source: PathOrFile) -> ContactTrace:
+    """Parse a trace from a file path or text file object.
+
+    Raises:
+        TraceFormatError: on a missing/wrong header or malformed rows.
+    """
+    if hasattr(source, "read"):
+        return _read_stream(source)  # type: ignore[arg-type]
+    with open(os.fspath(source), "r", encoding="utf-8") as handle:
+        return _read_stream(handle)
+
+
+def parse_trace_text(text: str) -> ContactTrace:
+    """Parse a trace from an in-memory string."""
+    return _read_stream(io.StringIO(text))
+
+
+def _write_stream(trace: ContactTrace, stream: TextIO) -> None:
+    stream.write(HEADER + "\n")
+    stream.write("# columns: start_seconds end_seconds mobile_id\n")
+    for contact in trace:
+        stream.write(f"{contact.start:.6f} {contact.end:.6f} {contact.mobile_id}\n")
+
+
+def _read_stream(stream: TextIO) -> ContactTrace:
+    first_line = stream.readline()
+    if first_line.strip() != HEADER:
+        raise TraceFormatError(
+            f"missing trace header; expected {HEADER!r}, got {first_line.strip()!r}"
+        )
+    contacts: List[Contact] = []
+    for line_number, raw_line in enumerate(stream, start=2):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise TraceFormatError(
+                f"line {line_number}: expected 2 or 3 columns, got {len(parts)}"
+            )
+        try:
+            start = float(parts[0])
+            end = float(parts[1])
+        except ValueError as exc:
+            raise TraceFormatError(f"line {line_number}: non-numeric time") from exc
+        if end <= start:
+            raise TraceFormatError(
+                f"line {line_number}: contact end {end} must exceed start {start}"
+            )
+        mobile_id = parts[2] if len(parts) == 3 else "mobile"
+        contacts.append(Contact(start, end - start, mobile_id))
+    return ContactTrace(contacts)

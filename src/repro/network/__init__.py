@@ -1,0 +1,31 @@
+"""Multi-node network layer: the paper's Fig. 1 deployment, end to end.
+
+Everything upstream of a single sensor node's contact trace:
+
+* :mod:`~repro.network.deployment` — sensor sites along a road;
+* :mod:`~repro.network.agents` — commuter agents whose daily trips
+  produce the rush-hour structure from first principles (rather than a
+  hand-marked profile);
+* :mod:`~repro.network.contacts` — per-site contact extraction from
+  agent trips, including the sparse-network contention policy;
+* :mod:`~repro.network.runner` — run a scheduler on every node of the
+  fleet and aggregate delivery statistics.
+"""
+
+from .deployment import RoadDeployment, SensorSite
+from .agents import CommuterAgent, CommutePattern, Population
+from .contacts import ContactExtractor, enforce_sparse
+from .runner import NetworkRunner, NetworkResult, NodeOutcome
+
+__all__ = [
+    "RoadDeployment",
+    "SensorSite",
+    "CommuterAgent",
+    "CommutePattern",
+    "Population",
+    "ContactExtractor",
+    "enforce_sparse",
+    "NetworkRunner",
+    "NetworkResult",
+    "NodeOutcome",
+]

@@ -1,0 +1,214 @@
+"""Commuter agents: human mobility that *produces* rush hours.
+
+The paper cites Gonzalez et al. — human trajectories are highly regular —
+and Cain et al.'s bimodal travel demand to argue rush hours exist.  Here
+both facts fall out of a mechanistic model: each agent lives at one end
+of the road and works somewhere past the deployment; every workday it
+makes an outbound trip around its personal departure time (drawn once,
+jittered daily) and a return trip in the evening, plus occasional
+off-peak errands.  The superposition of a population's trips yields
+bimodal per-site contact arrivals without any hand-marked profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStreams
+from ..units import HOUR, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class Trip:
+    """One directed traversal of the road."""
+
+    agent_id: str
+    departure: float
+    origin: float
+    destination: float
+    speed: float
+
+    def __post_init__(self) -> None:
+        require_positive("speed", self.speed)
+        if self.origin == self.destination:
+            raise ConfigurationError("a trip must move the agent")
+
+    def time_at(self, position: float) -> Optional[float]:
+        """Time the agent passes *position* (None if not on the path)."""
+        lo, hi = min(self.origin, self.destination), max(self.origin, self.destination)
+        if not lo <= position <= hi:
+            return None
+        return self.departure + abs(position - self.origin) / self.speed
+
+
+@dataclass(frozen=True)
+class CommutePattern:
+    """Population-level commute statistics.
+
+    Attributes:
+        am_peak_hour / pm_peak_hour: centre of each commute wave.
+        peak_std_hours: spread of departure times across the population
+            AND the day-to-day jitter of one agent (the same σ serves
+            both; Gonzalez et al.'s regularity means the daily jitter is
+            small relative to the population spread, which ``daily_jitter
+            _fraction`` captures).
+        workdays_per_week: commute trips happen only on workdays.
+        errand_rate_per_day: expected off-peak round trips per agent-day.
+        speed / speed_std: driving speed statistics, m/s.
+    """
+
+    am_peak_hour: float = 8.0
+    pm_peak_hour: float = 17.5
+    peak_std_hours: float = 0.75
+    daily_jitter_fraction: float = 0.2
+    workdays_per_week: int = 5
+    errand_rate_per_day: float = 0.3
+    speed: float = 13.9
+    speed_std: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("am_peak_hour", self.am_peak_hour),
+            ("pm_peak_hour", self.pm_peak_hour),
+        ):
+            if not 0 <= value < 24:
+                raise ConfigurationError(f"{name} must lie in [0, 24)")
+        if self.am_peak_hour >= self.pm_peak_hour:
+            raise ConfigurationError("AM peak must precede PM peak")
+        require_positive("peak_std_hours", self.peak_std_hours)
+        require_non_negative("daily_jitter_fraction", self.daily_jitter_fraction)
+        if not 0 <= self.workdays_per_week <= 7:
+            raise ConfigurationError("workdays_per_week must lie in [0, 7]")
+        require_non_negative("errand_rate_per_day", self.errand_rate_per_day)
+        require_positive("speed", self.speed)
+        require_non_negative("speed_std", self.speed_std)
+
+
+@dataclass(frozen=True)
+class CommuterAgent:
+    """One phone-carrying commuter."""
+
+    agent_id: str
+    home: float
+    work: float
+    am_departure_hour: float
+    pm_departure_hour: float
+    speed: float
+
+    def trips_for_day(
+        self,
+        day_index: int,
+        day_start: float,
+        *,
+        pattern: CommutePattern,
+        streams: RandomStreams,
+    ) -> List[Trip]:
+        """This agent's trips for one day (absolute departure times)."""
+        trips: List[Trip] = []
+        weekday = day_index % 7
+        jitter_std = pattern.peak_std_hours * pattern.daily_jitter_fraction * HOUR
+        if weekday < pattern.workdays_per_week:
+            am = streams.normal_positive(
+                f"{self.agent_id}.am.{day_index}",
+                self.am_departure_hour * HOUR,
+                jitter_std,
+            )
+            pm = streams.normal_positive(
+                f"{self.agent_id}.pm.{day_index}",
+                self.pm_departure_hour * HOUR,
+                jitter_std,
+            )
+            trips.append(
+                Trip(self.agent_id, day_start + am, self.home, self.work, self.speed)
+            )
+            trips.append(
+                Trip(self.agent_id, day_start + pm, self.work, self.home, self.speed)
+            )
+        # Off-peak errands: a short round trip at a uniform daytime hour.
+        errand_rng = streams.stream(f"{self.agent_id}.errands")
+        errands = int(errand_rng.poisson(pattern.errand_rate_per_day))
+        for errand_index in range(errands):
+            hour = float(errand_rng.uniform(9.0, 21.0))
+            departure = day_start + hour * HOUR
+            trips.append(
+                Trip(
+                    f"{self.agent_id}",
+                    departure,
+                    self.home,
+                    self.work,
+                    self.speed,
+                )
+            )
+            trips.append(
+                Trip(
+                    f"{self.agent_id}",
+                    departure + 30 * 60.0,
+                    self.work,
+                    self.home,
+                    self.speed,
+                )
+            )
+        return trips
+
+
+class Population:
+    """A reproducible population of commuters on one road."""
+
+    def __init__(
+        self,
+        size: int,
+        road_length: float,
+        *,
+        pattern: CommutePattern = CommutePattern(),
+        seed: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ConfigurationError("population size must be positive")
+        require_positive("road_length", road_length)
+        self.pattern = pattern
+        self.streams = RandomStreams(seed)
+        rng = self.streams.stream("population.draw")
+        self.agents: List[CommuterAgent] = []
+        for index in range(size):
+            am = float(rng.normal(pattern.am_peak_hour, pattern.peak_std_hours))
+            pm = float(rng.normal(pattern.pm_peak_hour, pattern.peak_std_hours))
+            pm = max(pm, am + 4.0)  # a working day separates the trips
+            speed = max(
+                3.0, float(rng.normal(pattern.speed, pattern.speed_std))
+            )
+            self.agents.append(
+                CommuterAgent(
+                    agent_id=f"agent-{index}",
+                    home=0.0,
+                    work=road_length,
+                    am_departure_hour=am % 24,
+                    pm_departure_hour=min(pm, 23.5),
+                    speed=speed,
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.agents)
+
+    def __iter__(self) -> Iterator[CommuterAgent]:
+        return iter(self.agents)
+
+    def trips(self, days: int, *, epoch_length: float) -> List[Trip]:
+        """All trips of all agents over *days* days, time-sorted."""
+        if days <= 0:
+            raise ConfigurationError("days must be positive")
+        all_trips: List[Trip] = []
+        for day_index in range(days):
+            day_start = day_index * epoch_length
+            for agent in self.agents:
+                all_trips.extend(
+                    agent.trips_for_day(
+                        day_index,
+                        day_start,
+                        pattern=self.pattern,
+                        streams=self.streams,
+                    )
+                )
+        return sorted(all_trips, key=lambda trip: trip.departure)

@@ -1,0 +1,101 @@
+"""Sensor deployment geometry along a road.
+
+The paper's deployment sketch (Fig. 1): static sensor nodes scattered
+beside a road that commuters travel daily.  We model the road as a 1-D
+axis (positions in metres); each sensor site has a position and a radio
+range, and a mobile node passing at speed v is in contact for
+``2 * range / v`` seconds centred on its closest approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class SensorSite:
+    """One static sensor node beside the road."""
+
+    node_id: str
+    position: float
+    radio_range: float = 14.0
+
+    def __post_init__(self) -> None:
+        require_positive("radio_range", self.radio_range)
+
+    def pass_window(self, speed: float) -> float:
+        """Contact length for a node driving straight past, seconds."""
+        require_positive("speed", speed)
+        return 2.0 * self.radio_range / speed
+
+    def covers(self, position: float) -> bool:
+        """True when *position* lies inside the communication disk."""
+        return abs(position - self.position) <= self.radio_range
+
+
+@dataclass(frozen=True)
+class RoadDeployment:
+    """An ordered set of sensor sites on one road."""
+
+    sites: Sequence[SensorSite]
+    road_length: float
+
+    def __post_init__(self) -> None:
+        require_positive("road_length", self.road_length)
+        if not self.sites:
+            raise ConfigurationError("a deployment needs at least one site")
+        seen = set()
+        for site in self.sites:
+            if site.node_id in seen:
+                raise ConfigurationError(f"duplicate node id {site.node_id!r}")
+            seen.add(site.node_id)
+            if not 0.0 <= site.position <= self.road_length:
+                raise ConfigurationError(
+                    f"site {site.node_id!r} at {site.position} lies outside "
+                    f"the road [0, {self.road_length}]"
+                )
+        object.__setattr__(
+            self, "sites", tuple(sorted(self.sites, key=lambda s: s.position))
+        )
+
+    def __iter__(self) -> Iterator[SensorSite]:
+        return iter(self.sites)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    @classmethod
+    def evenly_spaced(
+        cls,
+        count: int,
+        road_length: float,
+        *,
+        radio_range: float = 14.0,
+        prefix: str = "sensor",
+    ) -> "RoadDeployment":
+        """Place *count* sites evenly along the road (ends excluded)."""
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        spacing = road_length / (count + 1)
+        sites = [
+            SensorSite(f"{prefix}-{index}", spacing * (index + 1), radio_range)
+            for index in range(count)
+        ]
+        return cls(sites=sites, road_length=road_length)
+
+    def is_sparse(self, *, margin: float = 0.0) -> bool:
+        """True when no two coverage disks overlap (paper's assumption)."""
+        for left, right in zip(self.sites, self.sites[1:]):
+            gap = right.position - left.position
+            if gap < left.radio_range + right.radio_range + margin:
+                return False
+        return True
+
+    def sites_between(self, start: float, end: float) -> List[SensorSite]:
+        """Sites whose positions lie on the directed segment start->end."""
+        lo, hi = min(start, end), max(start, end)
+        return [site for site in self.sites if lo <= site.position <= hi]

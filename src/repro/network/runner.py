@@ -1,0 +1,118 @@
+"""Fleet-level experiment runner.
+
+Runs one scheduler instance per sensor node of a deployment against that
+node's own contact trace (from the agent model or from files) and
+aggregates the paper's metrics across the fleet.  Each node learns its
+own profile — the paper's point that "sensor nodes are deployed at
+different places and their contacts ... may follow different patterns".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..core.schedulers.base import Scheduler
+from ..errors import ConfigurationError
+from ..experiments.runner import FastRunner, RunResult
+from ..experiments.scenario import Scenario
+from ..mobility.contact import ContactTrace
+
+SchedulerFactory = Callable[[Scenario, str], Scheduler]
+
+
+@dataclass
+class NodeOutcome:
+    """One node's run and headline metrics."""
+
+    node_id: str
+    result: RunResult
+
+    @property
+    def zeta(self) -> float:
+        """Mean probed capacity per epoch."""
+        return self.result.mean_zeta
+
+    @property
+    def phi(self) -> float:
+        """Mean probing overhead per epoch."""
+        return self.result.mean_phi
+
+    @property
+    def rho(self) -> float:
+        """Per-unit probing cost."""
+        return self.result.mean_rho
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Uploaded / generated data over the whole run."""
+        buffer = self.result.node.buffer
+        if buffer.total_generated == 0:
+            return 1.0
+        return buffer.total_uploaded / buffer.total_generated
+
+
+@dataclass
+class NetworkResult:
+    """All node outcomes plus fleet aggregates."""
+
+    outcomes: Dict[str, NodeOutcome] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def fleet_zeta(self) -> float:
+        """Mean per-epoch probed capacity summed across the fleet."""
+        return sum(outcome.zeta for outcome in self.outcomes.values())
+
+    @property
+    def fleet_phi(self) -> float:
+        """Mean per-epoch probing overhead summed across the fleet."""
+        return sum(outcome.phi for outcome in self.outcomes.values())
+
+    @property
+    def fleet_rho(self) -> float:
+        """Fleet cost per probed second."""
+        zeta = self.fleet_zeta
+        return float("inf") if zeta == 0 else self.fleet_phi / zeta
+
+    @property
+    def mean_delivery_ratio(self) -> float:
+        """Average per-node delivery ratio."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.delivery_ratio for o in self.outcomes.values()) / len(
+            self.outcomes
+        )
+
+    def worst_node(self) -> Optional[NodeOutcome]:
+        """The node with the lowest delivery ratio (None when empty)."""
+        if not self.outcomes:
+            return None
+        return min(self.outcomes.values(), key=lambda o: o.delivery_ratio)
+
+
+class NetworkRunner:
+    """Runs a scheduler per node over per-node traces."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        traces_by_node: Mapping[str, ContactTrace],
+        scheduler_factory: SchedulerFactory,
+    ) -> None:
+        if not traces_by_node:
+            raise ConfigurationError("need at least one node trace")
+        self.scenario = scenario
+        self.traces_by_node = dict(traces_by_node)
+        self.scheduler_factory = scheduler_factory
+
+    def run(self) -> NetworkResult:
+        """Run every node; returns the aggregated result."""
+        network = NetworkResult()
+        for node_id, trace in sorted(self.traces_by_node.items()):
+            scheduler = self.scheduler_factory(self.scenario, node_id)
+            result = FastRunner(self.scenario, scheduler, trace=trace).run()
+            network.outcomes[node_id] = NodeOutcome(node_id=node_id, result=result)
+        return network

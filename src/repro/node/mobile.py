@@ -1,0 +1,63 @@
+"""Mobile node model.
+
+Per the paper's reference model, a mobile node (a phone carried by a
+person) has a rechargeable battery and keeps its radio always on while
+participating, so it hears every beacon transmitted within range.  The
+class tracks presence windows and the data it has collected, which the
+examples use to report per-courier statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass
+class MobileNode:
+    """An always-on mobile data collector."""
+
+    node_id: str = "mobile"
+    #: Total data received from sensor nodes, in upload-seconds.
+    collected: float = 0.0
+    #: Completed (start, end) presence windows at the sensor.
+    visits: List[Tuple[float, float]] = field(default_factory=list)
+    _in_range_since: Optional[float] = None
+
+    @property
+    def in_range(self) -> bool:
+        """True while the node is inside the sensor's communication disk."""
+        return self._in_range_since is not None
+
+    def enter_range(self, time: float) -> None:
+        """Mark the start of a contact."""
+        if self.in_range:
+            raise SimulationError(f"mobile {self.node_id} already in range")
+        self._in_range_since = time
+
+    def leave_range(self, time: float) -> None:
+        """Mark the end of a contact."""
+        if not self.in_range:
+            raise SimulationError(f"mobile {self.node_id} not in range")
+        start = self._in_range_since
+        self._in_range_since = None
+        if time < start:
+            raise SimulationError("contact cannot end before it starts")
+        self.visits.append((start, time))
+
+    def receive(self, amount: float) -> None:
+        """Record *amount* upload-seconds of data collected."""
+        if amount < 0:
+            raise SimulationError(f"cannot receive negative data {amount}")
+        self.collected += amount
+
+    @property
+    def visit_count(self) -> int:
+        """Number of completed visits."""
+        return len(self.visits)
+
+    def total_dwell(self) -> float:
+        """Total seconds spent in range across completed visits."""
+        return sum(end - start for start, end in self.visits)

@@ -1,0 +1,96 @@
+"""Sensor node state.
+
+A :class:`SensorNode` bundles what the paper's schedulers read and
+write: the report buffer, the probing energy ledger with its per-epoch
+account, and running statistics about probed contacts.  It is protocol-
+agnostic — SNIP and the scheduling mechanisms operate *on* a node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..radio.energy import EnergyLedger
+from ..units import require_non_negative, require_positive
+from .buffer import DataBuffer
+
+
+@dataclass
+class ProbingAccount:
+    """Per-epoch ledger of probing energy (the paper's Φ and Φmax).
+
+    The schedulers must never let epoch spending exceed the budget; the
+    account enforces it arithmetically by answering "how much on-time may
+    I still spend" rather than trusting callers.
+    """
+
+    budget: float
+    spent: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("budget", self.budget)
+        require_non_negative("spent", self.spent)
+
+    @property
+    def remaining(self) -> float:
+        """On-time seconds still spendable this epoch (never negative)."""
+        return max(0.0, self.budget - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no budget remains (within float tolerance)."""
+        return self.remaining <= 1e-12
+
+    def charge(self, on_time: float) -> None:
+        """Record *on_time* seconds of probing radio time."""
+        if on_time < 0:
+            raise ConfigurationError(f"cannot charge negative on-time {on_time}")
+        self.spent += on_time
+
+    def rollover(self) -> float:
+        """Start a new epoch; returns the previous epoch's spending."""
+        previous = self.spent
+        self.spent = 0.0
+        return previous
+
+
+@dataclass
+class SensorNode:
+    """A static, duty-cycled sensor node.
+
+    Attributes:
+        node_id: identifier used in traces and reports.
+        buffer: pending sensor reports (upload-seconds).
+        account: per-epoch probing energy account.
+        ledger: physical energy ledger (per radio state).
+        probed_contacts: number of successfully probed contacts so far.
+        probed_time: cumulative Tprobed over all contacts (lifetime ζ).
+    """
+
+    node_id: str
+    account: ProbingAccount
+    buffer: DataBuffer = field(default_factory=DataBuffer)
+    ledger: EnergyLedger = field(default_factory=EnergyLedger)
+    probed_contacts: int = 0
+    probed_time: float = 0.0
+    missed_contacts: int = 0
+
+    def record_probe(self, probed_seconds: float) -> None:
+        """Account one successfully probed contact."""
+        require_non_negative("probed_seconds", probed_seconds)
+        self.probed_contacts += 1
+        self.probed_time += probed_seconds
+
+    def record_miss(self) -> None:
+        """Account one contact that passed unprobed."""
+        self.missed_contacts += 1
+
+    @property
+    def contact_miss_ratio(self) -> Optional[float]:
+        """Fraction of contacts missed (None before any contact)."""
+        total = self.probed_contacts + self.missed_contacts
+        if total == 0:
+            return None
+        return self.missed_contacts / total

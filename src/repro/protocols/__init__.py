@@ -1,0 +1,26 @@
+"""Contact probing protocols.
+
+* :mod:`~repro.protocols.snip` — SNIP, the sensor-node-initiated probing
+  mechanism from the companion paper [10]; the substrate this paper's
+  schedulers drive.
+* :mod:`~repro.protocols.mnip` — the mobile-node-initiated baseline
+  (beacons broadcast by the mobile node; the sensor must be listening),
+  modelled after Anastasi et al. and used as the comparison point the
+  SNIP paper established.
+* :mod:`~repro.protocols.transfer` — what happens after a probe: the
+  upload of buffered reports during the remainder of the contact.
+"""
+
+from .snip import SnipProbe, SnipProbing, probe_contact
+from .mnip import MnipProbing, mnip_probe_contact
+from .transfer import ContactTransfer, TransferResult
+
+__all__ = [
+    "SnipProbe",
+    "SnipProbing",
+    "probe_contact",
+    "MnipProbing",
+    "mnip_probe_contact",
+    "ContactTransfer",
+    "TransferResult",
+]

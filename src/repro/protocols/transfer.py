@@ -1,0 +1,81 @@
+"""Data transfer during a probed contact.
+
+After a probe succeeds, the sensor node keeps its radio on and streams
+buffered reports to the mobile node for the remainder of the contact
+(``Tprobed``).  The transfer:
+
+* drains the node's :class:`~repro.node.buffer.DataBuffer` by up to the
+  usable window (upload-seconds);
+* charges the extra radio-on time to the node's probing account and
+  ledger — the paper's Φ counts *all* radio-on time, and for data
+  transfer the radio stays on exactly as long as there is data to send
+  (or until the contact ends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..node.mobile import MobileNode
+from ..node.sensor import SensorNode
+from ..radio.link import LinkModel
+from ..radio.states import RadioState
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one in-contact upload."""
+
+    #: Probed window that was available, seconds.
+    window: float
+    #: Upload-seconds of data shipped to the mobile node.
+    uploaded: float
+    #: Radio-on seconds spent on the transfer (airtime actually used).
+    on_time: float
+
+    @property
+    def window_utilization(self) -> float:
+        """Fraction of the probed window carrying payload."""
+        return 0.0 if self.window == 0 else self.uploaded / self.window
+
+
+class ContactTransfer:
+    """Executes uploads and performs the associated accounting."""
+
+    def __init__(self, link: LinkModel = LinkModel()) -> None:
+        self.link = link
+
+    def execute(
+        self,
+        node: SensorNode,
+        probed_seconds: float,
+        *,
+        mobile: MobileNode = None,
+        charge_to_budget: bool = False,
+    ) -> TransferResult:
+        """Upload from *node*'s buffer through a probed window.
+
+        Args:
+            node: the sensor node whose buffer drains.
+            probed_seconds: the Tprobed window available.
+            mobile: optional mobile endpoint to credit with the data.
+            charge_to_budget: when True, transfer airtime is charged to
+                the node's probing account as well as the ledger.  The
+                paper budgets Φmax for *contact probing*; transfer energy
+                is proportional to useful data and accounted separately
+                by default.
+        """
+        usable = self.link.usable_window(probed_seconds)
+        uploaded = node.buffer.upload(usable)
+        # Radio is on for the association overhead plus actual payload time.
+        on_time = min(
+            probed_seconds, uploaded + self.link.association_overhead
+        )
+        node.ledger.record(RadioState.TRANSMIT, on_time)
+        if charge_to_budget:
+            node.account.charge(on_time)
+        if mobile is not None:
+            mobile.receive(uploaded)
+        return TransferResult(
+            window=probed_seconds, uploaded=uploaded, on_time=on_time
+        )

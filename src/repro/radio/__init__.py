@@ -1,0 +1,26 @@
+"""Radio substrate: duty cycling, beacons, energy accounting, link model.
+
+Replaces the TelosB hardware emulation of the paper's COOJA setup.  The
+paper's energy metric Φ is simply "time the radio is on during an
+epoch"; :class:`~repro.radio.energy.EnergyLedger` tracks that and also
+converts to joules with CC2420-class current figures for users who want
+physical units.
+"""
+
+from .states import RadioState
+from .duty_cycle import DutyCycleConfig, DutyCycledRadio
+from .energy import EnergyModel, EnergyLedger, TELOSB_ENERGY_MODEL
+from .beacon import Beacon, BeaconSchedule
+from .link import LinkModel
+
+__all__ = [
+    "RadioState",
+    "DutyCycleConfig",
+    "DutyCycledRadio",
+    "EnergyModel",
+    "EnergyLedger",
+    "TELOSB_ENERGY_MODEL",
+    "Beacon",
+    "BeaconSchedule",
+    "LinkModel",
+]

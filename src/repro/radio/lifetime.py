@@ -1,0 +1,126 @@
+"""Battery lifetime estimation for duty-cycled sensor nodes.
+
+The paper's energy budget Φmax exists "so that it can assure a minimal
+lifetime" (§V).  This module closes that loop: given a battery, the
+platform energy model, and a daily radio-on allowance, estimate node
+lifetime — and invert the relationship to derive the Φmax that meets a
+lifetime goal.  This is how an engineer would actually pick the paper's
+``Tepoch/1000`` style budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import DAY, require_non_negative, require_positive
+from .energy import EnergyModel, TELOSB_ENERGY_MODEL
+from .states import RadioState
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An idealized primary battery.
+
+    Attributes:
+        capacity_mah: rated capacity in milliamp-hours.
+        voltage: nominal voltage (consistent with the energy model).
+        usable_fraction: derating for self-discharge, cutoff voltage,
+            and temperature (0.75 is a common engineering figure for
+            alkaline AAs on motes).
+    """
+
+    capacity_mah: float = 2500.0  # two AA cells in series, one cell's Ah
+    voltage: float = 3.0
+    usable_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        require_positive("capacity_mah", self.capacity_mah)
+        require_positive("voltage", self.voltage)
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ConfigurationError("usable_fraction must lie in (0, 1]")
+
+    @property
+    def usable_joules(self) -> float:
+        """Extractable energy in joules."""
+        return self.capacity_mah * 1e-3 * 3600.0 * self.voltage * self.usable_fraction
+
+
+@dataclass(frozen=True)
+class LifetimeModel:
+    """Relates daily radio-on seconds to node lifetime.
+
+    The daily draw decomposes into
+
+    * probing/transfer on-time (`on_seconds_per_day`, the paper's Φ plus
+      any data-plane airtime) at the listen-state power,
+    * radio sleep current for the rest of the day,
+    * a fixed platform overhead (MCU wake-ups, sensing) in joules/day.
+    """
+
+    battery: Battery = Battery()
+    energy_model: EnergyModel = TELOSB_ENERGY_MODEL
+    platform_overhead_joules_per_day: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(
+            "platform_overhead_joules_per_day",
+            self.platform_overhead_joules_per_day,
+        )
+
+    # ------------------------------------------------------------------
+    # forward: budget -> lifetime
+    # ------------------------------------------------------------------
+    def joules_per_day(self, on_seconds_per_day: float) -> float:
+        """Daily energy draw for a given radio-on allowance."""
+        require_non_negative("on_seconds_per_day", on_seconds_per_day)
+        if on_seconds_per_day > DAY:
+            raise ConfigurationError("cannot be on longer than a day per day")
+        on_power = self.energy_model.power(RadioState.LISTEN)
+        sleep_power = self.energy_model.power(RadioState.SLEEP)
+        return (
+            on_seconds_per_day * on_power
+            + (DAY - on_seconds_per_day) * sleep_power
+            + self.platform_overhead_joules_per_day
+        )
+
+    def lifetime_days(self, on_seconds_per_day: float) -> float:
+        """Expected lifetime in days under a constant daily allowance."""
+        return self.battery.usable_joules / self.joules_per_day(on_seconds_per_day)
+
+    def lifetime_years(self, on_seconds_per_day: float) -> float:
+        """Expected lifetime in years."""
+        return self.lifetime_days(on_seconds_per_day) / 365.25
+
+    # ------------------------------------------------------------------
+    # inverse: lifetime goal -> budget
+    # ------------------------------------------------------------------
+    def phi_max_for_lifetime(self, target_days: float) -> float:
+        """Largest daily radio-on allowance meeting *target_days*.
+
+        Raises:
+            ConfigurationError: when the target is unreachable even with
+                the radio permanently asleep (fixed draws alone exceed
+                the budget) — the deployment needs a bigger battery.
+        """
+        require_positive("target_days", target_days)
+        daily_budget_joules = self.battery.usable_joules / target_days
+        sleep_only = self.joules_per_day(0.0)
+        if daily_budget_joules < sleep_only:
+            raise ConfigurationError(
+                f"target lifetime {target_days:.0f} days is unreachable: "
+                f"fixed draws need {sleep_only:.2f} J/day but the budget "
+                f"allows only {daily_budget_joules:.2f} J/day"
+            )
+        on_power = self.energy_model.power(RadioState.LISTEN)
+        sleep_power = self.energy_model.power(RadioState.SLEEP)
+        marginal = on_power - sleep_power
+        allowance = (daily_budget_joules - sleep_only) / marginal
+        return min(allowance, DAY)
+
+    def budget_divisor_for_lifetime(self, target_days: float) -> float:
+        """The paper's style of budget: Φmax = Tepoch / divisor."""
+        phi_max = self.phi_max_for_lifetime(target_days)
+        if phi_max <= 0:
+            raise ConfigurationError("derived a non-positive allowance")
+        return DAY / phi_max

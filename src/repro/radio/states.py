@@ -1,0 +1,30 @@
+"""Radio state machine states.
+
+SNIP's design assumption (paper §III, citing Telos measurements) is that
+a sensor radio draws almost identical current in transmit and
+receive/listen modes, which is why broadcasting a beacon at every wake-up
+costs no more than listening.  The states below preserve that structure:
+Φ counts every non-SLEEP state.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RadioState(enum.Enum):
+    """Operating state of a node radio."""
+
+    #: Radio powered down (duty-cycle off period).
+    SLEEP = "sleep"
+    #: Radio on, listening for beacons or data.
+    LISTEN = "listen"
+    #: Radio on, transmitting (beacon or data).
+    TRANSMIT = "transmit"
+    #: Radio on, receiving a frame addressed to us.
+    RECEIVE = "receive"
+
+    @property
+    def is_on(self) -> bool:
+        """True for every state that contributes to Φ (radio-on time)."""
+        return self is not RadioState.SLEEP

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate that replaces COOJA in the paper's
+evaluation: a deterministic event-driven scheduler
+(:class:`~repro.sim.engine.Simulator`), typed events
+(:mod:`repro.sim.events`), cooperative processes
+(:mod:`repro.sim.process`), reproducible per-purpose random streams
+(:mod:`repro.sim.rng`), and measurement hooks
+(:mod:`repro.sim.monitor`, :mod:`repro.sim.timeline`).
+"""
+
+from .engine import Simulator
+from .events import Event, EventKind
+from .process import Process, ProcessState
+from .rng import RandomStreams
+from .monitor import Monitor, Counter, TimeWeightedValue
+from .timeline import Timeline, IntervalRecord
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventKind",
+    "Process",
+    "ProcessState",
+    "RandomStreams",
+    "Monitor",
+    "Counter",
+    "TimeWeightedValue",
+    "Timeline",
+    "IntervalRecord",
+]

@@ -1,0 +1,186 @@
+"""The discrete-event simulator.
+
+A minimal but complete event-driven kernel: a monotone clock, a binary
+heap of :class:`~repro.sim.events.Event` objects, and run-loop controls
+(`run_until`, `step`, `stop`).  Determinism is a design requirement —
+given the same seed and the same schedule of calls, two runs produce
+identical event orders — because the reproduction compares scheduler
+variants on identical contact processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+from ..errors import SimulationError
+from ..units import TIME_EPSILON
+from .events import Event, EventKind
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda ev: print("hello at", ev.time))
+        sim.run_until(10.0)
+
+    The clock never moves backwards; scheduling an event in the past
+    (beyond a small numerical tolerance) raises
+    :class:`~repro.errors.SimulationError` rather than silently
+    reordering history.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._fired_count = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def fired_count(self) -> int:
+        """Number of events that have fired so far (cancelled ones excluded)."""
+        return self._fired_count
+
+    def pending_count(self) -> int:
+        """Number of queued events that are not cancelled."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: Optional[Callable[[Event], None]] = None,
+        *,
+        kind: EventKind = EventKind.GENERIC,
+        priority: int = 0,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule *callback* at absolute *time* and return the event.
+
+        Raises:
+            SimulationError: if *time* precedes the current clock by more
+                than :data:`~repro.units.TIME_EPSILON`.
+        """
+        if time < self._now - TIME_EPSILON:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(
+            time=max(time, self._now),
+            priority=priority,
+            seq=self._seq,
+            kind=kind,
+            callback=callback,
+            payload=payload,
+        )
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Optional[Callable[[Event], None]] = None,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule *callback* after a relative *delay* (must be >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback, **kwargs)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Fire the single next event; return it, or None if queue empty."""
+        event = self._pop_live_event()
+        if event is None:
+            return None
+        self._now = event.time
+        self._fired_count += 1
+        event.fire()
+        return event
+
+    def run_until(self, end_time: float, *, inclusive: bool = True) -> None:
+        """Run events until the clock would pass *end_time*.
+
+        With ``inclusive=True`` (the default) events scheduled exactly at
+        *end_time* fire; the clock finishes at *end_time* either way, so
+        back-to-back ``run_until`` calls tile a timeline without gaps or
+        double-firing.
+        """
+        if end_time < self._now - TIME_EPSILON:
+            raise SimulationError(
+                f"run_until target {end_time} precedes current time {self._now}"
+            )
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                event = self._peek_live_event()
+                if event is None:
+                    break
+                beyond = event.time > end_time if inclusive else event.time >= end_time
+                if beyond:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = max(self._now, end_time)
+
+    def run(self) -> None:
+        """Run until the event queue is exhausted or :meth:`stop` is called."""
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped and self.step() is not None:
+                pass
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that the current run loop exits after the active event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _peek_live_event(self) -> Optional[Event]:
+        """Return the next non-cancelled event without removing it."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def _pop_live_event(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event."""
+        event = self._peek_live_event()
+        if event is None:
+            return None
+        return heapq.heappop(self._queue)
+
+    def drain(self) -> Iterable[Event]:
+        """Remove and yield all remaining live events without firing them.
+
+        Useful in tests to inspect what a component scheduled.
+        """
+        while True:
+            event = self._pop_live_event()
+            if event is None:
+                return
+            yield event

@@ -1,0 +1,92 @@
+"""Event objects used by the simulation kernel.
+
+Events are small immutable records ordered by ``(time, priority, seq)``.
+The sequence number makes ordering total and deterministic: two events
+scheduled for the same instant with the same priority fire in the order
+they were scheduled, which keeps simulations reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventKind(enum.Enum):
+    """Semantic tag attached to kernel events.
+
+    The kernel itself only needs the callback; the kind exists so that
+    monitors and debug timelines can render meaningful traces without
+    inspecting callback closures.
+    """
+
+    #: Generic callback with no further semantics.
+    GENERIC = "generic"
+    #: A duty-cycled radio turning on.
+    RADIO_ON = "radio_on"
+    #: A duty-cycled radio turning off.
+    RADIO_OFF = "radio_off"
+    #: A beacon transmission beginning.
+    BEACON = "beacon"
+    #: A mobile node entering communication range.
+    CONTACT_START = "contact_start"
+    #: A mobile node leaving communication range.
+    CONTACT_END = "contact_end"
+    #: A sensor node CPU wake-up (scheduler decision point).
+    CPU_WAKEUP = "cpu_wakeup"
+    #: A time-slot boundary within an epoch.
+    SLOT_BOUNDARY = "slot_boundary"
+    #: An epoch boundary.
+    EPOCH_BOUNDARY = "epoch_boundary"
+    #: Sensor data generation tick.
+    DATA_GENERATED = "data_generated"
+    #: A chunk of data finished uploading.
+    UPLOAD = "upload"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time, in seconds.
+        priority: ties at equal ``time`` are broken by ascending
+            priority; lower fires first.  Kernel housekeeping (slot and
+            epoch boundaries) uses negative priorities so that state is
+            rolled over before user logic observes the new instant.
+        seq: monotonically increasing sequence number assigned by the
+            simulator; final tie-breaker, guarantees deterministic total
+            order.
+        kind: semantic tag for tracing.
+        callback: invoked as ``callback(event)`` when the event fires.
+        payload: arbitrary data for the callback / tracing.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    kind: EventKind = EventKind.GENERIC
+    callback: Optional[Callable[["Event"], None]] = None
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator discards it instead of firing.
+
+        Cancellation is lazy: the event stays in the queue and is skipped
+        when popped, which is O(1) and keeps the heap invariant intact.
+        """
+        object.__setattr__(self, "cancelled", True)
+
+    def sort_key(self) -> tuple:
+        """Total order used by the simulator's priority queue."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def fire(self) -> None:
+        """Invoke the callback (no-op for callback-less marker events)."""
+        if self.callback is not None:
+            self.callback(self)

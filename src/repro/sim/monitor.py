@@ -1,0 +1,117 @@
+"""Measurement primitives for simulations.
+
+The paper's metrics are all time integrals or counts: probed contact
+time (zeta), radio-on time (Phi), contact counts, uploaded data.  This
+module provides the two workhorses —
+
+* :class:`Counter` for event counts and summed quantities, and
+* :class:`TimeWeightedValue` for integrating a piecewise-constant signal
+  (e.g. "radio is on") over simulated time —
+
+plus :class:`Monitor`, a registry that owns a set of them and snapshots
+per-epoch values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass
+class Counter:
+    """A named accumulating counter.
+
+    Supports both unit increments (`increment`) and weighted adds
+    (`add`), e.g. seconds of probed contact time.
+    """
+
+    name: str
+    total: float = 0.0
+    events: int = 0
+
+    def increment(self) -> None:
+        """Count one occurrence."""
+        self.events += 1
+        self.total += 1.0
+
+    def add(self, amount: float) -> None:
+        """Accumulate *amount* and count one occurrence."""
+        self.events += 1
+        self.total += amount
+
+    def reset(self) -> None:
+        """Zero the counter (used at epoch boundaries)."""
+        self.total = 0.0
+        self.events = 0
+
+
+class TimeWeightedValue:
+    """Integrate a piecewise-constant value over simulation time.
+
+    `set(t, v)` declares that the signal takes value *v* from time *t*
+    onward; `integral(t)` returns the accumulated integral up to *t*.
+    Times must be non-decreasing.
+    """
+
+    def __init__(self, name: str, initial: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self._value = initial
+        self._last_time = start_time
+        self._integral = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current signal value."""
+        return self._value
+
+    def set(self, time: float, value: float) -> None:
+        """Change the signal to *value* at *time*."""
+        self._advance(time)
+        self._value = value
+
+    def integral(self, time: float) -> float:
+        """Integral of the signal from the start until *time*."""
+        self._advance(time)
+        return self._integral
+
+    def _advance(self, time: float) -> None:
+        if time < self._last_time - 1e-9:
+            raise SimulationError(
+                f"TimeWeightedValue {self.name!r}: time went backwards "
+                f"({time} < {self._last_time})"
+            )
+        if time > self._last_time:
+            self._integral += self._value * (time - self._last_time)
+            self._last_time = time
+
+
+@dataclass
+class Monitor:
+    """A named registry of counters with per-epoch snapshotting."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    epochs: List[Dict[str, float]] = field(default_factory=list)
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called *name*."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def snapshot_epoch(self) -> Dict[str, float]:
+        """Record current totals as one epoch's results and reset."""
+        row = {name: counter.total for name, counter in self.counters.items()}
+        self.epochs.append(row)
+        for counter in self.counters.values():
+            counter.reset()
+        return row
+
+    def epoch_mean(self, name: str) -> Optional[float]:
+        """Mean of counter *name* across snapshotted epochs (None if absent)."""
+        values = [row[name] for row in self.epochs if name in row]
+        if not values:
+            return None
+        return sum(values) / len(values)

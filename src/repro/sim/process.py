@@ -1,0 +1,133 @@
+"""Cooperative processes layered over the event kernel.
+
+A :class:`Process` is a small state machine that repeatedly asks its
+subclass "what do you do next, and when?".  It exists so that node
+behaviours (radio duty cycling, CPU wake-ups, data generation) can be
+written as self-contained objects that own their timing, instead of
+scattering `schedule` calls across the codebase.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..errors import SimulationError
+from .engine import Simulator
+from .events import Event, EventKind
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a :class:`Process`."""
+
+    #: Constructed but not yet started.
+    NEW = "new"
+    #: Started; ticks are being scheduled.
+    RUNNING = "running"
+    #: Paused; the pending tick (if any) is cancelled.
+    PAUSED = "paused"
+    #: Stopped permanently.
+    STOPPED = "stopped"
+
+
+class Process:
+    """Base class for periodic or self-rescheduling activities.
+
+    Subclasses implement :meth:`on_tick` and return the delay until their
+    next tick (or ``None`` to stop).  The base class handles scheduling,
+    pause/resume, and guards against double-starts.
+    """
+
+    def __init__(self, sim: Simulator, *, name: str = "", kind: EventKind = EventKind.GENERIC):
+        self.sim = sim
+        self.name = name or type(self).__name__
+        self.kind = kind
+        self.state = ProcessState.NEW
+        self._pending: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # subclass API
+    # ------------------------------------------------------------------
+    def on_start(self) -> Optional[float]:
+        """Hook invoked by :meth:`start`; returns delay to the first tick.
+
+        The default first tick is immediate (delay 0).
+        """
+        return 0.0
+
+    def on_tick(self) -> Optional[float]:
+        """Perform one unit of work; return delay to the next tick.
+
+        Returning ``None`` stops the process.
+        """
+        raise NotImplementedError
+
+    def on_stop(self) -> None:
+        """Hook invoked once when the process stops; default no-op."""
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin ticking.  Raises if already started."""
+        if self.state is not ProcessState.NEW:
+            raise SimulationError(f"process {self.name!r} already started")
+        self.state = ProcessState.RUNNING
+        first_delay = self.on_start()
+        if first_delay is None:
+            self._finish()
+        else:
+            self._arm(first_delay)
+
+    def pause(self) -> None:
+        """Suspend ticking; a later :meth:`resume` restarts it."""
+        if self.state is not ProcessState.RUNNING:
+            return
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.state = ProcessState.PAUSED
+
+    def resume(self, delay: float = 0.0) -> None:
+        """Resume a paused process, ticking after *delay* seconds."""
+        if self.state is not ProcessState.PAUSED:
+            return
+        self.state = ProcessState.RUNNING
+        self._arm(delay)
+
+    def stop(self) -> None:
+        """Stop permanently (idempotent)."""
+        if self.state is ProcessState.STOPPED:
+            return
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._finish()
+
+    @property
+    def is_running(self) -> bool:
+        """True while the process is actively ticking."""
+        return self.state is ProcessState.RUNNING
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _arm(self, delay: float) -> None:
+        self._pending = self.sim.schedule_after(delay, self._fire, kind=self.kind)
+
+    def _fire(self, _event: Event) -> None:
+        self._pending = None
+        if self.state is not ProcessState.RUNNING:
+            return
+        next_delay = self.on_tick()
+        if self.state is not ProcessState.RUNNING:
+            # on_tick stopped or paused us; respect that.
+            return
+        if next_delay is None:
+            self._finish()
+        else:
+            self._arm(next_delay)
+
+    def _finish(self) -> None:
+        self.state = ProcessState.STOPPED
+        self.on_stop()

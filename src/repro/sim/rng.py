@@ -1,0 +1,87 @@
+"""Reproducible random-number streams.
+
+Simulations draw randomness for several independent purposes (contact
+inter-arrival jitter, contact-length jitter, initial radio phase, ...).
+Using one shared generator couples them: adding a draw in one component
+perturbs every other component's sequence and silently changes results.
+:class:`RandomStreams` hands out one child generator per named purpose,
+derived deterministically from a root seed, so that:
+
+* runs are reproducible given the seed, and
+* components are statistically and sequentially independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class RandomStreams:
+    """A family of named, independently-seeded NumPy generators."""
+
+    def __init__(self, seed: int = 0) -> None:
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ConfigurationError(f"seed must be an int, got {seed!r}")
+        self.seed = seed
+        self._root = np.random.SeedSequence(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for *name*, creating it on first use.
+
+        The child seed is derived from ``(root_seed, name)`` so the same
+        name always yields the same sequence regardless of the order in
+        which streams are requested.
+        """
+        if not name:
+            raise ConfigurationError("stream name must be non-empty")
+        if name not in self._streams:
+            # Hash the name into deterministic spawn-key material. We use
+            # the raw bytes rather than Python's randomized str hash.
+            key = tuple(name.encode("utf-8"))
+            child = np.random.SeedSequence(entropy=self.seed, spawn_key=key)
+            self._streams[name] = np.random.default_rng(child)
+        return self._streams[name]
+
+    def normal_positive(
+        self,
+        name: str,
+        mean: float,
+        std: float,
+        *,
+        floor: float = 1e-6,
+    ) -> float:
+        """Draw one sample from N(mean, std) truncated below at *floor*.
+
+        The paper's simulation uses normally distributed contact lengths
+        and inter-contact intervals with std = mean / 10; redrawing the
+        rare negative samples keeps durations physical without visibly
+        distorting the distribution (P(X < 0) ~ 1e-23 at 10 sigma).
+        """
+        if mean <= 0:
+            raise ConfigurationError(f"mean must be positive, got {mean}")
+        if std < 0:
+            raise ConfigurationError(f"std must be non-negative, got {std}")
+        rng = self.stream(name)
+        if std == 0:
+            return mean
+        for _ in range(64):
+            sample = rng.normal(mean, std)
+            if sample >= floor:
+                return float(sample)
+        # Pathological std/mean ratio: fall back to the floor rather than
+        # looping forever.
+        return floor
+
+    def spawn(self, label: str) -> "RandomStreams":
+        """Derive an independent child family (e.g. per replication)."""
+        derived_seed = int(
+            np.random.SeedSequence(
+                entropy=self.seed, spawn_key=tuple(label.encode("utf-8"))
+            ).generate_state(1)[0]
+        )
+        return RandomStreams(derived_seed)

@@ -1,0 +1,124 @@
+"""Interval timelines for post-hoc analysis and debugging.
+
+A :class:`Timeline` records labelled half-open intervals [start, end)
+— radio-on windows, contacts, probed windows — and answers questions
+like "how much of interval X overlaps label Y".  Tests use it to verify
+invariants such as *SNIP-RH never probes outside rush hours*.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One recorded interval."""
+
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    def overlap(self, start: float, end: float) -> float:
+        """Length of the intersection with [start, end)."""
+        lo = max(self.start, start)
+        hi = min(self.end, end)
+        return max(0.0, hi - lo)
+
+
+class Timeline:
+    """An append-only store of labelled intervals.
+
+    Intervals under the same label must be appended in chronological
+    order (non-overlapping starts), which every producer in this library
+    naturally satisfies and which enables binary-searched queries.
+    """
+
+    def __init__(self) -> None:
+        self._by_label: Dict[str, List[IntervalRecord]] = {}
+        self._open: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def add(self, label: str, start: float, end: float) -> IntervalRecord:
+        """Record a closed interval; returns the stored record."""
+        if end < start:
+            raise SimulationError(f"interval end {end} precedes start {start}")
+        records = self._by_label.setdefault(label, [])
+        if records and start < records[-1].start - 1e-9:
+            raise SimulationError(
+                f"timeline label {label!r}: intervals must be appended in order"
+            )
+        record = IntervalRecord(label, start, end)
+        records.append(record)
+        return record
+
+    def open(self, label: str, start: float) -> None:
+        """Begin an interval whose end is not yet known."""
+        if label in self._open:
+            raise SimulationError(f"interval {label!r} already open")
+        self._open[label] = start
+
+    def close(self, label: str, end: float) -> Optional[IntervalRecord]:
+        """Close a previously opened interval; returns the record."""
+        if label not in self._open:
+            return None
+        start = self._open.pop(label)
+        return self.add(label, start, end)
+
+    def is_open(self, label: str) -> bool:
+        """True if :meth:`open` was called without a matching close."""
+        return label in self._open
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def intervals(self, label: str) -> List[IntervalRecord]:
+        """All recorded intervals for *label* (empty list if none)."""
+        return list(self._by_label.get(label, []))
+
+    def labels(self) -> List[str]:
+        """All labels with at least one recorded interval."""
+        return sorted(self._by_label)
+
+    def total_duration(self, label: str) -> float:
+        """Sum of interval lengths for *label*."""
+        return sum(rec.duration for rec in self._by_label.get(label, []))
+
+    def overlap_duration(self, label: str, start: float, end: float) -> float:
+        """Total overlap of *label*'s intervals with [start, end)."""
+        records = self._by_label.get(label, [])
+        if not records:
+            return 0.0
+        starts = [rec.start for rec in records]
+        # First record that could overlap: the one before the first start >= start.
+        index = max(0, bisect.bisect_left(starts, start) - 1)
+        total = 0.0
+        for record in records[index:]:
+            if record.start >= end:
+                break
+            total += record.overlap(start, end)
+        return total
+
+    def iter_between(self, start: float, end: float) -> Iterator[IntervalRecord]:
+        """Yield every interval (any label) intersecting [start, end)."""
+        for label in self.labels():
+            for record in self._by_label[label]:
+                if record.start < end and record.end > start:
+                    yield record
+
+    def coverage_fraction(self, label: str, start: float, end: float) -> float:
+        """Fraction of [start, end) covered by *label* intervals."""
+        if end <= start:
+            return 0.0
+        return self.overlap_duration(label, start, end) / (end - start)

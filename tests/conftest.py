@@ -1,0 +1,50 @@
+"""Shared fixtures: the paper's scenario objects in various sizes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+from repro.core.snip_model import SnipModel
+
+# Deterministic property tests: same examples every run, no cross-run
+# example database (replayed stale examples made CI-style runs flaky).
+settings.register_profile("repro", derandomize=True, database=None)
+settings.load_profile("repro")
+from repro.experiments.scenario import paper_roadside_scenario
+from repro.mobility.profiles import RushHourSpec, SlotProfile
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def model() -> SnipModel:
+    """The paper's platform model (Ton = 20 ms)."""
+    return SnipModel(t_on=0.020)
+
+
+@pytest.fixture
+def paper_profile() -> SlotProfile:
+    """The paper's roadside profile: 24 slots, rush 7-9 & 17-19."""
+    return RushHourSpec().to_profile()
+
+
+@pytest.fixture
+def tight_scenario():
+    """The paper scenario with Φmax = Tepoch/1000, short (2 epochs)."""
+    return paper_roadside_scenario(
+        phi_max_divisor=1000, zeta_target=16.0, epochs=2, seed=11
+    )
+
+
+@pytest.fixture
+def loose_scenario():
+    """The paper scenario with Φmax = Tepoch/100, short (2 epochs)."""
+    return paper_roadside_scenario(
+        phi_max_divisor=100, zeta_target=24.0, epochs=2, seed=11
+    )
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """A seeded random stream family."""
+    return RandomStreams(42)

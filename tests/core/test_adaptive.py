@@ -1,0 +1,143 @@
+"""Unit tests for the adaptive SNIP-RH scheduler."""
+
+import pytest
+
+from repro.core.learning import LearnerConfig
+from repro.core.schedulers.adaptive import AdaptiveSnipRhScheduler
+from repro.core.snip_model import SnipModel
+from repro.errors import ConfigurationError
+from repro.mobility.contact import Contact
+from repro.mobility.profiles import RushHourSpec
+from repro.node.buffer import DataBuffer
+from repro.node.sensor import ProbingAccount, SensorNode
+from repro.units import HOUR
+
+MODEL = SnipModel(t_on=0.02)
+
+
+def make_scheduler(**kwargs):
+    kwargs.setdefault("learner_config", LearnerConfig(warmup_epochs=1))
+    kwargs.setdefault("initial_contact_length", 2.0)
+    return AdaptiveSnipRhScheduler(RushHourSpec().to_profile(), MODEL, **kwargs)
+
+
+def make_node(budget=864.0, buffered=5.0):
+    node = SensorNode(
+        node_id="s", account=ProbingAccount(budget=budget), buffer=DataBuffer()
+    )
+    node.buffer.generate(buffered)
+    return node
+
+
+def teach_rush_hours(scheduler, node, epochs=2):
+    """Feed one epoch of probes concentrated at hours 7-8 and 17-18."""
+    scheduler.on_epoch_start(0, node)
+    for epoch in range(epochs):
+        base = epoch * 86400.0
+        for hour in (7, 8, 17, 18):
+            for k in range(12):
+                time = base + hour * HOUR + k * 300.0
+                scheduler.on_probe(time, Contact(time, 2.0), 1.0, 1.0)
+        for hour in (1, 13):
+            time = base + hour * HOUR
+            scheduler.on_probe(time, Contact(time, 2.0), 1.0, 1.0)
+        scheduler.on_epoch_start(epoch + 1, node)
+
+
+class TestPhases:
+    def test_starts_in_learning_phase(self):
+        scheduler = make_scheduler()
+        assert scheduler.phase == "learning"
+        decision = scheduler.decide(3.0 * HOUR, make_node())
+        assert decision.active
+        assert decision.reason == "learning"
+
+    def test_learning_uses_learning_duty_cycle(self):
+        scheduler = make_scheduler(learning_duty_cycle=0.004)
+        decision = scheduler.decide(0.0, make_node())
+        assert decision.duty_cycle.duty_cycle == pytest.approx(0.004)
+
+    def test_transitions_to_exploiting_after_warmup(self):
+        scheduler = make_scheduler()
+        teach_rush_hours(scheduler, make_node())
+        assert scheduler.phase == "exploiting"
+
+    def test_learned_flags_match_true_rush_hours(self):
+        scheduler = make_scheduler()
+        teach_rush_hours(scheduler, make_node())
+        flags = list(scheduler.rush_flags)
+        assert [i for i, f in enumerate(flags) if f] == [7, 8, 17, 18]
+
+    def test_budget_respected_during_learning(self):
+        scheduler = make_scheduler()
+        node = make_node()
+        node.account.charge(node.account.budget)
+        decision = scheduler.decide(0.0, node)
+        assert not decision.active
+        assert decision.reason == "budget"
+
+
+class TestExploitingPhase:
+    def test_rush_decisions_delegate_to_inner_rh(self):
+        scheduler = make_scheduler()
+        node = make_node()
+        teach_rush_hours(scheduler, node)
+        decision = scheduler.decide(7.5 * HOUR, node)
+        assert decision.active
+        assert decision.reason == "active"
+
+    def test_background_probing_outside_rush(self):
+        scheduler = make_scheduler(background_duty_cycle=0.0003)
+        node = make_node()
+        teach_rush_hours(scheduler, node)
+        decision = scheduler.decide(3.0 * HOUR, node)
+        assert decision.active
+        assert decision.reason == "background"
+        assert decision.duty_cycle.duty_cycle == pytest.approx(0.0003)
+
+    def test_background_disabled_when_zero(self):
+        scheduler = make_scheduler(background_duty_cycle=0.0)
+        node = make_node()
+        teach_rush_hours(scheduler, node)
+        decision = scheduler.decide(3.0 * HOUR, node)
+        assert not decision.active
+        assert decision.reason == "not-rush"
+
+    def test_no_data_still_blocks_rush_probing(self):
+        scheduler = make_scheduler()
+        node = make_node()
+        teach_rush_hours(scheduler, node)
+        empty = make_node(buffered=0.0)
+        decision = scheduler.decide(7.5 * HOUR, empty)
+        assert not decision.active
+        assert decision.reason == "no-data"
+
+
+class TestDriftTracking:
+    def test_seasonal_shift_updates_markings(self):
+        scheduler = make_scheduler(
+            learner_config=LearnerConfig(warmup_epochs=1, decay=0.3)
+        )
+        node = make_node()
+        teach_rush_hours(scheduler, node, epochs=2)
+        assert 7 in [i for i, f in enumerate(scheduler.rush_flags) if f]
+        # The peaks move to hours 10-11 for several epochs (background
+        # probing keeps observing them).
+        for epoch in range(2, 9):
+            base = epoch * 86400.0
+            for hour in (10, 11):
+                for k in range(12):
+                    time = base + hour * HOUR + k * 300.0
+                    scheduler.on_probe(time, Contact(time, 2.0), 1.0, 1.0)
+            scheduler.on_epoch_start(epoch + 1, node)
+        marked = [i for i, f in enumerate(scheduler.rush_flags) if f]
+        assert 10 in marked and 11 in marked
+        assert 7 not in marked
+
+
+class TestValidation:
+    def test_invalid_duty_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler(learning_duty_cycle=0.0)
+        with pytest.raises(ConfigurationError):
+            make_scheduler(background_duty_cycle=-0.1)

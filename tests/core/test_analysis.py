@@ -1,0 +1,170 @@
+"""Unit tests for the closed-form evaluation engine (Figs. 4, 5, 6)."""
+
+import pytest
+
+from repro.core.analysis import (
+    analyze_snip_at,
+    analyze_snip_opt,
+    analyze_snip_rh,
+    evaluate_schedulers,
+    rush_hour_gain,
+    rush_hour_gain_surface,
+)
+from repro.core.snip_model import SnipModel
+from repro.errors import ConfigurationError
+from repro.mobility.profiles import RushHourSpec
+from repro.units import DAY
+
+MODEL = SnipModel(t_on=0.02)
+PROFILE = RushHourSpec().to_profile()
+TIGHT = DAY / 1000.0   # 86.4 s
+LOOSE = DAY / 100.0    # 864 s
+
+
+class TestRushHourGain:
+    def test_formula_value(self):
+        # x = 1/6 (4 h of 24), r = 6 -> 6 / (1 + 5/6) = 3.27
+        assert rush_hour_gain(4 / 24, 6.0) == pytest.approx(3.2727, rel=1e-3)
+
+    def test_gain_grows_with_rate_ratio(self):
+        assert rush_hour_gain(0.1, 20.0) > rush_hour_gain(0.1, 2.0)
+
+    def test_gain_shrinks_with_rush_fraction(self):
+        assert rush_hour_gain(0.05, 10.0) > rush_hour_gain(0.5, 10.0)
+
+    def test_gain_is_one_when_rates_equal(self):
+        assert rush_hour_gain(0.3, 1.0) == pytest.approx(1.0)
+
+    def test_fig4_corner_value(self):
+        # The paper surface peaks around 10.3 at x = 0.05, r = 20.
+        assert rush_hour_gain(0.05, 20.0) == pytest.approx(10.26, rel=1e-2)
+
+    def test_surface_shape(self):
+        surface = rush_hour_gain_surface([0.05, 0.5], [2.0, 20.0])
+        assert len(surface) == 2
+        assert len(surface[0]) == 2
+        assert surface[1][0] == max(max(row) for row in surface)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rush_hour_gain(0.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            rush_hour_gain(1.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            rush_hour_gain(0.3, 0.0)
+
+
+class TestSnipAtAnalysis:
+    def test_blended_cost_is_paper_value(self):
+        point = analyze_snip_at(PROFILE, MODEL, zeta_target=24.0, phi_max=LOOSE)
+        assert point.rho == pytest.approx(9.818, rel=1e-3)
+
+    def test_tight_budget_caps_capacity(self):
+        point = analyze_snip_at(PROFILE, MODEL, zeta_target=16.0, phi_max=TIGHT)
+        assert point.zeta == pytest.approx(8.8, rel=1e-3)
+        assert point.phi == pytest.approx(86.4)
+        assert not point.meets_target
+
+    def test_loose_budget_meets_targets(self):
+        for target in (16.0, 24.0, 56.0):
+            point = analyze_snip_at(
+                PROFILE, MODEL, zeta_target=target, phi_max=LOOSE
+            )
+            assert point.meets_target
+            assert point.zeta == pytest.approx(target, rel=1e-3)
+
+
+class TestSnipRhAnalysis:
+    def test_cost_is_rush_cost(self):
+        point = analyze_snip_rh(PROFILE, MODEL, zeta_target=16.0, phi_max=TIGHT)
+        assert point.rho == pytest.approx(3.0, rel=1e-3)
+
+    def test_knee_capacity_cap_at_48(self):
+        point = analyze_snip_rh(PROFILE, MODEL, zeta_target=56.0, phi_max=LOOSE)
+        assert point.zeta == pytest.approx(48.0, rel=1e-3)
+        assert not point.meets_target
+
+    def test_budget_cap_at_tight_budget(self):
+        point = analyze_snip_rh(PROFILE, MODEL, zeta_target=56.0, phi_max=TIGHT)
+        assert point.zeta == pytest.approx(28.8, rel=1e-3)
+        assert point.phi == pytest.approx(86.4, rel=1e-3)
+
+    def test_probes_only_what_it_needs(self):
+        point = analyze_snip_rh(PROFILE, MODEL, zeta_target=16.0, phi_max=LOOSE)
+        assert point.zeta == pytest.approx(16.0, rel=1e-3)
+        assert point.phi == pytest.approx(48.0, rel=1e-3)
+
+    def test_profile_without_rush_rejected(self):
+        bare = PROFILE.with_rush_flags([False] * 24)
+        with pytest.raises(ConfigurationError):
+            analyze_snip_rh(bare, MODEL, zeta_target=16.0, phi_max=TIGHT)
+
+
+class TestSnipOptAnalysis:
+    def test_matches_rh_in_cheap_region(self):
+        """Fig. 5: 'its performance is same with SNIP-OPT'."""
+        for target in (16.0, 24.0):
+            rh = analyze_snip_rh(PROFILE, MODEL, zeta_target=target, phi_max=TIGHT)
+            opt = analyze_snip_opt(PROFILE, MODEL, zeta_target=target, phi_max=TIGHT)
+            assert opt.zeta == pytest.approx(rh.zeta, rel=1e-3)
+            assert opt.phi == pytest.approx(rh.phi, rel=1e-3)
+
+    def test_tops_up_rush_saturating_branch_beyond_knee_capacity(self):
+        # Beyond the 48 s knee capacity the optimizer extends the rush
+        # slots into their saturating branches (172.8 s total), which is
+        # cheaper than off-peak probing at rho = 18 (that plan would cost
+        # 288 s).  Either way rho rises above the rush floor of 3.
+        opt = analyze_snip_opt(PROFILE, MODEL, zeta_target=56.0, phi_max=LOOSE)
+        assert opt.meets_target
+        assert opt.phi == pytest.approx(172.8, rel=1e-3)
+        assert opt.rho > 3.0
+
+    def test_never_worse_than_at(self):
+        for target in (16.0, 32.0, 56.0):
+            for budget in (TIGHT, LOOSE):
+                at = analyze_snip_at(
+                    PROFILE, MODEL, zeta_target=target, phi_max=budget
+                )
+                opt = analyze_snip_opt(
+                    PROFILE, MODEL, zeta_target=target, phi_max=budget
+                )
+                assert opt.zeta >= at.zeta - 1e-6 or opt.phi <= at.phi + 1e-6
+
+
+class TestEvaluateSchedulers:
+    def test_returns_all_mechanisms_and_targets(self):
+        results = evaluate_schedulers(
+            PROFILE, MODEL, zeta_targets=(16.0, 24.0), phi_max=TIGHT
+        )
+        assert set(results) == {"SNIP-AT", "SNIP-OPT", "SNIP-RH"}
+        assert all(len(points) == 2 for points in results.values())
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_schedulers(
+                PROFILE, MODEL,
+                zeta_targets=(16.0,), phi_max=TIGHT,
+                mechanisms=("SNIP-XX",),
+            )
+
+    def test_fig5_feasibility_boundaries(self):
+        """The narrative of Fig. 5: RH feasible iff target <= 28.8 s."""
+        results = evaluate_schedulers(
+            PROFILE, MODEL,
+            zeta_targets=(16.0, 24.0, 32.0), phi_max=TIGHT,
+        )
+        rh = results["SNIP-RH"]
+        assert rh[0].meets_target and rh[1].meets_target
+        assert not rh[2].meets_target
+        assert not any(p.meets_target for p in results["SNIP-AT"])
+
+    def test_fig6_feasibility_boundaries(self):
+        """Fig. 6: AT/OPT reach 56 s, RH fails only there."""
+        results = evaluate_schedulers(
+            PROFILE, MODEL,
+            zeta_targets=(48.0, 56.0), phi_max=LOOSE,
+        )
+        assert results["SNIP-RH"][0].meets_target
+        assert not results["SNIP-RH"][1].meets_target
+        assert results["SNIP-AT"][1].meets_target
+        assert results["SNIP-OPT"][1].meets_target

@@ -1,0 +1,109 @@
+"""Unit tests for autonomous rush-hour learning."""
+
+import pytest
+
+from repro.core.learning import LearnerConfig, RushHourLearner
+from repro.errors import ConfigurationError
+
+
+def feed_profile(learner, capacities, epochs=3):
+    """Feed identical per-slot capacity observations for several epochs."""
+    for _ in range(epochs):
+        for slot, capacity in enumerate(capacities):
+            if capacity > 0:
+                learner.observe_probe(slot, capacity)
+        learner.observe_epoch_end()
+
+
+class TestObservation:
+    def test_warmup_gates_output(self):
+        learner = RushHourLearner(4, LearnerConfig(warmup_epochs=2))
+        learner.observe_probe(0, 1.0)
+        assert not learner.ready
+        assert learner.rush_flags() is None
+        learner.observe_epoch_end()
+        learner.observe_epoch_end()
+        assert learner.ready
+
+    def test_slot_capacities_accumulate(self):
+        learner = RushHourLearner(3)
+        learner.observe_probe(1, 2.0)
+        learner.observe_probe(1, 3.0)
+        assert learner.slot_capacities() == [0.0, 5.0, 0.0]
+
+    def test_invalid_observations_rejected(self):
+        learner = RushHourLearner(3)
+        with pytest.raises(ConfigurationError):
+            learner.observe_probe(9, 1.0)
+        with pytest.raises(ConfigurationError):
+            learner.observe_probe(0, -1.0)
+
+
+class TestMarking:
+    def test_busy_slots_marked(self):
+        learner = RushHourLearner(6, LearnerConfig(warmup_epochs=1))
+        feed_profile(learner, [1.0, 10.0, 10.0, 1.0, 1.0, 1.0])
+        flags = learner.rush_flags()
+        assert flags == [False, True, True, False, False, False]
+
+    def test_slot_order_is_capacity_descending(self):
+        learner = RushHourLearner(4, LearnerConfig(warmup_epochs=1))
+        feed_profile(learner, [3.0, 9.0, 1.0, 5.0])
+        assert learner.slot_order() == [1, 3, 0, 2]
+
+    def test_min_rush_slots_fallback(self):
+        learner = RushHourLearner(4, LearnerConfig(warmup_epochs=1, min_rush_slots=2))
+        # Uniform capacities: nothing exceeds 2x mean, so top-2 fallback.
+        feed_profile(learner, [1.0, 1.0, 1.0, 1.0])
+        flags = learner.rush_flags()
+        assert sum(flags) == 2
+
+    def test_nothing_probed_marks_min_slots(self):
+        learner = RushHourLearner(4, LearnerConfig(warmup_epochs=0, min_rush_slots=1))
+        assert sum(learner.rush_flags()) == 1
+
+    def test_agreement_metric(self):
+        learner = RushHourLearner(4, LearnerConfig(warmup_epochs=1))
+        feed_profile(learner, [0.0, 10.0, 0.0, 0.0])
+        assert learner.agreement([False, True, False, False]) == 1.0
+        assert learner.agreement([True, True, False, False]) == 0.75
+
+    def test_agreement_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RushHourLearner(4).agreement([True])
+
+
+class TestDecay:
+    def test_decay_forgets_old_seasons(self):
+        learner = RushHourLearner(
+            4, LearnerConfig(warmup_epochs=1, decay=0.3)
+        )
+        # Season 1: slot 0 busy.
+        feed_profile(learner, [10.0, 0.1, 0.1, 0.1], epochs=3)
+        assert learner.rush_flags()[0] is True
+        # Season 2: slot 2 busy for many epochs; decay must flip markings.
+        feed_profile(learner, [0.1, 0.1, 10.0, 0.1], epochs=6)
+        flags = learner.rush_flags()
+        assert flags[2] is True
+        assert flags[0] is False
+
+    def test_no_decay_keeps_history(self):
+        learner = RushHourLearner(2, LearnerConfig(warmup_epochs=1, decay=1.0))
+        feed_profile(learner, [10.0, 1.0], epochs=2)
+        before = learner.slot_capacities()[0]
+        learner.observe_epoch_end()
+        assert learner.slot_capacities()[0] == before
+
+
+class TestConfigValidation:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LearnerConfig(ratio_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            LearnerConfig(min_rush_slots=0)
+        with pytest.raises(ConfigurationError):
+            LearnerConfig(decay=0.0)
+        with pytest.raises(ConfigurationError):
+            LearnerConfig(warmup_epochs=-1)
+        with pytest.raises(ConfigurationError):
+            RushHourLearner(0)

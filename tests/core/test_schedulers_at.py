@@ -1,0 +1,89 @@
+"""Unit tests for the SNIP-AT scheduler."""
+
+import pytest
+
+from repro.core.schedulers.at import SnipAtScheduler, at_duty_cycle_for_target
+from repro.core.snip_model import SnipModel
+from repro.errors import ConfigurationError
+from repro.mobility.profiles import RushHourSpec
+from repro.node.buffer import DataBuffer
+from repro.node.sensor import ProbingAccount, SensorNode
+from repro.units import DAY
+
+MODEL = SnipModel(t_on=0.02)
+
+
+def make_node(budget=86.4):
+    return SensorNode(
+        node_id="s", account=ProbingAccount(budget=budget), buffer=DataBuffer()
+    )
+
+
+class TestDutyCycleForTarget:
+    def test_paper_linear_value(self):
+        # zeta(d) = 8800 d in the paper scenario's linear regime.
+        profile = RushHourSpec().to_profile()
+        duty = at_duty_cycle_for_target(profile, MODEL, 24.0)
+        assert duty == pytest.approx(24.0 / 8800.0, rel=1e-4)
+
+    def test_monotone_in_target(self):
+        profile = RushHourSpec().to_profile()
+        duties = [
+            at_duty_cycle_for_target(profile, MODEL, target)
+            for target in (16.0, 24.0, 56.0)
+        ]
+        assert duties == sorted(duties)
+
+    def test_unreachable_target_raises(self):
+        profile = RushHourSpec().to_profile()
+        with pytest.raises(ConfigurationError):
+            at_duty_cycle_for_target(profile, MODEL, 1e6)
+
+
+class TestScheduler:
+    def test_duty_cycle_sized_for_target_when_affordable(self):
+        scheduler = SnipAtScheduler(
+            RushHourSpec().to_profile(), MODEL, zeta_target=24.0, phi_max=864.0
+        )
+        assert scheduler.duty_cycle == pytest.approx(24.0 / 8800.0, rel=1e-4)
+
+    def test_duty_cycle_capped_by_budget(self):
+        scheduler = SnipAtScheduler(
+            RushHourSpec().to_profile(), MODEL, zeta_target=24.0, phi_max=86.4
+        )
+        assert scheduler.duty_cycle == pytest.approx(86.4 / DAY)
+
+    def test_decision_active_with_budget(self):
+        scheduler = SnipAtScheduler(
+            RushHourSpec().to_profile(), MODEL, zeta_target=16.0, phi_max=864.0
+        )
+        decision = scheduler.decide(0.0, make_node(budget=864.0))
+        assert decision.active
+        assert decision.duty_cycle.duty_cycle == scheduler.duty_cycle
+
+    def test_decision_off_when_budget_exhausted(self):
+        scheduler = SnipAtScheduler(
+            RushHourSpec().to_profile(), MODEL, zeta_target=16.0, phi_max=86.4
+        )
+        node = make_node(budget=86.4)
+        node.account.charge(86.4)
+        decision = scheduler.decide(0.0, node)
+        assert not decision.active
+        assert decision.reason == "budget"
+
+    def test_decision_constant_over_the_day(self):
+        scheduler = SnipAtScheduler(
+            RushHourSpec().to_profile(), MODEL, zeta_target=16.0, phi_max=864.0
+        )
+        node = make_node(budget=864.0)
+        duties = {
+            scheduler.decide(hour * 3600.0, node).duty_cycle.duty_cycle
+            for hour in range(24)
+        }
+        assert len(duties) == 1
+
+    def test_huge_target_falls_back_to_budget_spending(self):
+        scheduler = SnipAtScheduler(
+            RushHourSpec().to_profile(), MODEL, zeta_target=1e6, phi_max=86.4
+        )
+        assert scheduler.duty_cycle == pytest.approx(86.4 / DAY)

@@ -1,0 +1,70 @@
+"""Unit tests for the SNIP-OPT scheduler."""
+
+import pytest
+
+from repro.core.schedulers.opt import SnipOptScheduler
+from repro.core.snip_model import SnipModel
+from repro.mobility.profiles import RushHourSpec
+from repro.node.buffer import DataBuffer
+from repro.node.sensor import ProbingAccount, SensorNode
+
+MODEL = SnipModel(t_on=0.02)
+
+
+def make_scheduler(zeta_target=24.0, phi_max=864.0):
+    return SnipOptScheduler(
+        RushHourSpec().to_profile(), MODEL,
+        zeta_target=zeta_target, phi_max=phi_max,
+    )
+
+
+def make_node(budget=864.0):
+    return SensorNode(
+        node_id="s", account=ProbingAccount(budget=budget), buffer=DataBuffer()
+    )
+
+
+class TestPlanExecution:
+    def test_rush_slot_decisions_follow_plan(self):
+        scheduler = make_scheduler()
+        node = make_node()
+        decision = scheduler.decide(7.5 * 3600.0, node)  # inside 7-9 rush
+        assert decision.active
+        planned = scheduler.plan.duty_cycles[7]
+        assert decision.duty_cycle.duty_cycle == pytest.approx(planned)
+
+    def test_idle_slots_are_off(self):
+        scheduler = make_scheduler(zeta_target=24.0)
+        node = make_node()
+        decision = scheduler.decide(2.0 * 3600.0, node)  # 2 am, off-peak
+        assert not decision.active
+        assert decision.reason == "plan-idle"
+
+    def test_budget_exhaustion_overrides_plan(self):
+        scheduler = make_scheduler()
+        node = make_node()
+        node.account.charge(864.0)
+        decision = scheduler.decide(7.5 * 3600.0, node)
+        assert not decision.active
+        assert decision.reason == "budget"
+
+    def test_plan_feasibility_flag(self):
+        assert make_scheduler(zeta_target=24.0, phi_max=864.0).result.target_feasible
+        assert not make_scheduler(zeta_target=56.0, phi_max=86.4).result.target_feasible
+
+    def test_moderate_target_stays_within_rush_slots(self):
+        # 56 s is still served entirely by the rush saturating branches.
+        scheduler = make_scheduler(zeta_target=56.0, phi_max=864.0)
+        assert set(scheduler.plan.active_slots()) == {7, 8, 17, 18}
+
+    def test_extreme_target_activates_offpeak_slots(self):
+        # Rush slots cap at ~95.5 s even always-on; 120 s needs off-peak.
+        scheduler = make_scheduler(zeta_target=120.0, phi_max=20000.0)
+        assert set(scheduler.plan.active_slots()) > {7, 8, 17, 18}
+
+    def test_decisions_cycle_across_epochs(self):
+        scheduler = make_scheduler()
+        node = make_node()
+        first_day = scheduler.decide(7.5 * 3600.0, node)
+        second_day = scheduler.decide(86400.0 + 7.5 * 3600.0, node)
+        assert first_day.active == second_day.active

@@ -1,0 +1,145 @@
+"""Unit tests for the SNIP-RH scheduler (the paper's contribution)."""
+
+import pytest
+
+from repro.core.schedulers.rh import SnipRhScheduler
+from repro.core.snip_model import SnipModel
+from repro.errors import ConfigurationError
+from repro.mobility.contact import Contact
+from repro.mobility.profiles import RushHourSpec
+from repro.node.buffer import DataBuffer
+from repro.node.sensor import ProbingAccount, SensorNode
+from repro.units import HOUR
+
+MODEL = SnipModel(t_on=0.02)
+
+
+def make_scheduler(**kwargs):
+    kwargs.setdefault("initial_contact_length", 2.0)
+    return SnipRhScheduler(RushHourSpec().to_profile(), MODEL, **kwargs)
+
+
+def make_node(budget=86.4, buffered=5.0):
+    node = SensorNode(
+        node_id="s", account=ProbingAccount(budget=budget), buffer=DataBuffer()
+    )
+    node.buffer.generate(buffered)
+    return node
+
+
+RUSH_TIME = 7.5 * HOUR
+OFFPEAK_TIME = 3.0 * HOUR
+
+
+class TestThreeConditions:
+    def test_active_when_all_conditions_hold(self):
+        decision = make_scheduler().decide(RUSH_TIME, make_node())
+        assert decision.active
+        assert decision.reason == "active"
+
+    def test_condition1_not_rush(self):
+        decision = make_scheduler().decide(OFFPEAK_TIME, make_node())
+        assert not decision.active
+        assert decision.reason == "not-rush"
+
+    def test_condition2_no_data(self):
+        scheduler = make_scheduler()
+        # Teach the threshold that a contact uploads ~1 s of data.
+        scheduler.on_probe(0.0, Contact(0.0, 2.0), 1.0, 1.0)
+        node = make_node(buffered=0.0)
+        decision = scheduler.decide(RUSH_TIME, node)
+        assert not decision.active
+        assert decision.reason == "no-data"
+
+    def test_condition3_budget(self):
+        node = make_node()
+        node.account.charge(86.4)
+        decision = make_scheduler().decide(RUSH_TIME, node)
+        assert not decision.active
+        assert decision.reason == "budget"
+
+    def test_evening_rush_also_active(self):
+        decision = make_scheduler().decide(17.5 * HOUR, make_node())
+        assert decision.active
+
+    def test_second_epoch_rush_recognized(self):
+        decision = make_scheduler().decide(86400.0 + RUSH_TIME, make_node())
+        assert decision.active
+
+
+class TestDutyCycleSelection:
+    def test_initial_duty_cycle_is_knee_of_prior(self):
+        scheduler = make_scheduler(initial_contact_length=2.0)
+        config = scheduler.duty_cycle_config()
+        assert config.duty_cycle == pytest.approx(0.01)  # Ton / 2 s
+
+    def test_duty_cycle_tracks_learned_length(self):
+        scheduler = make_scheduler(initial_contact_length=2.0, ewma_weight=1.0)
+        # One probe of a 4 s contact observed through a 2 s cycle:
+        # probed window 3.5 >= Tcycle 2 -> estimate 3.5 + 1 = 4.5.
+        scheduler.on_probe(0.0, Contact(0.0, 4.0), 3.5, 1.0)
+        assert scheduler.contact_length_ewma.value == pytest.approx(4.5)
+        assert scheduler.duty_cycle_config().duty_cycle == pytest.approx(
+            0.02 / 4.5
+        )
+
+    def test_short_probe_doubling_estimator(self):
+        scheduler = make_scheduler(initial_contact_length=2.0, ewma_weight=1.0)
+        scheduler.on_probe(0.0, Contact(0.0, 2.0), 0.8, 0.8)
+        assert scheduler.contact_length_ewma.value == pytest.approx(1.6)
+
+    def test_duty_cycle_clamped_for_tiny_estimates(self):
+        scheduler = make_scheduler(initial_contact_length=0.001)
+        assert scheduler.duty_cycle_config().duty_cycle == 1.0
+
+
+class TestDataThreshold:
+    def test_threshold_floors_at_minimum(self):
+        scheduler = make_scheduler(min_threshold=0.5)
+        assert scheduler.data_threshold() == 0.5
+
+    def test_threshold_tracks_upload_ewma(self):
+        scheduler = make_scheduler(ewma_weight=1.0)
+        scheduler.on_probe(0.0, Contact(0.0, 2.0), 1.5, 1.2)
+        assert scheduler.data_threshold() == pytest.approx(1.2)
+
+    def test_activation_flips_with_buffer_level(self):
+        scheduler = make_scheduler(ewma_weight=1.0)
+        scheduler.on_probe(0.0, Contact(0.0, 2.0), 1.0, 1.0)
+        below = make_node(buffered=0.5)
+        above = make_node(buffered=1.5)
+        assert not scheduler.decide(RUSH_TIME, below).active
+        assert scheduler.decide(RUSH_TIME, above).active
+
+
+class TestRushFlagManagement:
+    def test_set_rush_flags_changes_condition1(self):
+        scheduler = make_scheduler()
+        flags = [False] * 24
+        flags[3] = True
+        scheduler.set_rush_flags(flags)
+        assert scheduler.decide(3.5 * HOUR, make_node()).active
+        assert not scheduler.decide(RUSH_TIME, make_node()).active
+
+    def test_set_rush_flags_validates_length(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler().set_rush_flags([True, False])
+
+    def test_all_false_flags_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler().set_rush_flags([False] * 24)
+
+    def test_profile_without_rush_slots_rejected(self):
+        profile = RushHourSpec().to_profile().with_rush_flags([False] * 24)
+        with pytest.raises(ConfigurationError):
+            SnipRhScheduler(profile, MODEL)
+
+
+class TestValidation:
+    def test_invalid_prior_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler(initial_contact_length=0.0)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler(min_threshold=0.0)

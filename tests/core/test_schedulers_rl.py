@@ -1,0 +1,121 @@
+"""Unit tests for the RL duty-cycle baseline."""
+
+import pytest
+
+from repro.core.schedulers.rl import RlScheduler
+from repro.core.snip_model import SnipModel
+from repro.errors import ConfigurationError
+from repro.experiments.runner import FastRunner
+from repro.experiments.scenario import paper_roadside_scenario
+from repro.mobility.contact import Contact
+from repro.mobility.profiles import RushHourSpec
+from repro.node.buffer import DataBuffer
+from repro.node.sensor import ProbingAccount, SensorNode
+from repro.units import HOUR
+
+MODEL = SnipModel(t_on=0.02)
+
+
+def make_scheduler(**kwargs):
+    return RlScheduler(RushHourSpec().to_profile(), MODEL, **kwargs)
+
+
+def make_node(budget=864.0):
+    return SensorNode(
+        node_id="s", account=ProbingAccount(budget=budget), buffer=DataBuffer()
+    )
+
+
+class TestActions:
+    def test_decisions_use_configured_levels(self):
+        scheduler = make_scheduler(epsilon=0.0)
+        node = make_node()
+        decision = scheduler.decide(0.0, node)
+        if decision.active:
+            assert decision.duty_cycle.duty_cycle in scheduler.duty_levels
+        else:
+            assert decision.reason == "rl-off"
+
+    def test_budget_exhaustion_forces_off(self):
+        scheduler = make_scheduler()
+        node = make_node()
+        node.account.charge(864.0)
+        assert not scheduler.decide(0.0, node).active
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler(duty_levels=())
+        with pytest.raises(ConfigurationError):
+            make_scheduler(duty_levels=(0.0, 1.5))
+        with pytest.raises(ConfigurationError):
+            make_scheduler(epsilon=1.5)
+
+
+class TestLearning:
+    def test_q_update_moves_toward_reward(self):
+        scheduler = make_scheduler(
+            epsilon=0.0, learning_rate=0.5, energy_weight=0.0
+        )
+        node = make_node()
+        scheduler.decide(0.0, node)  # opens slot 0's episode
+        scheduler.on_probe(10.0, Contact(10.0, 2.0), 1.0, 3.0)
+        scheduler.decide(HOUR + 1.0, node)  # closes slot 0
+        action = scheduler._current_action  # noqa: SLF001 - slot 1's action
+        q_slot0 = scheduler.q_values[0]
+        assert max(q_slot0) == pytest.approx(1.5)  # 0.5 * reward 3.0
+
+    def test_energy_weight_penalizes_idle_probing(self):
+        scheduler = make_scheduler(
+            epsilon=0.0, learning_rate=1.0, energy_weight=1.0
+        )
+        node = make_node()
+        scheduler.decide(0.0, node)
+        # No uploads in the slot: reward = -energy for non-zero actions.
+        first_action = scheduler._current_action
+        scheduler.decide(HOUR + 1.0, node)
+        duty = scheduler.duty_levels[first_action]
+        expected = -duty * 3600.0
+        assert scheduler.q_values[0][first_action] == pytest.approx(expected)
+
+    def test_greedy_policy_shape(self):
+        scheduler = make_scheduler()
+        policy = scheduler.greedy_policy()
+        assert len(policy) == 24
+        assert all(p in scheduler.duty_levels for p in policy)
+
+    def test_learns_to_shut_down_empty_slots(self):
+        """After enough epochs, night slots should be greedy-off."""
+        scenario = paper_roadside_scenario(
+            phi_max_divisor=100, zeta_target=24.0, epochs=12, seed=3
+        )
+        scheduler = RlScheduler(
+            scenario.profile, scenario.model,
+            epsilon=0.2, learning_rate=0.3, energy_weight=0.2, seed=1,
+        )
+        FastRunner(scenario, scheduler).run()
+        policy = scheduler.greedy_policy()
+        night = [policy[hour] for hour in (0, 1, 2, 3, 4)]
+        # With beta > 0, probing empty night slots has negative value.
+        assert sum(1 for duty in night if duty == 0.0) >= 3
+
+    def test_budget_invariant_under_rl(self):
+        scenario = paper_roadside_scenario(
+            phi_max_divisor=1000, zeta_target=24.0, epochs=4, seed=3
+        )
+        scheduler = RlScheduler(scenario.profile, scenario.model, seed=2)
+        result = FastRunner(scenario, scheduler).run()
+        for row in result.metrics.epochs:
+            assert row.phi <= scenario.phi_max + 1e-6
+
+    def test_deterministic_given_seed(self):
+        scenario = paper_roadside_scenario(
+            phi_max_divisor=100, zeta_target=24.0, epochs=2, seed=3
+        )
+
+        def run():
+            scheduler = RlScheduler(
+                scenario.profile, scenario.model, seed=7
+            )
+            return FastRunner(scenario, scheduler).run().mean_zeta
+
+        assert run() == run()

@@ -1,0 +1,52 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.budget_divisor == 1000.0
+        assert args.targets == [16.0, 24.0, 32.0, 40.0, 48.0, 56.0]
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--epochs", "3", "--seed", "9", "--budget-divisor", "100"]
+        )
+        assert args.epochs == 3
+        assert args.seed == 9
+        assert args.budget_divisor == 100.0
+
+
+class TestCommands:
+    def test_analyze_prints_all_metrics(self, capsys):
+        assert main(["analyze", "--targets", "16", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "zeta" in out and "Phi" in out and "rho" in out
+        assert "SNIP-RH" in out and "SNIP-OPT" in out and "SNIP-AT" in out
+
+    def test_simulate_runs_small_grid(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--targets", "16",
+                "--epochs", "1",
+                "--budget-divisor", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Simulation" in out
+        assert "SNIP-RH" in out
+
+    def test_gain_prints_surface(self, capsys):
+        assert main(["gain"]) == 0
+        out = capsys.readouterr().out
+        assert "Phi_AT / Phi_rh" in out
+        assert "frh/fother" in out

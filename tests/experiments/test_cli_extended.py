@@ -1,0 +1,72 @@
+"""Unit tests for the lifetime/network CLI subcommands and line plots."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.reporting import ascii_line_plot
+
+
+class TestLifetimeCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lifetime"])
+        assert args.capacity_mah == 2500.0
+        assert 1000.0 in args.divisors
+
+    def test_prints_table(self, capsys):
+        assert main(["lifetime", "--divisors", "1000", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Tepoch/1000" in out
+        assert "lifetime (years)" in out
+
+    def test_custom_capacity_appears_in_title(self, capsys):
+        main(["lifetime", "--capacity-mah", "1200"])
+        assert "1200 mAh" in capsys.readouterr().out
+
+
+class TestNetworkCommand:
+    def test_small_fleet_runs(self, capsys):
+        code = main(
+            [
+                "network",
+                "--nodes", "2",
+                "--commuters", "15",
+                "--days", "2",
+                "--seed", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sensor-0" in out and "sensor-1" in out
+        assert "fleet rho" in out
+
+
+class TestAsciiLinePlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_line_plot(
+            [1, 2, 3],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            title="demo",
+        )
+        assert text.splitlines()[0] == "demo"
+        assert "o a" in text and "x b" in text
+        assert "o" in text and "x" in text
+
+    def test_extremes_on_first_and_last_rows(self):
+        text = ascii_line_plot([1, 2], {"a": [0.0, 10.0]}, height=5)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("10.00")
+        assert "o" in lines[0]          # the max lands on the top row
+        assert "o" in lines[-3]         # the min lands on the bottom row
+
+    def test_handles_nan_and_inf(self):
+        text = ascii_line_plot(
+            [1, 2, 3], {"a": [1.0, float("nan"), float("inf")]}
+        )
+        assert "1.00" in text
+
+    def test_empty_series(self):
+        assert ascii_line_plot([], {"a": []}, title="t") == "t"
+
+    def test_invalid_height(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([1], {"a": [1.0]}, height=1)

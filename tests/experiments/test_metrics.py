@@ -1,0 +1,58 @@
+"""Unit tests for metric records."""
+
+import pytest
+
+from repro.experiments.metrics import EpochMetrics, RunMetrics
+
+
+def epoch(index=0, zeta=10.0, phi=30.0, **kwargs):
+    return EpochMetrics(epoch_index=index, zeta=zeta, phi=phi, **kwargs)
+
+
+class TestEpochMetrics:
+    def test_rho(self):
+        assert epoch(zeta=10.0, phi=30.0).rho == pytest.approx(3.0)
+
+    def test_rho_with_zero_capacity_is_inf(self):
+        assert epoch(zeta=0.0).rho == float("inf")
+
+    def test_miss_ratio(self):
+        record = epoch(missed_contacts=3, arrived_contacts=12)
+        assert record.contact_miss_ratio == pytest.approx(0.25)
+
+    def test_miss_ratio_no_contacts(self):
+        assert epoch().contact_miss_ratio == 0.0
+
+
+class TestRunMetrics:
+    def make(self):
+        run = RunMetrics()
+        run.append(epoch(0, zeta=10.0, phi=30.0, uploaded=8.0, probed_contacts=5))
+        run.append(epoch(1, zeta=20.0, phi=50.0, uploaded=16.0, missed_contacts=2))
+        return run
+
+    def test_means(self):
+        run = self.make()
+        assert run.mean_zeta == pytest.approx(15.0)
+        assert run.mean_phi == pytest.approx(40.0)
+        assert run.mean_uploaded == pytest.approx(12.0)
+
+    def test_mean_rho_is_ratio_of_means(self):
+        run = self.make()
+        assert run.mean_rho == pytest.approx(40.0 / 15.0)
+
+    def test_totals(self):
+        run = self.make()
+        assert run.total_probed == 5
+        assert run.total_missed == 2
+
+    def test_std(self):
+        run = self.make()
+        assert run.std_zeta() == pytest.approx(7.0710678, rel=1e-6)
+
+    def test_empty_run(self):
+        run = RunMetrics()
+        assert run.epoch_count == 0
+        assert run.mean_zeta == 0.0
+        assert run.mean_rho == float("inf")
+        assert run.std_phi() == 0.0

@@ -1,0 +1,54 @@
+"""Unit tests for plain-text reporting."""
+
+from repro.experiments.reporting import ascii_bars, format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(
+            ["name", "zeta"],
+            [["SNIP-RH", 16.0], ["SNIP-AT", 8.8]],
+        )
+        lines = text.splitlines()
+        assert "name" in lines[0] and "zeta" in lines[0]
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_rendered_with_rule(self):
+        text = format_table(["a"], [[1]], title="Fig. 5")
+        lines = text.splitlines()
+        assert lines[0] == "Fig. 5"
+        assert lines[1] == "=" * len("Fig. 5")
+
+    def test_floats_formatted_and_inf_rendered(self):
+        text = format_table(["x"], [[1.23456], [float("inf")]])
+        assert "1.235" in text
+        assert "inf" in text
+
+
+class TestFormatSeries:
+    def test_one_column_per_series(self):
+        text = format_series(
+            "target",
+            [16.0, 24.0],
+            {"SNIP-AT": [8.8, 8.8], "SNIP-RH": [16.0, 24.0]},
+        )
+        header = text.splitlines()[0]
+        assert "target" in header
+        assert "SNIP-AT" in header and "SNIP-RH" in header
+        assert len(text.splitlines()) == 4
+
+
+class TestAsciiBars:
+    def test_bars_scale_with_values(self):
+        text = ascii_bars(["am", "pm"], [10.0, 20.0], width=10)
+        am_line, pm_line = text.splitlines()
+        assert pm_line.count("#") == 2 * am_line.count("#")
+
+    def test_title_and_labels(self):
+        text = ascii_bars(["x"], [1.0], title="demand")
+        assert text.splitlines()[0] == "demand"
+
+    def test_zero_values(self):
+        text = ascii_bars(["x"], [0.0])
+        assert "#" not in text

@@ -1,0 +1,69 @@
+"""Unit tests for scenario configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import (
+    PAPER_T_ON,
+    PAPER_ZETA_TARGETS,
+    Scenario,
+    paper_roadside_scenario,
+)
+from repro.mobility.synthetic import ArrivalStyle
+from repro.units import DAY
+
+
+class TestPaperScenario:
+    def test_paper_constants(self):
+        assert PAPER_ZETA_TARGETS == (16.0, 24.0, 32.0, 40.0, 48.0, 56.0)
+        assert PAPER_T_ON == pytest.approx(0.020)
+
+    def test_default_scenario_matches_paper(self):
+        scenario = paper_roadside_scenario()
+        assert scenario.profile.slot_count == 24
+        assert scenario.profile.epoch_length == DAY
+        assert scenario.profile.rush_slot_indices() == [7, 8, 17, 18]
+        assert scenario.phi_max == pytest.approx(86.4)
+        assert scenario.epochs == 14
+        assert scenario.model.t_on == pytest.approx(0.020)
+
+    def test_budget_divisor(self):
+        scenario = paper_roadside_scenario(phi_max_divisor=100)
+        assert scenario.phi_max == pytest.approx(864.0)
+
+    def test_data_rate_from_target(self):
+        scenario = paper_roadside_scenario(zeta_target=24.0)
+        assert scenario.data_rate == pytest.approx(24.0 / 86400.0)
+
+    def test_style_override(self):
+        scenario = paper_roadside_scenario(style=ArrivalStyle.DETERMINISTIC)
+        assert scenario.trace_config.style is ArrivalStyle.DETERMINISTIC
+
+
+class TestScenarioCopies:
+    def test_with_target(self):
+        base = paper_roadside_scenario(zeta_target=16.0)
+        derived = base.with_target(48.0)
+        assert derived.zeta_target == 48.0
+        assert derived.phi_max == base.phi_max
+
+    def test_with_budget_and_seed(self):
+        base = paper_roadside_scenario()
+        assert base.with_budget(10.0).phi_max == 10.0
+        assert base.with_seed(9).seed == 9
+
+    def test_trace_config_epochs_synchronized(self):
+        scenario = paper_roadside_scenario(epochs=5)
+        assert scenario.trace_config.epochs == 5
+
+    def test_validation(self):
+        base = paper_roadside_scenario()
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                profile=base.profile,
+                model=base.model,
+                phi_max=0.0,
+                zeta_target=16.0,
+            )
+        with pytest.raises(ConfigurationError):
+            base.with_target(-1.0)

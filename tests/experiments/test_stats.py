@@ -1,0 +1,102 @@
+"""Unit tests for replication statistics."""
+
+import pytest
+
+from repro.core.schedulers.rh import SnipRhScheduler
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import paper_roadside_scenario
+from repro.experiments.stats import (
+    IntervalEstimate,
+    interval_from_samples,
+    replicate,
+)
+
+
+class TestIntervalFromSamples:
+    def test_mean_and_symmetry(self):
+        estimate = interval_from_samples([1.0, 2.0, 3.0])
+        assert estimate.mean == pytest.approx(2.0)
+        assert estimate.low == pytest.approx(2.0 - estimate.half_width)
+        assert estimate.high == pytest.approx(2.0 + estimate.half_width)
+
+    def test_known_t_value(self):
+        # n=4, s=1: half-width = t_{0.975, 3} * 1/2 = 3.1824 / 2.
+        samples = [0.0, 1.0, 1.0, 2.0]
+        estimate = interval_from_samples(samples, confidence=0.95)
+        expected = 3.182446 * (0.8164966 / 2.0)
+        assert estimate.half_width == pytest.approx(expected, rel=1e-4)
+
+    def test_single_sample_has_infinite_width(self):
+        estimate = interval_from_samples([5.0])
+        assert estimate.mean == 5.0
+        assert estimate.half_width == float("inf")
+
+    def test_identical_samples_have_zero_width(self):
+        estimate = interval_from_samples([4.0, 4.0, 4.0])
+        assert estimate.half_width == 0.0
+        assert estimate.contains(4.0)
+
+    def test_higher_confidence_widens(self):
+        samples = [1.0, 2.0, 4.0, 5.0]
+        narrow = interval_from_samples(samples, confidence=0.8)
+        wide = interval_from_samples(samples, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_contains(self):
+        estimate = IntervalEstimate(10.0, 1.0, 0.95, 5)
+        assert estimate.contains(10.9)
+        assert not estimate.contains(11.1)
+
+    def test_str_rendering(self):
+        assert "±" in str(IntervalEstimate(1.0, 0.5, 0.95, 3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            interval_from_samples([])
+        with pytest.raises(ConfigurationError):
+            interval_from_samples([1.0], confidence=1.0)
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        scenario = paper_roadside_scenario(
+            phi_max_divisor=100, zeta_target=24.0, epochs=2
+        )
+        return replicate(
+            scenario,
+            lambda s: SnipRhScheduler(
+                s.profile, s.model, initial_contact_length=2.0
+            ),
+            seeds=(1, 2, 3, 4),
+        )
+
+    def test_runs_one_per_seed(self, replicated):
+        assert len(replicated.runs) == 4
+
+    def test_estimates_cover_default_metrics(self, replicated):
+        assert set(replicated.estimates) == {"mean_zeta", "mean_phi", "mean_rho"}
+
+    def test_zeta_interval_near_target(self, replicated):
+        estimate = replicated["mean_zeta"]
+        assert estimate.mean == pytest.approx(24.0, rel=0.2)
+        assert estimate.replications == 4
+
+    def test_metrics_fall_back_to_run_metrics_attributes(self):
+        scenario = paper_roadside_scenario(
+            phi_max_divisor=100, zeta_target=24.0, epochs=1
+        )
+        result = replicate(
+            scenario,
+            lambda s: SnipRhScheduler(
+                s.profile, s.model, initial_contact_length=2.0
+            ),
+            seeds=(1, 2),
+            metrics=("mean_delivery_delay",),
+        )
+        assert result["mean_delivery_delay"].mean > 0
+
+    def test_empty_seeds_rejected(self):
+        scenario = paper_roadside_scenario(epochs=1)
+        with pytest.raises(ConfigurationError):
+            replicate(scenario, lambda s: None, seeds=())

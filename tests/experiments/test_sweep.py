@@ -1,0 +1,46 @@
+"""Unit tests for the sweep harness."""
+
+import pytest
+
+from repro.experiments.scenario import paper_roadside_scenario
+from repro.experiments.sweep import default_factories, sweep_zeta_targets
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    base = paper_roadside_scenario(
+        phi_max_divisor=100, epochs=2, seed=6
+    )
+    return sweep_zeta_targets(base, (16.0, 48.0))
+
+
+class TestSweep:
+    def test_grid_dimensions(self, small_sweep):
+        assert set(small_sweep.points) == {"SNIP-AT", "SNIP-OPT", "SNIP-RH"}
+        assert all(len(col) == 2 for col in small_sweep.points.values())
+
+    def test_points_carry_simulated_and_predicted(self, small_sweep):
+        point = small_sweep.points["SNIP-RH"][0]
+        assert point.zeta > 0
+        assert point.predicted is not None
+        assert point.predicted.mechanism == "SNIP-RH"
+
+    def test_series_extraction(self, small_sweep):
+        zetas = small_sweep.series("zeta")
+        assert set(zetas) == {"SNIP-AT", "SNIP-OPT", "SNIP-RH"}
+        assert len(zetas["SNIP-AT"]) == 2
+
+    def test_predicted_series_extraction(self, small_sweep):
+        predicted = small_sweep.predicted_series("zeta")
+        assert predicted["SNIP-RH"][0] == pytest.approx(16.0, rel=1e-3)
+
+    def test_custom_factory_subset(self):
+        base = paper_roadside_scenario(phi_max_divisor=100, epochs=1, seed=6)
+        factories = {"SNIP-AT": default_factories()["SNIP-AT"]}
+        sweep = sweep_zeta_targets(base, (16.0,), factories=factories)
+        assert set(sweep.points) == {"SNIP-AT"}
+
+    def test_without_predictions(self):
+        base = paper_roadside_scenario(phi_max_divisor=100, epochs=1, seed=6)
+        sweep = sweep_zeta_targets(base, (16.0,), with_predictions=False)
+        assert sweep.points["SNIP-RH"][0].predicted is None

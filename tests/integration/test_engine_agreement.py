@@ -1,0 +1,89 @@
+"""Integration tests: the fast engine agrees with the cycle-accurate one.
+
+The fast runner replaces per-cycle events with beacon-train arithmetic;
+these tests pin that substitution against the micro engine on identical
+contact traces.
+"""
+
+import pytest
+
+from repro.core.schedulers.at import SnipAtScheduler
+from repro.core.schedulers.rh import SnipRhScheduler
+from repro.experiments.micro import MicroRunner
+from repro.experiments.runner import FastRunner
+from repro.experiments.scenario import paper_roadside_scenario
+from repro.mobility.synthetic import SyntheticTraceGenerator
+from repro.sim.rng import RandomStreams
+
+
+def shared_trace(scenario):
+    generator = SyntheticTraceGenerator(
+        scenario.profile, scenario.trace_config,
+        streams=RandomStreams(scenario.seed),
+    )
+    return generator.generate()
+
+
+class TestSnipAtAgreement:
+    def test_identical_zeta_and_phi(self):
+        """AT has no feedback loop: the engines must agree closely.
+
+        Residual differences come from beacon-train phase (the micro
+        radio free-runs from t=0; the fast engine re-anchors once at the
+        first decision) — a per-contact effect that averages out.
+        """
+        scenario = paper_roadside_scenario(
+            phi_max_divisor=100, zeta_target=24.0, epochs=2, seed=5
+        )
+        trace = shared_trace(scenario)
+
+        def make():
+            return SnipAtScheduler(
+                scenario.profile, scenario.model,
+                zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
+            )
+
+        fast = FastRunner(scenario, make(), trace=trace).run()
+        micro = MicroRunner(scenario, make(), trace=trace).run()
+        assert fast.mean_phi == pytest.approx(micro.mean_phi, rel=0.01)
+        assert fast.mean_zeta == pytest.approx(micro.mean_zeta, rel=0.10)
+        assert fast.metrics.total_probed == pytest.approx(
+            micro.metrics.total_probed, abs=6
+        )
+
+
+class TestSnipRhAgreement:
+    def test_same_order_zeta_phi(self):
+        """RH's learning loop is path-dependent; agreement is statistical."""
+        scenario = paper_roadside_scenario(
+            phi_max_divisor=100, zeta_target=24.0, epochs=2, seed=5
+        )
+        trace = shared_trace(scenario)
+
+        def make():
+            return SnipRhScheduler(
+                scenario.profile, scenario.model, initial_contact_length=2.0
+            )
+
+        fast = FastRunner(scenario, make(), trace=trace).run()
+        micro = MicroRunner(scenario, make(), trace=trace).run()
+        assert fast.mean_zeta == pytest.approx(micro.mean_zeta, rel=0.3)
+        assert fast.mean_phi == pytest.approx(micro.mean_phi, rel=0.4)
+
+    def test_both_respect_budget(self):
+        scenario = paper_roadside_scenario(
+            phi_max_divisor=1000, zeta_target=56.0, epochs=2, seed=8
+        )
+        trace = shared_trace(scenario)
+
+        def make():
+            return SnipRhScheduler(
+                scenario.profile, scenario.model, initial_contact_length=2.0
+            )
+
+        for result in (
+            FastRunner(scenario, make(), trace=trace).run(),
+            MicroRunner(scenario, make(), trace=trace).run(),
+        ):
+            for row in result.metrics.epochs:
+                assert row.phi <= scenario.phi_max + scenario.model.t_on

@@ -1,0 +1,105 @@
+"""Unit tests for arrival processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.arrival import (
+    DeterministicArrivals,
+    NormalJitterArrivals,
+    PoissonArrivals,
+)
+from repro.sim.rng import RandomStreams
+
+
+class TestDeterministicArrivals:
+    def test_generation_is_regular(self):
+        process = DeterministicArrivals(interval=300.0, length=2.0)
+        trace = process.generate(0.0, 3600.0, first_offset=0.0)
+        assert len(trace) == 12
+        gaps = trace.inter_contact_times()
+        assert all(gap == pytest.approx(300.0) for gap in gaps)
+
+    def test_rate_property(self):
+        process = DeterministicArrivals(interval=300.0, length=2.0)
+        assert process.rate == pytest.approx(1.0 / 300.0)
+
+    def test_length_longer_than_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicArrivals(interval=2.0, length=3.0)
+
+    def test_generate_backwards_window_rejected(self):
+        process = DeterministicArrivals(interval=300.0, length=2.0)
+        with pytest.raises(ConfigurationError):
+            process.generate(10.0, 0.0)
+
+    def test_default_first_offset_uses_interval(self):
+        process = DeterministicArrivals(interval=100.0, length=1.0)
+        trace = process.generate(0.0, 1000.0)
+        assert trace[0].start == pytest.approx(100.0)
+
+
+class TestNormalJitterArrivals:
+    def make(self, streams, cv=0.1):
+        return NormalJitterArrivals(
+            mean_interval=300.0, mean_length=2.0, streams=streams, cv=cv
+        )
+
+    def test_mean_interval_approximately_respected(self, streams):
+        process = self.make(streams)
+        trace = process.generate(0.0, 300.0 * 400)
+        gaps = trace.inter_contact_times()
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(300.0, rel=0.05)
+
+    def test_lengths_jittered_around_mean(self, streams):
+        process = self.make(streams)
+        trace = process.generate(0.0, 300.0 * 200)
+        lengths = [c.length for c in trace]
+        assert min(lengths) > 0
+        assert sum(lengths) / len(lengths) == pytest.approx(2.0, rel=0.05)
+
+    def test_zero_cv_degenerates_to_deterministic(self, streams):
+        process = self.make(streams, cv=0.0)
+        trace = process.generate(0.0, 3000.0, first_offset=0.0)
+        assert all(c.length == pytest.approx(2.0) for c in trace)
+
+    def test_no_overlapping_contacts(self, streams):
+        process = NormalJitterArrivals(
+            mean_interval=3.0, mean_length=2.0, streams=streams, cv=0.5
+        )
+        trace = process.generate(0.0, 3000.0)
+        assert not trace.has_overlaps()
+
+
+class TestPoissonArrivals:
+    def test_rate_approximately_respected(self, streams):
+        process = PoissonArrivals(
+            mean_interval=100.0, mean_length=2.0, streams=streams
+        )
+        trace = process.generate(0.0, 100.0 * 1000)
+        assert len(trace) == pytest.approx(1000, rel=0.15)
+
+    def test_exponential_lengths_have_heavier_tail(self, streams):
+        process = PoissonArrivals(
+            mean_interval=100.0, mean_length=2.0, streams=streams
+        )
+        trace = process.generate(0.0, 100.0 * 2000)
+        lengths = [c.length for c in trace]
+        assert max(lengths) > 6.0  # exp(2) exceeds 3x mean regularly
+
+    def test_fixed_lengths_option(self, streams):
+        process = PoissonArrivals(
+            mean_interval=100.0,
+            mean_length=2.0,
+            streams=streams,
+            exponential_lengths=False,
+        )
+        trace = process.generate(0.0, 10000.0)
+        assert all(c.length == pytest.approx(2.0) for c in trace)
+
+    def test_no_overlaps_even_with_bursty_arrivals(self, streams):
+        process = PoissonArrivals(
+            mean_interval=3.0, mean_length=2.0, streams=streams
+        )
+        trace = process.generate(0.0, 3000.0)
+        assert not trace.has_overlaps()

@@ -1,0 +1,115 @@
+"""Unit tests for slot profiles and the rush-hour spec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.profiles import RushHourSpec, SlotProfile
+from repro.units import DAY, HOUR
+
+
+def two_rate_profile():
+    """4-slot profile: slots 1 and 2 are rush."""
+    return SlotProfile(
+        epoch_length=4 * HOUR,
+        mean_intervals=(1800.0, 300.0, 300.0, 1800.0),
+        mean_lengths=(2.0, 2.0, 2.0, 2.0),
+        rush_flags=(False, True, True, False),
+    )
+
+
+class TestSlotProfile:
+    def test_geometry(self):
+        profile = two_rate_profile()
+        assert profile.slot_count == 4
+        assert profile.slot_length == pytest.approx(HOUR)
+        assert profile.slot_bounds(1) == (pytest.approx(3600.0), pytest.approx(7200.0))
+
+    def test_slot_index_folds_epochs(self):
+        profile = two_rate_profile()
+        assert profile.slot_index(0.0) == 0
+        assert profile.slot_index(3 * HOUR + 1) == 3
+        assert profile.slot_index(4 * HOUR + 10) == 0  # next epoch
+
+    def test_slot_index_at_exact_epoch_end(self):
+        profile = two_rate_profile()
+        assert profile.slot_index(4 * HOUR) == 0
+
+    def test_rate_and_expected_contacts(self):
+        profile = two_rate_profile()
+        assert profile.rate(1) == pytest.approx(1 / 300.0)
+        assert profile.expected_contacts(1) == pytest.approx(12.0)
+
+    def test_expected_capacity(self):
+        profile = two_rate_profile()
+        assert profile.expected_capacity(1) == pytest.approx(24.0)
+        assert profile.total_expected_capacity() == pytest.approx(24 + 24 + 4 + 4)
+
+    def test_rush_helpers(self):
+        profile = two_rate_profile()
+        assert profile.rush_slot_indices() == [1, 2]
+        assert profile.rush_duration() == pytest.approx(2 * HOUR)
+        assert profile.rush_expected_capacity() == pytest.approx(48.0)
+        assert profile.is_rush_at(1.5 * HOUR)
+        assert not profile.is_rush_at(0.5 * HOUR)
+
+    def test_with_rush_flags_replaces_marking(self):
+        profile = two_rate_profile().with_rush_flags([True, False, False, True])
+        assert profile.rush_slot_indices() == [0, 3]
+
+    def test_infinite_interval_means_empty_slot(self):
+        profile = SlotProfile(
+            epoch_length=2 * HOUR,
+            mean_intervals=(float("inf"), 300.0),
+            mean_lengths=(2.0, 2.0),
+            rush_flags=(False, True),
+        )
+        assert profile.rate(0) == 0.0
+        assert profile.expected_capacity(0) == 0.0
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            SlotProfile(DAY, (), (), ())
+        with pytest.raises(ConfigurationError):
+            SlotProfile(DAY, (300.0,), (2.0, 2.0), (True,))
+        with pytest.raises(ConfigurationError):
+            SlotProfile(DAY, (-1.0,), (2.0,), (True,))
+        with pytest.raises(ConfigurationError):
+            two_rate_profile().slot_bounds(9)
+
+
+class TestRushHourSpec:
+    def test_paper_default_marks_four_slots(self):
+        profile = RushHourSpec().to_profile()
+        assert profile.rush_slot_indices() == [7, 8, 17, 18]
+
+    def test_paper_default_rates(self):
+        profile = RushHourSpec().to_profile()
+        assert profile.mean_intervals[7] == pytest.approx(300.0)
+        assert profile.mean_intervals[0] == pytest.approx(1800.0)
+        assert all(length == 2.0 for length in profile.mean_lengths)
+
+    def test_paper_expected_contacts_per_day(self):
+        profile = RushHourSpec().to_profile()
+        total = sum(profile.expected_contacts(i) for i in range(24))
+        assert total == pytest.approx(88.0)
+
+    def test_paper_rush_capacity(self):
+        profile = RushHourSpec().to_profile()
+        assert profile.rush_expected_capacity() == pytest.approx(96.0)
+
+    def test_custom_windows(self):
+        spec = RushHourSpec(rush_windows=((12.0, 13.0),))
+        profile = spec.to_profile()
+        assert profile.rush_slot_indices() == [12]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RushHourSpec(rush_windows=((9.0, 7.0),))
+        with pytest.raises(ConfigurationError):
+            RushHourSpec(rush_windows=((20.0, 26.0),))
+
+    def test_finer_slots(self):
+        spec = RushHourSpec(slot_count=48)
+        profile = spec.to_profile()
+        assert profile.slot_count == 48
+        assert len(profile.rush_slot_indices()) == 8

@@ -1,0 +1,68 @@
+"""Unit tests for roadside geometry."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.roadside import RoadsideScenario
+from repro.sim.rng import RandomStreams
+
+
+class TestGeometry:
+    def test_chord_through_centre_is_diameter(self):
+        scenario = RoadsideScenario(radio_range=10.0, speed=10.0)
+        assert scenario.chord_length(0.0) == pytest.approx(20.0)
+
+    def test_chord_at_edge_is_zero(self):
+        scenario = RoadsideScenario(radio_range=10.0, speed=10.0)
+        assert scenario.chord_length(10.0) == 0.0
+        assert scenario.chord_length(12.0) == 0.0
+
+    def test_chord_pythagoras(self):
+        scenario = RoadsideScenario(radio_range=5.0, speed=1.0)
+        assert scenario.chord_length(3.0) == pytest.approx(8.0)
+
+    def test_contact_length_uses_road_offset(self):
+        scenario = RoadsideScenario(radio_range=5.0, road_offset=3.0, speed=2.0)
+        assert scenario.contact_length() == pytest.approx(4.0)
+
+    def test_max_contact_length(self):
+        scenario = RoadsideScenario(radio_range=7.0, speed=2.0)
+        assert scenario.max_contact_length == pytest.approx(7.0)
+
+
+class TestValidation:
+    def test_road_must_intersect_disk(self):
+        with pytest.raises(ConfigurationError):
+            RoadsideScenario(radio_range=5.0, road_offset=5.0)
+        with pytest.raises(ConfigurationError):
+            RoadsideScenario(radio_range=5.0, road_offset=4.0, lane_width=3.0)
+
+    def test_positive_parameters_required(self):
+        with pytest.raises(ConfigurationError):
+            RoadsideScenario(radio_range=0.0)
+        with pytest.raises(ConfigurationError):
+            RoadsideScenario(speed=0.0)
+
+
+class TestCalibration:
+    def test_for_contact_length_recovers_paper_value(self):
+        scenario = RoadsideScenario.for_contact_length(2.0, speed=13.9)
+        assert scenario.contact_length() == pytest.approx(2.0)
+        assert scenario.radio_range == pytest.approx(13.9)
+
+    def test_sampled_lengths_bounded_by_centre_pass(self):
+        scenario = RoadsideScenario(
+            radio_range=14.0, road_offset=0.0, speed=13.9, lane_width=8.0
+        )
+        streams = RandomStreams(3)
+        samples = [scenario.sample_contact_length(streams) for _ in range(200)]
+        assert all(0 < s <= scenario.max_contact_length for s in samples)
+
+    def test_zero_lane_width_sampling_is_deterministic(self):
+        scenario = RoadsideScenario(radio_range=14.0, speed=13.9)
+        streams = RandomStreams(3)
+        assert scenario.sample_contact_length(streams) == pytest.approx(
+            scenario.contact_length()
+        )

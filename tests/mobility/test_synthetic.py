@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.profiles import RushHourSpec
+from repro.mobility.synthetic import (
+    ArrivalStyle,
+    SyntheticTraceGenerator,
+    TraceConfig,
+)
+from repro.sim.rng import RandomStreams
+from repro.units import DAY, HOUR
+
+
+def make_generator(style=ArrivalStyle.NORMAL, epochs=2, seed=9, **config_kwargs):
+    profile = RushHourSpec().to_profile()
+    config = TraceConfig(style=style, epochs=epochs, **config_kwargs)
+    return SyntheticTraceGenerator(profile, config, streams=RandomStreams(seed))
+
+
+class TestGeneration:
+    def test_contact_count_matches_profile(self):
+        trace = make_generator(epochs=4).generate()
+        # Paper profile: 88 expected contacts/day.
+        assert len(trace) / 4 == pytest.approx(88.0, rel=0.05)
+
+    def test_rush_hours_are_denser(self):
+        profile = RushHourSpec().to_profile()
+        trace = make_generator(epochs=4).generate()
+        rush = sum(1 for c in trace if profile.is_rush_at(c.start))
+        other = len(trace) - rush
+        # 48 rush vs 40 off-peak expected per day.
+        assert rush / 4 == pytest.approx(48.0, rel=0.08)
+        assert other / 4 == pytest.approx(40.0, rel=0.08)
+
+    def test_no_overlapping_contacts(self):
+        trace = make_generator(epochs=3).generate()
+        assert not trace.has_overlaps()
+
+    def test_contacts_sorted(self):
+        trace = make_generator(epochs=2).generate()
+        starts = [c.start for c in trace]
+        assert starts == sorted(starts)
+
+    def test_deterministic_style_exact_lengths(self):
+        trace = make_generator(style=ArrivalStyle.DETERMINISTIC).generate()
+        assert all(c.length == pytest.approx(2.0) for c in trace)
+
+    def test_normal_style_jitters_lengths(self):
+        trace = make_generator(style=ArrivalStyle.NORMAL).generate()
+        lengths = {round(c.length, 6) for c in trace}
+        assert len(lengths) > 10
+
+    def test_poisson_style_varies_gaps(self):
+        trace = make_generator(style=ArrivalStyle.POISSON).generate()
+        gaps = trace.inter_contact_times()
+        assert max(gaps) > 3 * min(gaps)
+
+    def test_same_seed_reproducible(self):
+        a = make_generator(seed=5).generate()
+        b = make_generator(seed=5).generate()
+        assert [c.start for c in a] == [c.start for c in b]
+
+    def test_generate_epoch_trace_rebased(self):
+        epoch = make_generator().generate_epoch_trace(1)
+        assert epoch.duration <= DAY
+
+    def test_mobile_ids_unique(self):
+        trace = make_generator().generate()
+        ids = [c.mobile_id for c in trace]
+        assert len(set(ids)) == len(ids)
+
+
+class TestRateTransitions:
+    def test_first_rush_contact_arrives_promptly(self):
+        """The off-peak waiting interval must not swallow rush onset."""
+        trace = make_generator(epochs=6, seed=1).generate()
+        for epoch in range(6):
+            rush_start = epoch * DAY + 7 * HOUR
+            first = next(
+                (c.start for c in trace if c.start >= rush_start), None
+            )
+            assert first is not None
+            assert first - rush_start < 900.0  # well under the 1800 s gap
+
+
+class TestDynamics:
+    def test_rate_drift_changes_daily_counts(self):
+        gen = make_generator(epochs=6, rate_drift_cv=0.4)
+        trace = gen.generate()
+        counts = [len(day) for day in trace.epochs(DAY)]
+        assert max(counts) - min(counts) >= 5
+
+    def test_rush_shift_moves_peak_slots(self):
+        gen = make_generator(
+            epochs=2, style=ArrivalStyle.DETERMINISTIC, rush_shift_per_epoch=6.0
+        )
+        trace = gen.generate()
+        day0, day1 = trace.epochs(DAY)[:2]
+        slots0 = day0.slot_capacities(DAY, 24)
+        slots1 = day1.slot_capacities(DAY, 24)
+        peak0 = max(range(24), key=lambda i: slots0[i])
+        peak1 = max(range(24), key=lambda i: slots1[i])
+        assert peak0 != peak1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(epochs=0)
+        with pytest.raises(ConfigurationError):
+            TraceConfig(cv=-0.1)

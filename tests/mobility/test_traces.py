@@ -1,0 +1,79 @@
+"""Unit tests for the contact-trace file format."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.mobility.contact import Contact, ContactTrace
+from repro.mobility.traces import HEADER, parse_trace_text, read_trace, write_trace
+
+
+def sample_trace():
+    return ContactTrace(
+        [Contact(120.0, 2.5, "phone-17"), Contact(940.2, 1.6, "phone-3")]
+    )
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "contacts.trace"
+        write_trace(sample_trace(), path)
+        loaded = read_trace(path)
+        assert len(loaded) == 2
+        assert loaded[0].start == pytest.approx(120.0)
+        assert loaded[0].length == pytest.approx(2.5)
+        assert loaded[0].mobile_id == "phone-17"
+
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        write_trace(sample_trace(), buffer)
+        buffer.seek(0)
+        loaded = read_trace(buffer)
+        assert loaded.total_capacity == pytest.approx(4.1)
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        write_trace(ContactTrace(), path)
+        assert len(read_trace(path)) == 0
+
+
+class TestParsing:
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_text("1.0 2.0 m\n")
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_text("# other-format v9\n1.0 2.0\n")
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = HEADER + "\n\n# a comment\n1.0 2.0 m\n"
+        assert len(parse_trace_text(text)) == 1
+
+    def test_default_mobile_id(self):
+        text = HEADER + "\n1.0 2.0\n"
+        assert parse_trace_text(text)[0].mobile_id == "mobile"
+
+    def test_non_numeric_time_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_text(HEADER + "\none two m\n")
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_text(HEADER + "\n1.0\n")
+        with pytest.raises(TraceFormatError):
+            parse_trace_text(HEADER + "\n1.0 2.0 m extra\n")
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_text(HEADER + "\n5.0 4.0 m\n")
+
+    def test_error_message_contains_line_number(self):
+        with pytest.raises(TraceFormatError, match="line 3"):
+            parse_trace_text(HEADER + "\n1.0 2.0 m\nbad row here extra\n")
+
+    def test_unsorted_rows_are_sorted_on_load(self):
+        text = HEADER + "\n10.0 11.0 b\n1.0 2.0 a\n"
+        trace = parse_trace_text(text)
+        assert [c.mobile_id for c in trace] == ["a", "b"]

@@ -1,0 +1,80 @@
+"""Unit tests for the Fig. 3 travel-demand synthesizer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.travel_demand import (
+    GaussianPeak,
+    TravelDemandProfile,
+    midpoint_bridge_profile,
+)
+
+
+class TestGaussianPeak:
+    def test_peak_maximum_at_centre(self):
+        peak = GaussianPeak(center_hour=8.0, width_hours=1.0, amplitude=100.0)
+        assert peak.value(8.0) == pytest.approx(100.0)
+        assert peak.value(9.0) < 100.0
+
+    def test_wraparound_distance(self):
+        peak = GaussianPeak(center_hour=23.5, width_hours=1.0, amplitude=100.0)
+        assert peak.value(0.5) == pytest.approx(peak.value(22.5))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianPeak(center_hour=25.0, width_hours=1.0, amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            GaussianPeak(center_hour=8.0, width_hours=0.0, amplitude=1.0)
+
+
+class TestMidpointBridgeProfile:
+    def test_bimodal_shape(self):
+        profile = midpoint_bridge_profile()
+        series = profile.hourly_series()
+        am_peak = max(series[6:10])
+        pm_peak = max(series[15:19])
+        midday = series[12]
+        night = series[2]
+        assert am_peak > 2 * midday
+        assert pm_peak > 2 * midday
+        assert midday > night * 0.9
+
+    def test_peak_hours_cover_commute_windows(self):
+        hours = midpoint_bridge_profile().peak_hours()
+        assert any(7 <= h <= 9 for h in hours)
+        assert any(16 <= h <= 18 for h in hours)
+
+    def test_variable_pricing_flattens_but_keeps_peaks(self):
+        """The paper's point: pricing spreads demand, rush hours remain."""
+        fixed = midpoint_bridge_profile(variable_pricing=False)
+        variable = midpoint_bridge_profile(variable_pricing=True)
+        assert variable.peak_to_offpeak_ratio() < fixed.peak_to_offpeak_ratio()
+        assert variable.peak_hours()  # peaks persist
+
+    def test_share_series_sums_to_one(self):
+        shares = midpoint_bridge_profile().share_series()
+        assert sum(shares) == pytest.approx(1.0)
+        assert len(shares) == 24
+
+    def test_share_series_finer_sampling(self):
+        shares = midpoint_bridge_profile().share_series(samples_per_hour=4)
+        assert len(shares) == 96
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_labels(self):
+        assert midpoint_bridge_profile().label == "fixed-pricing"
+        assert midpoint_bridge_profile(True).label == "variable-pricing"
+
+
+class TestValidation:
+    def test_negative_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TravelDemandProfile(baseline=-1.0, peaks=())
+
+    def test_bad_sampling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            midpoint_bridge_profile().hourly_series(0)
+
+    def test_zero_profile_share_series(self):
+        profile = TravelDemandProfile(baseline=0.0, peaks=())
+        assert sum(profile.share_series()) == 0.0

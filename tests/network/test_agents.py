@@ -1,0 +1,111 @@
+"""Unit tests for commuter agents and populations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.agents import CommutePattern, CommuterAgent, Population, Trip
+from repro.sim.rng import RandomStreams
+from repro.units import DAY, HOUR
+
+
+class TestTrip:
+    def test_time_at_positions_along_path(self):
+        trip = Trip("a", departure=100.0, origin=0.0, destination=1000.0, speed=10.0)
+        assert trip.time_at(0.0) == pytest.approx(100.0)
+        assert trip.time_at(500.0) == pytest.approx(150.0)
+        assert trip.time_at(1000.0) == pytest.approx(200.0)
+
+    def test_time_at_reverse_direction(self):
+        trip = Trip("a", departure=0.0, origin=1000.0, destination=0.0, speed=10.0)
+        assert trip.time_at(900.0) == pytest.approx(10.0)
+
+    def test_time_at_off_path_is_none(self):
+        trip = Trip("a", departure=0.0, origin=0.0, destination=100.0, speed=10.0)
+        assert trip.time_at(200.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Trip("a", 0.0, origin=5.0, destination=5.0, speed=10.0)
+        with pytest.raises(ConfigurationError):
+            Trip("a", 0.0, origin=0.0, destination=5.0, speed=0.0)
+
+
+class TestCommutePattern:
+    def test_defaults_valid(self):
+        pattern = CommutePattern()
+        assert pattern.am_peak_hour < pattern.pm_peak_hour
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommutePattern(am_peak_hour=18.0, pm_peak_hour=8.0)
+        with pytest.raises(ConfigurationError):
+            CommutePattern(workdays_per_week=8)
+        with pytest.raises(ConfigurationError):
+            CommutePattern(peak_std_hours=0.0)
+
+
+class TestCommuterAgent:
+    def make_agent(self):
+        return CommuterAgent(
+            agent_id="a0", home=0.0, work=5000.0,
+            am_departure_hour=8.0, pm_departure_hour=17.5, speed=14.0,
+        )
+
+    def test_workday_has_commute_round_trip(self):
+        agent = self.make_agent()
+        trips = agent.trips_for_day(
+            0, 0.0, pattern=CommutePattern(errand_rate_per_day=0.0),
+            streams=RandomStreams(1),
+        )
+        assert len(trips) == 2
+        outbound, inbound = trips
+        assert outbound.origin == 0.0 and outbound.destination == 5000.0
+        assert inbound.origin == 5000.0 and inbound.destination == 0.0
+        assert abs(outbound.departure - 8.0 * HOUR) < HOUR
+        assert abs(inbound.departure - 17.5 * HOUR) < HOUR
+
+    def test_weekend_has_no_commute(self):
+        agent = self.make_agent()
+        pattern = CommutePattern(workdays_per_week=5, errand_rate_per_day=0.0)
+        trips = agent.trips_for_day(5, 5 * DAY, pattern=pattern, streams=RandomStreams(1))
+        assert trips == []
+
+    def test_departures_jitter_day_to_day(self):
+        agent = self.make_agent()
+        pattern = CommutePattern(errand_rate_per_day=0.0)
+        streams = RandomStreams(1)
+        day0 = agent.trips_for_day(0, 0.0, pattern=pattern, streams=streams)
+        day1 = agent.trips_for_day(1, DAY, pattern=pattern, streams=streams)
+        assert day0[0].departure != day1[0].departure - DAY
+
+
+class TestPopulation:
+    def test_population_size_and_determinism(self):
+        a = Population(20, 5000.0, seed=3)
+        b = Population(20, 5000.0, seed=3)
+        assert len(a) == 20
+        assert [x.am_departure_hour for x in a] == [
+            x.am_departure_hour for x in b
+        ]
+
+    def test_trips_sorted_and_cover_days(self):
+        population = Population(10, 5000.0, seed=3)
+        trips = population.trips(days=3, epoch_length=DAY)
+        departures = [trip.departure for trip in trips]
+        assert departures == sorted(departures)
+        assert max(departures) > 2 * DAY
+
+    def test_am_departures_cluster_at_peak(self):
+        population = Population(
+            200, 5000.0, seed=5,
+            pattern=CommutePattern(errand_rate_per_day=0.0),
+        )
+        hours = [agent.am_departure_hour for agent in population]
+        mean = sum(hours) / len(hours)
+        assert mean == pytest.approx(8.0, abs=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Population(0, 5000.0)
+        with pytest.raises(ConfigurationError):
+            Population(5, 5000.0).trips(days=0, epoch_length=DAY)

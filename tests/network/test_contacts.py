@@ -1,0 +1,105 @@
+"""Unit tests for per-site contact extraction."""
+
+import pytest
+
+from repro.mobility.contact import Contact
+from repro.network.agents import CommutePattern, Population, Trip
+from repro.network.contacts import ContactExtractor, enforce_sparse
+from repro.network.deployment import RoadDeployment, SensorSite
+from repro.units import DAY
+
+
+class TestEnforceSparse:
+    def test_disjoint_contacts_untouched(self):
+        contacts = [Contact(0.0, 1.0), Contact(5.0, 1.0)]
+        trace, suppressed = enforce_sparse(contacts)
+        assert len(trace) == 2
+        assert suppressed == 0
+
+    def test_overlapping_later_contact_suppressed(self):
+        contacts = [Contact(0.0, 3.0), Contact(1.0, 1.0)]
+        trace, suppressed = enforce_sparse(contacts)
+        assert len(trace) == 1
+        assert trace[0].start == 0.0
+        assert suppressed == 1
+
+    def test_chain_of_overlaps(self):
+        contacts = [Contact(0.0, 2.0), Contact(1.0, 2.0), Contact(2.5, 2.0)]
+        trace, suppressed = enforce_sparse(contacts)
+        assert [c.start for c in trace] == [0.0, 2.5]
+        assert suppressed == 1
+
+    def test_result_never_overlaps(self):
+        contacts = [Contact(float(i) * 0.4, 1.0) for i in range(20)]
+        trace, __ = enforce_sparse(contacts)
+        assert not trace.has_overlaps()
+
+    def test_unsorted_input_handled(self):
+        contacts = [Contact(5.0, 1.0), Contact(0.0, 1.0)]
+        trace, suppressed = enforce_sparse(contacts)
+        assert [c.start for c in trace] == [0.0, 5.0]
+        assert suppressed == 0
+
+
+class TestContactExtractor:
+    def deployment(self):
+        return RoadDeployment(
+            sites=[SensorSite("mid", 500.0, radio_range=14.0)],
+            road_length=1000.0,
+        )
+
+    def test_single_trip_produces_one_contact(self):
+        extractor = ContactExtractor(self.deployment())
+        trip = Trip("a", departure=100.0, origin=0.0, destination=1000.0, speed=14.0)
+        report = extractor.extract([trip])
+        trace = report.contacts_by_node["mid"]
+        assert len(trace) == 1
+        contact = trace[0]
+        # Passes position 500 at t = 100 + 500/14; window 2 s centred.
+        expected_centre = 100.0 + 500.0 / 14.0
+        assert contact.start == pytest.approx(expected_centre - 1.0)
+        assert contact.length == pytest.approx(2.0)
+        assert contact.mobile_id == "a"
+
+    def test_trip_not_passing_site_makes_no_contact(self):
+        extractor = ContactExtractor(self.deployment())
+        trip = Trip("a", departure=0.0, origin=0.0, destination=300.0, speed=14.0)
+        report = extractor.extract([trip])
+        assert len(report.contacts_by_node["mid"]) == 0
+
+    def test_simultaneous_passes_are_contended(self):
+        extractor = ContactExtractor(self.deployment())
+        trips = [
+            Trip("a", departure=0.0, origin=0.0, destination=1000.0, speed=14.0),
+            Trip("b", departure=0.5, origin=0.0, destination=1000.0, speed=14.0),
+        ]
+        report = extractor.extract(trips)
+        assert len(report.contacts_by_node["mid"]) == 1
+        assert report.total_suppressed == 1
+
+    def test_population_extraction_is_rush_hour_shaped(self):
+        """The headline: commute trips create bimodal per-slot capacity."""
+        deployment = RoadDeployment.evenly_spaced(1, 5000.0)
+        population = Population(
+            60, 5000.0, seed=4,
+            pattern=CommutePattern(errand_rate_per_day=0.1),
+        )
+        trips = population.trips(days=5, epoch_length=DAY)
+        report = ContactExtractor(deployment).extract(trips)
+        trace = report.contacts_by_node[deployment.sites[0].node_id]
+        capacities = trace.slot_capacities(DAY, 24)
+        am = sum(capacities[7:10])
+        pm = sum(capacities[16:19])
+        midday = sum(capacities[11:14])
+        night = sum(capacities[0:5])
+        assert am > 3 * max(midday, 1e-9)
+        assert pm > 3 * max(midday, 1e-9)
+        assert night == pytest.approx(0.0, abs=1e-9)
+
+    def test_traces_respect_sparse_assumption(self):
+        deployment = RoadDeployment.evenly_spaced(2, 5000.0)
+        population = Population(40, 5000.0, seed=9)
+        trips = population.trips(days=2, epoch_length=DAY)
+        report = ContactExtractor(deployment).extract(trips)
+        for trace in report.contacts_by_node.values():
+            assert not trace.has_overlaps()

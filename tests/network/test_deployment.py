@@ -1,0 +1,77 @@
+"""Unit tests for road deployments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.deployment import RoadDeployment, SensorSite
+
+
+class TestSensorSite:
+    def test_pass_window_from_geometry(self):
+        site = SensorSite("s", position=100.0, radio_range=14.0)
+        assert site.pass_window(speed=14.0) == pytest.approx(2.0)
+
+    def test_covers(self):
+        site = SensorSite("s", position=100.0, radio_range=10.0)
+        assert site.covers(95.0)
+        assert site.covers(110.0)
+        assert not site.covers(111.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SensorSite("s", 0.0, radio_range=0.0)
+        with pytest.raises(ConfigurationError):
+            SensorSite("s", 0.0).pass_window(0.0)
+
+
+class TestRoadDeployment:
+    def test_sites_sorted_by_position(self):
+        deployment = RoadDeployment(
+            sites=[SensorSite("b", 500.0), SensorSite("a", 100.0)],
+            road_length=1000.0,
+        )
+        assert [site.node_id for site in deployment] == ["a", "b"]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoadDeployment(
+                sites=[SensorSite("x", 1.0), SensorSite("x", 2.0)],
+                road_length=10.0,
+            )
+
+    def test_site_outside_road_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoadDeployment(sites=[SensorSite("x", 20.0)], road_length=10.0)
+
+    def test_empty_deployment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoadDeployment(sites=[], road_length=10.0)
+
+    def test_evenly_spaced(self):
+        deployment = RoadDeployment.evenly_spaced(3, 4000.0)
+        assert len(deployment) == 3
+        positions = [site.position for site in deployment]
+        assert positions == [1000.0, 2000.0, 3000.0]
+
+    def test_is_sparse_true_when_disks_disjoint(self):
+        deployment = RoadDeployment.evenly_spaced(3, 4000.0, radio_range=14.0)
+        assert deployment.is_sparse()
+
+    def test_is_sparse_false_when_disks_touch(self):
+        deployment = RoadDeployment(
+            sites=[SensorSite("a", 100.0, 30.0), SensorSite("b", 150.0, 30.0)],
+            road_length=1000.0,
+        )
+        assert not deployment.is_sparse()
+
+    def test_sites_between_is_direction_agnostic(self):
+        deployment = RoadDeployment.evenly_spaced(4, 5000.0)
+        forward = deployment.sites_between(0.0, 5000.0)
+        backward = deployment.sites_between(5000.0, 0.0)
+        assert forward == backward
+        assert len(forward) == 4
+
+    def test_sites_between_window(self):
+        deployment = RoadDeployment.evenly_spaced(4, 5000.0)
+        subset = deployment.sites_between(1500.0, 3500.0)
+        assert [site.position for site in subset] == [2000.0, 3000.0]

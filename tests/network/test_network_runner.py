@@ -1,0 +1,79 @@
+"""Unit tests for the fleet runner."""
+
+import pytest
+
+from repro.core.schedulers.rh import SnipRhScheduler
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import paper_roadside_scenario
+from repro.mobility.synthetic import SyntheticTraceGenerator
+from repro.network.runner import NetworkRunner
+from repro.sim.rng import RandomStreams
+
+
+def make_traces(scenario, node_ids):
+    traces = {}
+    for index, node_id in enumerate(node_ids):
+        generator = SyntheticTraceGenerator(
+            scenario.profile,
+            scenario.trace_config,
+            streams=RandomStreams(scenario.seed + index),
+        )
+        traces[node_id] = generator.generate()
+    return traces
+
+
+def rh_factory(scenario, node_id):
+    return SnipRhScheduler(
+        scenario.profile, scenario.model, initial_contact_length=2.0
+    )
+
+
+@pytest.fixture(scope="module")
+def network_result():
+    scenario = paper_roadside_scenario(
+        phi_max_divisor=100, zeta_target=24.0, epochs=2, seed=21
+    )
+    traces = make_traces(scenario, ["n0", "n1", "n2"])
+    return NetworkRunner(scenario, traces, rh_factory).run()
+
+
+class TestNetworkRunner:
+    def test_one_outcome_per_node(self, network_result):
+        assert len(network_result) == 3
+        assert set(network_result.outcomes) == {"n0", "n1", "n2"}
+
+    def test_fleet_aggregates_are_sums(self, network_result):
+        zeta = sum(o.zeta for o in network_result.outcomes.values())
+        assert network_result.fleet_zeta == pytest.approx(zeta)
+        assert network_result.fleet_rho == pytest.approx(
+            network_result.fleet_phi / network_result.fleet_zeta
+        )
+
+    def test_delivery_ratio_bounded(self, network_result):
+        for outcome in network_result.outcomes.values():
+            assert 0.0 <= outcome.delivery_ratio <= 1.0
+        assert 0.0 <= network_result.mean_delivery_ratio <= 1.0
+
+    def test_worst_node_is_minimum(self, network_result):
+        worst = network_result.worst_node()
+        assert worst.delivery_ratio == min(
+            o.delivery_ratio for o in network_result.outcomes.values()
+        )
+
+    def test_per_node_budget_invariant(self, network_result):
+        for outcome in network_result.outcomes.values():
+            for row in outcome.result.metrics.epochs:
+                assert row.phi <= outcome.result.scenario.phi_max + 1e-6
+
+    def test_empty_traces_rejected(self):
+        scenario = paper_roadside_scenario(epochs=1)
+        with pytest.raises(ConfigurationError):
+            NetworkRunner(scenario, {}, rh_factory)
+
+    def test_empty_network_result_helpers(self):
+        from repro.network.runner import NetworkResult
+
+        empty = NetworkResult()
+        assert empty.worst_node() is None
+        assert empty.mean_delivery_ratio == 0.0
+        assert empty.fleet_rho == float("inf")

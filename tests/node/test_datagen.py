@@ -1,0 +1,67 @@
+"""Unit tests for constant-rate data generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.buffer import DataBuffer
+from repro.node.datagen import ConstantRateDataGenerator, data_rate_for_target
+from repro.sim.engine import Simulator
+from repro.units import DAY
+
+
+class TestDataRateForTarget:
+    def test_paper_rate(self):
+        rate = data_rate_for_target(24.0, DAY)
+        assert rate == pytest.approx(24.0 / 86400.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            data_rate_for_target(0.0, DAY)
+        with pytest.raises(ConfigurationError):
+            data_rate_for_target(24.0, 0.0)
+
+
+class TestGeneratorProcess:
+    def test_deposits_rate_times_time(self):
+        sim = Simulator()
+        buffer = DataBuffer()
+        generator = ConstantRateDataGenerator(sim, buffer, rate=0.01, tick=10.0)
+        generator.start()
+        sim.run_until(1000.0)
+        assert buffer.level == pytest.approx(10.0, rel=0.02)
+
+    def test_deposit_up_to_now_is_exact_mid_tick(self):
+        sim = Simulator()
+        buffer = DataBuffer()
+        generator = ConstantRateDataGenerator(sim, buffer, rate=1.0, tick=100.0)
+        generator.start()
+        sim.run_until(5.0)
+        generator.deposit_up_to_now()
+        assert buffer.level == pytest.approx(5.0)
+
+    def test_double_deposit_does_not_double_count(self):
+        sim = Simulator()
+        buffer = DataBuffer()
+        generator = ConstantRateDataGenerator(sim, buffer, rate=1.0, tick=100.0)
+        generator.start()
+        sim.run_until(5.0)
+        generator.deposit_up_to_now()
+        generator.deposit_up_to_now()
+        assert buffer.level == pytest.approx(5.0)
+
+    def test_total_generated_matches_horizon(self):
+        sim = Simulator()
+        buffer = DataBuffer()
+        rate = data_rate_for_target(48.0, DAY)
+        generator = ConstantRateDataGenerator(sim, buffer, rate=rate, tick=60.0)
+        generator.start()
+        sim.run_until(DAY)
+        generator.deposit_up_to_now()
+        assert buffer.total_generated == pytest.approx(48.0, rel=0.01)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            ConstantRateDataGenerator(sim, DataBuffer(), rate=0.0)
+        with pytest.raises(ConfigurationError):
+            ConstantRateDataGenerator(sim, DataBuffer(), rate=1.0, tick=0.0)

@@ -1,0 +1,52 @@
+"""Unit tests for the mobile node."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.node.mobile import MobileNode
+
+
+class TestPresence:
+    def test_enter_leave_records_visit(self):
+        mobile = MobileNode("m1")
+        mobile.enter_range(10.0)
+        assert mobile.in_range
+        mobile.leave_range(12.0)
+        assert not mobile.in_range
+        assert mobile.visits == [(10.0, 12.0)]
+        assert mobile.total_dwell() == pytest.approx(2.0)
+
+    def test_double_enter_raises(self):
+        mobile = MobileNode()
+        mobile.enter_range(1.0)
+        with pytest.raises(SimulationError):
+            mobile.enter_range(2.0)
+
+    def test_leave_without_enter_raises(self):
+        with pytest.raises(SimulationError):
+            MobileNode().leave_range(1.0)
+
+    def test_leave_before_enter_time_raises(self):
+        mobile = MobileNode()
+        mobile.enter_range(5.0)
+        with pytest.raises(SimulationError):
+            mobile.leave_range(4.0)
+
+    def test_visit_count(self):
+        mobile = MobileNode()
+        for start in (0.0, 10.0, 20.0):
+            mobile.enter_range(start)
+            mobile.leave_range(start + 2.0)
+        assert mobile.visit_count == 3
+
+
+class TestCollection:
+    def test_receive_accumulates(self):
+        mobile = MobileNode()
+        mobile.receive(1.5)
+        mobile.receive(0.5)
+        assert mobile.collected == pytest.approx(2.0)
+
+    def test_negative_receive_rejected(self):
+        with pytest.raises(SimulationError):
+            MobileNode().receive(-1.0)

@@ -1,0 +1,67 @@
+"""Unit tests for the sensor node and its probing account."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.buffer import DataBuffer
+from repro.node.sensor import ProbingAccount, SensorNode
+
+
+class TestProbingAccount:
+    def test_remaining_tracks_spending(self):
+        account = ProbingAccount(budget=10.0)
+        account.charge(4.0)
+        assert account.remaining == pytest.approx(6.0)
+        assert not account.exhausted
+
+    def test_remaining_never_negative(self):
+        account = ProbingAccount(budget=1.0)
+        account.charge(5.0)  # callers clip, but the account stays sane
+        assert account.remaining == 0.0
+        assert account.exhausted
+
+    def test_rollover_resets_and_reports(self):
+        account = ProbingAccount(budget=10.0)
+        account.charge(7.5)
+        assert account.rollover() == pytest.approx(7.5)
+        assert account.spent == 0.0
+        assert account.remaining == pytest.approx(10.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProbingAccount(budget=1.0).charge(-0.1)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProbingAccount(budget=0.0)
+
+
+class TestSensorNode:
+    def make(self):
+        return SensorNode(
+            node_id="s1", account=ProbingAccount(budget=86.4), buffer=DataBuffer()
+        )
+
+    def test_record_probe_accumulates(self):
+        node = self.make()
+        node.record_probe(1.5)
+        node.record_probe(0.5)
+        assert node.probed_contacts == 2
+        assert node.probed_time == pytest.approx(2.0)
+
+    def test_record_miss_counts(self):
+        node = self.make()
+        node.record_miss()
+        assert node.missed_contacts == 1
+
+    def test_contact_miss_ratio(self):
+        node = self.make()
+        assert node.contact_miss_ratio is None
+        node.record_probe(1.0)
+        node.record_miss()
+        node.record_miss()
+        assert node.contact_miss_ratio == pytest.approx(2 / 3)
+
+    def test_negative_probe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make().record_probe(-1.0)

@@ -1,0 +1,60 @@
+"""Property-based tests for the data buffer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.node.buffer import DataBuffer
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["generate", "upload"]),
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    ),
+    max_size=80,
+)
+capacities = st.one_of(
+    st.none(), st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+)
+
+
+@given(capacities, operations)
+def test_conservation_holds_under_any_op_sequence(capacity, ops):
+    buffer = DataBuffer(capacity=capacity)
+    for op, amount in ops:
+        if op == "generate":
+            buffer.generate(amount)
+        else:
+            buffer.upload(amount)
+    assert buffer.conservation_error() < 1e-6
+
+
+@given(capacities, operations)
+def test_level_stays_within_bounds(capacity, ops):
+    buffer = DataBuffer(capacity=capacity)
+    for op, amount in ops:
+        if op == "generate":
+            buffer.generate(amount)
+        else:
+            buffer.upload(amount)
+        assert buffer.level >= 0.0
+        if capacity is not None:
+            assert buffer.level <= capacity + 1e-9
+
+
+@given(operations)
+def test_uncapped_buffer_never_drops(ops):
+    buffer = DataBuffer()
+    for op, amount in ops:
+        if op == "generate":
+            buffer.generate(amount)
+        else:
+            buffer.upload(amount)
+    assert buffer.total_dropped == 0.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=40))
+def test_upload_returns_what_left_the_buffer(amounts):
+    buffer = DataBuffer()
+    buffer.generate(sum(amounts))
+    shipped = sum(buffer.upload(a) for a in amounts)
+    assert abs(shipped + buffer.level - sum(amounts)) < 1e-6

@@ -1,0 +1,61 @@
+"""Property-based tests for the EWMA estimator."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ewma import Ewma
+
+weights = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(weights, samples)
+def test_estimate_stays_in_convex_hull(weight, values):
+    ewma = Ewma(weight)
+    for value in values:
+        ewma.observe(value)
+    assert min(values) - 1e-6 <= ewma.value <= max(values) + 1e-6
+
+
+@given(weights, st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+def test_constant_signal_is_fixed_point(weight, value):
+    ewma = Ewma(weight, initial=value)
+    for _ in range(5):
+        ewma.observe(value)
+    assert abs(ewma.value - value) < 1e-6
+
+
+@given(weights, samples)
+def test_sample_count_matches(weight, values):
+    ewma = Ewma(weight)
+    for value in values:
+        ewma.observe(value)
+    assert ewma.sample_count == len(values)
+
+
+@given(samples)
+def test_weight_one_tracks_last_sample(values):
+    ewma = Ewma(1.0)
+    for value in values:
+        ewma.observe(value)
+    # `estimate += 1.0 * (sample - estimate)` cancels catastrophically
+    # for samples many orders of magnitude below the estimate, so the
+    # check is to within float round-off of the running magnitude.
+    scale = max(1.0, max(abs(v) for v in values))
+    assert abs(ewma.value - values[-1]) <= 1e-9 * scale
+
+
+@given(weights, samples, st.floats(min_value=-100, max_value=100, allow_nan=False))
+def test_update_moves_toward_sample(weight, values, extra):
+    ewma = Ewma(weight)
+    for value in values:
+        ewma.observe(value)
+    before = ewma.value
+    ewma.observe(extra)
+    after = ewma.value
+    # The estimate moves toward the new sample (or stays when equal).
+    assert abs(after - extra) <= abs(before - extra) + 1e-9

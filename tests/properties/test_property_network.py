@@ -1,0 +1,56 @@
+"""Property-based tests for the network layer's contention policy."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mobility.contact import Contact
+from repro.network.contacts import enforce_sparse
+
+
+@st.composite
+def contact_lists(draw):
+    """Possibly-overlapping contacts (what raw extraction produces)."""
+    count = draw(st.integers(min_value=0, max_value=40))
+    contacts = []
+    for index in range(count):
+        start = draw(st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+        length = draw(st.floats(min_value=0.01, max_value=100.0, allow_nan=False))
+        contacts.append(Contact(start, length, f"m-{index}"))
+    return contacts
+
+
+@given(contact_lists())
+def test_result_never_overlaps(contacts):
+    trace, __ = enforce_sparse(contacts)
+    assert not trace.has_overlaps()
+
+
+@given(contact_lists())
+def test_survivors_plus_suppressed_is_total(contacts):
+    trace, suppressed = enforce_sparse(contacts)
+    assert len(trace) + suppressed == len(contacts)
+
+
+@given(contact_lists())
+def test_survivors_are_a_subset(contacts):
+    trace, __ = enforce_sparse(contacts)
+    originals = {(c.start, c.length, c.mobile_id) for c in contacts}
+    for contact in trace:
+        assert (contact.start, contact.length, contact.mobile_id) in originals
+
+
+@given(contact_lists())
+def test_idempotent(contacts):
+    once, __ = enforce_sparse(contacts)
+    twice, suppressed = enforce_sparse(list(once))
+    assert suppressed == 0
+    assert [c.start for c in twice] == [c.start for c in once]
+
+
+@given(contact_lists())
+def test_earliest_contact_always_survives(contacts):
+    if not contacts:
+        return
+    trace, __ = enforce_sparse(contacts)
+    earliest = min(c.start for c in contacts)
+    assert trace[0].start == earliest

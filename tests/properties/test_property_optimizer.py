@@ -1,0 +1,102 @@
+"""Property-based tests for the SNIP-OPT optimizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import SlotSpec, TwoStepOptimizer
+from repro.core.snip_model import SnipModel
+from repro.errors import InfeasibleError
+
+MODEL = SnipModel(t_on=0.02)
+
+
+@st.composite
+def slot_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    slots = []
+    for _ in range(count):
+        rate = draw(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=1e-4, max_value=0.1, allow_nan=False),
+            )
+        )
+        length = draw(st.floats(min_value=0.5, max_value=20.0, allow_nan=False))
+        slots.append(SlotSpec(duration=3600.0, rate=rate, mean_length=length))
+    return slots
+
+
+budgets = st.floats(min_value=1.0, max_value=50000.0, allow_nan=False)
+targets = st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(slot_lists(), budgets)
+def test_step1_respects_budget_and_bounds(slots, phi_max):
+    plan = TwoStepOptimizer(slots, MODEL).maximize_capacity(phi_max)
+    assert plan.energy <= phi_max + 1e-6
+    assert all(0.0 <= d <= 1.0 for d in plan.duty_cycles)
+
+
+@settings(max_examples=60, deadline=None)
+@given(slot_lists(), budgets)
+def test_step1_beats_uniform_allocation(slots, phi_max):
+    """The optimum must dominate the naive budget-uniform plan."""
+    optimizer = TwoStepOptimizer(slots, MODEL)
+    plan = optimizer.maximize_capacity(phi_max)
+    total_duration = sum(s.duration for s in slots)
+    uniform_duty = min(1.0, phi_max / total_duration)
+    uniform_capacity = sum(
+        optimizer._slot_capacity(i, uniform_duty) for i in range(len(slots))
+    )
+    assert plan.capacity >= uniform_capacity - 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(slot_lists(), budgets)
+def test_step1_monotone_in_budget(slots, phi_max):
+    optimizer = TwoStepOptimizer(slots, MODEL)
+    smaller = optimizer.maximize_capacity(phi_max / 2).capacity
+    larger = optimizer.maximize_capacity(phi_max).capacity
+    assert larger >= smaller - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(slot_lists(), targets)
+def test_step2_meets_target_or_raises(slots, zeta_target):
+    optimizer = TwoStepOptimizer(slots, MODEL)
+    try:
+        plan = optimizer.minimize_energy(zeta_target)
+    except InfeasibleError:
+        max_capacity = optimizer._plan([1.0] * len(slots)).capacity
+        assert zeta_target > max_capacity - 1e-6
+        return
+    assert plan.capacity >= zeta_target - 1e-6
+    assert all(0.0 <= d <= 1.0 for d in plan.duty_cycles)
+
+
+@settings(max_examples=40, deadline=None)
+@given(slot_lists(), targets)
+def test_steps_are_mutually_consistent(slots, zeta_target):
+    """Step-2 energy re-fed to step 1 must recover at least the target."""
+    optimizer = TwoStepOptimizer(slots, MODEL)
+    try:
+        step2 = optimizer.minimize_energy(zeta_target)
+    except InfeasibleError:
+        return
+    if step2.energy <= 0:
+        return
+    recovered = optimizer.maximize_capacity(step2.energy)
+    assert recovered.capacity >= zeta_target - 1e-4
+
+
+@settings(max_examples=40, deadline=None)
+@given(slot_lists(), budgets, targets)
+def test_solve_returns_consistent_flag(slots, phi_max, zeta_target):
+    optimizer = TwoStepOptimizer(slots, MODEL)
+    result = optimizer.solve(phi_max, zeta_target)
+    if result.target_feasible:
+        assert result.plan.capacity >= zeta_target - 1e-6
+    else:
+        assert result.plan.capacity < zeta_target
+        assert result.plan.energy <= phi_max + 1e-6

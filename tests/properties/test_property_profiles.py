@@ -1,0 +1,79 @@
+"""Property-based tests for slot profiles."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mobility.profiles import RushHourSpec, SlotProfile
+from repro.units import DAY
+
+
+@st.composite
+def profiles(draw):
+    slot_count = draw(st.integers(min_value=1, max_value=48))
+    intervals = tuple(
+        draw(
+            st.one_of(
+                st.just(float("inf")),
+                st.floats(min_value=10.0, max_value=1e5, allow_nan=False),
+            )
+        )
+        for _ in range(slot_count)
+    )
+    lengths = tuple(
+        draw(st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+        for _ in range(slot_count)
+    )
+    flags = tuple(draw(st.booleans()) for _ in range(slot_count))
+    return SlotProfile(DAY, intervals, lengths, flags)
+
+
+@given(profiles(), st.floats(min_value=0.0, max_value=10 * DAY, allow_nan=False))
+def test_slot_index_always_valid(profile, time):
+    index = profile.slot_index(time)
+    assert 0 <= index < profile.slot_count
+
+
+@given(profiles(), st.floats(min_value=0.0, max_value=DAY - 1e-6, allow_nan=False))
+def test_slot_index_consistent_with_bounds(profile, time):
+    index = profile.slot_index(time)
+    start, end = profile.slot_bounds(index)
+    assert start - 1e-6 <= time < end + 1e-6
+
+
+@given(profiles(), st.floats(min_value=0.0, max_value=DAY - 1e-6, allow_nan=False))
+def test_epoch_folding(profile, time):
+    assert profile.slot_index(time) == profile.slot_index(time + DAY)
+
+
+@given(profiles())
+def test_capacity_decomposition(profile):
+    total = profile.total_expected_capacity()
+    rush = profile.rush_expected_capacity()
+    other = sum(
+        profile.expected_capacity(i)
+        for i in range(profile.slot_count)
+        if not profile.rush_flags[i]
+    )
+    assert abs(total - rush - other) < 1e-6 * max(1.0, total)
+    assert rush <= total + 1e-9
+
+
+@given(profiles())
+def test_rush_duration_matches_flag_count(profile):
+    expected = profile.slot_length * sum(profile.rush_flags)
+    assert abs(profile.rush_duration() - expected) < 1e-9
+
+
+@given(st.integers(min_value=6, max_value=96))
+def test_rush_hour_spec_slot_scaling(slot_count):
+    # Below ~6 slots a single slot spans many hours and quantization of
+    # the 2 h windows dominates, so the property starts at slot_count=6.
+    profile = RushHourSpec(slot_count=slot_count).to_profile()
+    # Total expected contacts stay near the paper's 88/day regardless of
+    # granularity (slot midpoints quantize the windows slightly).
+    total = sum(profile.expected_contacts(i) for i in range(slot_count))
+    assert 40.0 <= total <= 160.0
+    # Rush duration approximates the 4 h of windows once slots are at
+    # least hour-sized.
+    if slot_count >= 24 and slot_count % 24 == 0:
+        assert abs(profile.rush_duration() - 4 * 3600.0) < 1e-6

@@ -1,0 +1,88 @@
+"""Property-based tests for scheduler invariants on random scenarios."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedulers.at import SnipAtScheduler
+from repro.core.schedulers.opt import SnipOptScheduler
+from repro.core.schedulers.rh import SnipRhScheduler
+from repro.core.snip_model import SnipModel
+from repro.experiments.runner import FastRunner
+from repro.experiments.scenario import Scenario
+from repro.mobility.profiles import RushHourSpec
+from repro.mobility.synthetic import ArrivalStyle, TraceConfig
+from repro.units import DAY
+
+
+@st.composite
+def scenarios(draw):
+    rush_interval = draw(st.sampled_from([120.0, 300.0, 600.0]))
+    other_interval = draw(st.sampled_from([900.0, 1800.0, 3600.0]))
+    contact_length = draw(st.sampled_from([1.0, 2.0, 5.0]))
+    profile = RushHourSpec(
+        rush_interval=rush_interval,
+        other_interval=other_interval,
+        contact_length=contact_length,
+    ).to_profile()
+    phi_max = draw(st.sampled_from([DAY / 2000, DAY / 1000, DAY / 100]))
+    zeta_target = draw(st.sampled_from([8.0, 24.0, 56.0]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return Scenario(
+        profile=profile,
+        model=SnipModel(t_on=0.02),
+        phi_max=phi_max,
+        zeta_target=zeta_target,
+        epochs=1,
+        trace_config=TraceConfig(style=ArrivalStyle.NORMAL, epochs=1),
+        seed=seed,
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenarios())
+def test_budget_invariant_for_every_mechanism(scenario):
+    factories = [
+        lambda: SnipAtScheduler(
+            scenario.profile, scenario.model,
+            zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
+        ),
+        lambda: SnipOptScheduler(
+            scenario.profile, scenario.model,
+            zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
+        ),
+        lambda: SnipRhScheduler(
+            scenario.profile, scenario.model,
+            initial_contact_length=scenario.profile.mean_lengths[0],
+        ),
+    ]
+    for factory in factories:
+        result = FastRunner(scenario, factory()).run()
+        for row in result.metrics.epochs:
+            assert row.phi <= scenario.phi_max + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenarios())
+def test_rh_probes_only_rush_contacts(scenario):
+    scheduler = SnipRhScheduler(
+        scenario.profile, scenario.model,
+        initial_contact_length=scenario.profile.mean_lengths[0],
+    )
+    result = FastRunner(scenario, scheduler, record_timeline=True).run()
+    for record in result.timeline.intervals("probe"):
+        assert scenario.profile.is_rush_at(record.start)
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenarios())
+def test_metrics_are_physical(scenario):
+    scheduler = SnipAtScheduler(
+        scenario.profile, scenario.model,
+        zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
+    )
+    result = FastRunner(scenario, scheduler).run()
+    for row in result.metrics.epochs:
+        assert row.zeta >= 0
+        assert row.phi >= 0
+        assert row.uploaded <= row.zeta + 1e-9
+        assert row.probed_contacts + row.missed_contacts >= 0

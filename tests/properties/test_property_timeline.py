@@ -1,0 +1,66 @@
+"""Property-based tests for the interval timeline."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.timeline import Timeline
+
+
+@st.composite
+def interval_lists(draw):
+    count = draw(st.integers(min_value=0, max_value=30))
+    intervals = []
+    cursor = 0.0
+    for _ in range(count):
+        gap = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+        width = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+        cursor += gap
+        intervals.append((cursor, cursor + width))
+        cursor += width
+    return intervals
+
+
+@given(interval_lists())
+def test_total_duration_is_sum_of_widths(intervals):
+    timeline = Timeline()
+    for start, end in intervals:
+        timeline.add("x", start, end)
+    expected = sum(end - start for start, end in intervals)
+    assert abs(timeline.total_duration("x") - expected) < 1e-6
+
+
+@given(interval_lists(), st.floats(min_value=0.0, max_value=5000.0), st.floats(min_value=0.0, max_value=5000.0))
+def test_overlap_never_exceeds_window_or_total(intervals, a, b):
+    start, end = sorted((a, b))
+    timeline = Timeline()
+    for lo, hi in intervals:
+        timeline.add("x", lo, hi)
+    overlap = timeline.overlap_duration("x", start, end)
+    assert overlap <= (end - start) + 1e-9
+    assert overlap <= timeline.total_duration("x") + 1e-9
+    assert overlap >= 0.0
+
+
+@given(interval_lists())
+def test_full_window_overlap_equals_total(intervals):
+    timeline = Timeline()
+    for lo, hi in intervals:
+        timeline.add("x", lo, hi)
+    horizon = (intervals[-1][1] + 1.0) if intervals else 1.0
+    assert abs(
+        timeline.overlap_duration("x", 0.0, horizon)
+        - timeline.total_duration("x")
+    ) < 1e-6
+
+
+@given(interval_lists(), st.floats(min_value=0.0, max_value=5000.0))
+def test_split_window_overlap_is_additive(intervals, split):
+    timeline = Timeline()
+    for lo, hi in intervals:
+        timeline.add("x", lo, hi)
+    horizon = (intervals[-1][1] + 1.0) if intervals else 1.0
+    split = min(split, horizon)
+    left = timeline.overlap_duration("x", 0.0, split)
+    right = timeline.overlap_duration("x", split, horizon)
+    total = timeline.overlap_duration("x", 0.0, horizon)
+    assert abs(left + right - total) < 1e-6

@@ -1,0 +1,58 @@
+"""Property-based tests for trace serialization and contact traces."""
+
+import io
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mobility.contact import Contact, ContactTrace
+from repro.mobility.traces import read_trace, write_trace
+
+
+@st.composite
+def contact_traces(draw):
+    count = draw(st.integers(min_value=0, max_value=30))
+    contacts = []
+    cursor = 0.0
+    for index in range(count):
+        gap = draw(st.floats(min_value=0.001, max_value=1e5, allow_nan=False))
+        length = draw(st.floats(min_value=0.001, max_value=1e4, allow_nan=False))
+        cursor += gap
+        contacts.append(Contact(cursor, length, f"m-{index}"))
+        cursor += length
+    return ContactTrace(contacts)
+
+
+@given(contact_traces())
+def test_round_trip_preserves_contacts(trace):
+    buffer = io.StringIO()
+    write_trace(trace, buffer)
+    buffer.seek(0)
+    loaded = read_trace(buffer)
+    assert len(loaded) == len(trace)
+    for original, parsed in zip(trace, loaded):
+        assert abs(original.start - parsed.start) < 1e-5
+        assert abs(original.length - parsed.length) < 1e-5
+        assert original.mobile_id == parsed.mobile_id
+
+
+@given(contact_traces())
+def test_generated_traces_never_overlap(trace):
+    assert not trace.has_overlaps()
+
+
+@given(contact_traces(), st.floats(min_value=10.0, max_value=1e6, allow_nan=False))
+def test_epoch_split_preserves_capacity(trace, epoch_length):
+    days = trace.epochs(epoch_length)
+    total = trace.total_capacity
+    tolerance = 1e-6 + 1e-9 * max(1.0, total)
+    assert abs(sum(day.total_capacity for day in days) - total) < tolerance
+
+
+@given(contact_traces(), st.integers(min_value=1, max_value=48))
+def test_slot_capacities_sum_to_total(trace, slot_count):
+    capacities = trace.slot_capacities(86400.0, slot_count)
+    total = trace.total_capacity
+    tolerance = 1e-6 + 1e-9 * max(1.0, total)
+    assert abs(sum(capacities) - total) < tolerance
+    assert len(capacities) == slot_count

@@ -1,0 +1,83 @@
+"""Unit tests for the mobile-node-initiated baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.contact import Contact
+from repro.protocols.mnip import MnipProbing, mnip_probe_contact
+from repro.radio.duty_cycle import DutyCycleConfig
+from repro.sim.rng import RandomStreams
+
+
+def make(duty=0.01, beacon_period=0.1):
+    config = DutyCycleConfig(t_on=0.02, duty_cycle=duty)
+    return MnipProbing(config=config, beacon_period=beacon_period)
+
+
+class TestHitProbability:
+    def test_per_window_probability(self):
+        probing = make(beacon_period=0.1)
+        # (0.02 + 0.0005) / 0.1
+        assert probing.hit_probability_per_window() == pytest.approx(0.205)
+
+    def test_probability_caps_at_one(self):
+        probing = make(beacon_period=0.01)
+        assert probing.hit_probability_per_window() == 1.0
+
+    def test_validation(self):
+        config = DutyCycleConfig(t_on=0.02, duty_cycle=0.01)
+        with pytest.raises(ConfigurationError):
+            MnipProbing(config=config, beacon_period=0.1, beacon_airtime=0.2)
+
+
+class TestExpectedProbeRatio:
+    def test_ratio_increases_with_duty_cycle(self):
+        low = make(duty=0.005).expected_probe_ratio(2.0)
+        high = make(duty=0.02).expected_probe_ratio(2.0)
+        assert high > low
+
+    def test_ratio_bounded(self):
+        for duty in (0.001, 0.01, 0.1):
+            ratio = make(duty=duty).expected_probe_ratio(2.0)
+            assert 0.0 <= ratio <= 1.0
+
+    def test_snip_beats_mnip_at_low_duty_cycle(self):
+        """The SNIP paper's headline: sensor-initiated probing wins."""
+        from repro.core.snip_model import upsilon
+
+        duty = 0.005
+        snip_ratio = upsilon(duty, 2.0, 0.02)
+        mnip_ratio = make(duty=duty).expected_probe_ratio(2.0)
+        assert snip_ratio > 2.0 * mnip_ratio
+
+
+class TestStochasticProbe:
+    def test_monte_carlo_matches_expectation(self):
+        probing = make(duty=0.02)
+        streams = RandomStreams(17)
+        hits = 0.0
+        trials = 3000
+        for index in range(trials):
+            probe = mnip_probe_contact(
+                probing, Contact(1000.0 * index, 2.0), streams
+            )
+            hits += probe.probed_seconds / 2.0
+        expected = probing.expected_probe_ratio(2.0)
+        assert hits / trials == pytest.approx(expected, rel=0.25)
+
+    def test_fixed_phase_is_deterministic_in_window_positions(self):
+        probing = make(duty=0.02)
+        probe = mnip_probe_contact(
+            probing, Contact(0.0, 2.0), RandomStreams(1), phase=0.5
+        )
+        if probe.probed:
+            assert (probe.probe_time - 0.5) % probing.config.t_cycle == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+    def test_missed_probe_returned_when_no_window_hits(self):
+        # Beacon period much longer than the contact => certain miss.
+        config = DutyCycleConfig(t_on=0.001, duty_cycle=0.0001)
+        probing = MnipProbing(config=config, beacon_period=10.0)
+        probe = mnip_probe_contact(probing, Contact(0.0, 0.5), RandomStreams(2), phase=5.0)
+        assert not probe.probed

@@ -1,0 +1,118 @@
+"""Unit tests for SNIP probing (analytic and executable layers)."""
+
+import pytest
+
+from repro.mobility.contact import Contact
+from repro.protocols.snip import SnipProbe, SnipProbing, probe_contact
+from repro.radio.beacon import BeaconSchedule
+from repro.radio.duty_cycle import DutyCycleConfig, DutyCycledRadio
+from repro.sim.engine import Simulator
+from repro.sim.events import EventKind
+
+
+def schedule(duty=0.01, phase=0.0):
+    return BeaconSchedule(DutyCycleConfig(t_on=0.02, duty_cycle=duty), phase)
+
+
+class TestSnipProbe:
+    def test_probed_seconds_from_probe_to_contact_end(self):
+        probe = SnipProbe(contact=Contact(10.0, 2.0), probe_time=11.0)
+        assert probe.probed
+        assert probe.probed_seconds == pytest.approx(1.0)
+        assert probe.probe_ratio == pytest.approx(0.5)
+
+    def test_missed_probe_has_zero_window(self):
+        probe = SnipProbe(contact=Contact(10.0, 2.0), probe_time=None)
+        assert not probe.probed
+        assert probe.probed_seconds == 0.0
+        assert probe.probe_ratio == 0.0
+
+
+class TestAnalyticProbe:
+    def test_contact_containing_beacon_is_probed(self):
+        # Beacons at 0, 2, 4, ...; contact [3.5, 5.5) catches beacon at 4.
+        probe = probe_contact(schedule(), Contact(3.5, 2.0))
+        assert probe.probe_time == pytest.approx(4.0)
+        assert probe.probed_seconds == pytest.approx(1.5)
+
+    def test_contact_between_beacons_is_missed(self):
+        probe = probe_contact(schedule(), Contact(4.1, 1.5))
+        assert not probe.probed
+
+    def test_probe_at_contact_start(self):
+        probe = probe_contact(schedule(), Contact(6.0, 1.0))
+        assert probe.probe_time == pytest.approx(6.0)
+        assert probe.probe_ratio == pytest.approx(1.0)
+
+
+def run_probing(contacts, duty=0.25, t_on=1.0, horizon=None):
+    """Run the executable protocol over explicit contacts."""
+    sim = Simulator()
+    radio = DutyCycledRadio(sim, DutyCycleConfig(t_on=t_on, duty_cycle=duty))
+    probing = SnipProbing(sim, radio)
+    for contact in contacts:
+        sim.schedule(
+            contact.start,
+            lambda ev: probing.contact_started(ev.payload),
+            kind=EventKind.CONTACT_START,
+            payload=contact,
+        )
+        sim.schedule(
+            contact.end,
+            lambda ev: probing.contact_ended(ev.payload),
+            kind=EventKind.CONTACT_END,
+            payload=contact,
+        )
+    radio.start()
+    sim.run_until(horizon or (contacts[-1].end + 1.0))
+    radio.stop()
+    return probing
+
+
+class TestExecutableProtocol:
+    def test_contact_over_wakeup_is_probed(self):
+        # Radio wakes at 0, 4, 8 (Tcycle = 4); contact [3.5, 5.5) catches 4.
+        probing = run_probing([Contact(3.5, 2.0)])
+        assert probing.probed_count == 1
+        assert probing.probed_seconds == pytest.approx(1.5)
+
+    def test_contact_between_wakeups_is_missed(self):
+        probing = run_probing([Contact(4.5, 2.0)])  # wakes at 4, 8
+        assert probing.probed_count == 0
+        assert probing.missed_count == 1
+
+    def test_contact_probed_once_despite_multiple_beacons(self):
+        # Contact spans three wake-ups; only the first counts as probe.
+        probing = run_probing([Contact(3.5, 10.0)])
+        assert probing.probed_count == 1
+        assert probing.probes[0].probe_time == pytest.approx(4.0)
+
+    def test_contact_starting_during_on_window_waits_for_next_beacon(self):
+        """A beacon sent before the mobile arrived cannot probe it."""
+        # Wake at 0 (on until 1); contact starts at 0.5, ends 2.5; next
+        # beacon at 4 is too late -> miss.
+        probing = run_probing([Contact(0.5, 2.0)])
+        assert probing.probed_count == 0
+        # Same arrival but long enough to reach the next beacon -> probed.
+        probing = run_probing([Contact(0.5, 4.0)])
+        assert probing.probed_count == 1
+        assert probing.probes[0].probe_time == pytest.approx(4.0)
+
+    def test_on_probe_callback_fires_only_on_success(self):
+        events = []
+        sim = Simulator()
+        radio = DutyCycledRadio(sim, DutyCycleConfig(t_on=1.0, duty_cycle=0.25))
+        probing = SnipProbing(sim, radio, on_probe=events.append)
+        hit = Contact(3.5, 2.0)
+        miss = Contact(9.5, 1.0)  # between wakes 8 and 12
+        for contact in (hit, miss):
+            sim.schedule(contact.start, lambda ev: probing.contact_started(ev.payload), payload=contact)
+            sim.schedule(contact.end, lambda ev: probing.contact_ended(ev.payload), payload=contact)
+        radio.start()
+        sim.run_until(12.0)
+        assert len(events) == 1
+        assert events[0].probed
+
+    def test_beacons_sent_counted(self):
+        probing = run_probing([Contact(3.5, 2.0)], horizon=12.0)
+        assert probing.beacons_sent == 4  # wakes at 0, 4, 8, 12

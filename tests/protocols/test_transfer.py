@@ -1,0 +1,64 @@
+"""Unit tests for in-contact data transfer."""
+
+import pytest
+
+from repro.node.buffer import DataBuffer
+from repro.node.mobile import MobileNode
+from repro.node.sensor import ProbingAccount, SensorNode
+from repro.protocols.transfer import ContactTransfer
+from repro.radio.link import LinkModel
+from repro.radio.states import RadioState
+
+
+def make_node(buffered=5.0, budget=100.0):
+    node = SensorNode(
+        node_id="s", account=ProbingAccount(budget=budget), buffer=DataBuffer()
+    )
+    node.buffer.generate(buffered)
+    return node
+
+
+class TestExecute:
+    def test_upload_limited_by_window(self):
+        node = make_node(buffered=5.0)
+        result = ContactTransfer().execute(node, probed_seconds=2.0)
+        assert result.uploaded == pytest.approx(2.0)
+        assert node.buffer.level == pytest.approx(3.0)
+
+    def test_upload_limited_by_buffer(self):
+        node = make_node(buffered=0.5)
+        result = ContactTransfer().execute(node, probed_seconds=2.0)
+        assert result.uploaded == pytest.approx(0.5)
+        assert result.window_utilization == pytest.approx(0.25)
+
+    def test_radio_on_time_covers_payload_only(self):
+        node = make_node(buffered=0.5)
+        result = ContactTransfer().execute(node, probed_seconds=2.0)
+        assert result.on_time == pytest.approx(0.5)
+        assert node.ledger.time_by_state[RadioState.TRANSMIT] == pytest.approx(0.5)
+
+    def test_association_overhead_charged(self):
+        node = make_node(buffered=5.0)
+        transfer = ContactTransfer(LinkModel(association_overhead=0.3))
+        result = transfer.execute(node, probed_seconds=2.0)
+        assert result.uploaded == pytest.approx(1.7)
+        assert result.on_time == pytest.approx(2.0)
+
+    def test_mobile_credited(self):
+        node = make_node(buffered=5.0)
+        mobile = MobileNode()
+        ContactTransfer().execute(node, probed_seconds=1.0, mobile=mobile)
+        assert mobile.collected == pytest.approx(1.0)
+
+    def test_budget_charging_optional(self):
+        node = make_node(buffered=5.0)
+        ContactTransfer().execute(node, probed_seconds=1.0)
+        assert node.account.spent == 0.0
+        ContactTransfer().execute(node, probed_seconds=1.0, charge_to_budget=True)
+        assert node.account.spent == pytest.approx(1.0)
+
+    def test_zero_window_transfer(self):
+        node = make_node(buffered=5.0)
+        result = ContactTransfer().execute(node, probed_seconds=0.0)
+        assert result.uploaded == 0.0
+        assert result.window_utilization == 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for duty-cycle config and the duty-cycled radio process."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.duty_cycle import DutyCycleConfig, DutyCycledRadio
+from repro.radio.energy import EnergyLedger
+from repro.radio.states import RadioState
+from repro.sim.engine import Simulator
+from repro.sim.timeline import Timeline
+
+
+class TestDutyCycleConfig:
+    def test_derived_quantities(self):
+        config = DutyCycleConfig(t_on=0.02, duty_cycle=0.01)
+        assert config.t_cycle == pytest.approx(2.0)
+        assert config.t_off == pytest.approx(1.98)
+
+    def test_from_cycle(self):
+        config = DutyCycleConfig.from_cycle(t_on=0.02, t_cycle=4.0)
+        assert config.duty_cycle == pytest.approx(0.005)
+
+    def test_from_cycle_shorter_than_on_raises(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleConfig.from_cycle(t_on=1.0, t_cycle=0.5)
+
+    def test_duty_cycle_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleConfig(t_on=0.02, duty_cycle=0.0)
+        with pytest.raises(ConfigurationError):
+            DutyCycleConfig(t_on=0.02, duty_cycle=1.5)
+
+    def test_full_duty_cycle_allowed(self):
+        config = DutyCycleConfig(t_on=0.02, duty_cycle=1.0)
+        assert config.t_off == pytest.approx(0.0)
+
+    def test_on_time_during(self):
+        config = DutyCycleConfig(t_on=0.02, duty_cycle=0.01)
+        assert config.on_time_during(100.0) == pytest.approx(1.0)
+
+    def test_with_duty_cycle_keeps_t_on(self):
+        config = DutyCycleConfig(t_on=0.02, duty_cycle=0.01)
+        retuned = config.with_duty_cycle(0.5)
+        assert retuned.t_on == 0.02
+        assert retuned.duty_cycle == 0.5
+
+    def test_equality_by_value(self):
+        assert DutyCycleConfig(0.02, 0.01) == DutyCycleConfig(0.02, 0.01)
+
+
+def run_radio(duration, config=None, **kwargs):
+    sim = Simulator()
+    config = config or DutyCycleConfig(t_on=1.0, duty_cycle=0.25)
+    radio = DutyCycledRadio(sim, config, **kwargs)
+    radio.start()
+    sim.run_until(duration)
+    radio.stop()
+    return sim, radio
+
+
+class TestDutyCycledRadio:
+    def test_wake_count_matches_cycles(self):
+        __, radio = run_radio(duration=16.0)  # Tcycle = 4
+        assert radio.wake_count == 5  # wakes at 0, 4, 8, 12, 16
+
+    def test_on_time_fraction_approximates_duty_cycle(self):
+        __, radio = run_radio(duration=400.0)
+        fraction = radio.ledger.on_time / radio.ledger.total_time
+        assert fraction == pytest.approx(0.25, rel=0.02)
+
+    def test_timeline_records_on_windows(self):
+        timeline = Timeline()
+        run_radio(duration=8.0, timeline=timeline)
+        windows = timeline.intervals(DutyCycledRadio.TIMELINE_LABEL)
+        assert [w.start for w in windows] == [0.0, 4.0, 8.0]
+        assert all(w.duration == pytest.approx(1.0) for w in windows[:2])
+
+    def test_on_wake_called_each_cycle(self):
+        wakes = []
+        run_radio(duration=12.0, on_wake=wakes.append)
+        assert wakes == [0.0, 4.0, 8.0, 12.0]
+
+    def test_disable_parks_radio(self):
+        sim = Simulator()
+        radio = DutyCycledRadio(sim, DutyCycleConfig(t_on=1.0, duty_cycle=0.25))
+        radio.start()
+        sim.run_until(1.5)
+        radio.disable()
+        sim.run_until(20.0)
+        assert radio.wake_count == 1
+        assert radio.state_machine_idle
+
+    def test_enable_resumes_cycling(self):
+        sim = Simulator()
+        radio = DutyCycledRadio(sim, DutyCycleConfig(t_on=1.0, duty_cycle=0.25))
+        radio.start()
+        sim.run_until(1.5)
+        radio.disable()
+        sim.run_until(10.0)
+        radio.enable()
+        sim.run_until(20.0)
+        assert radio.wake_count > 1
+
+    def test_set_config_applies_at_next_wake(self):
+        sim = Simulator()
+        radio = DutyCycledRadio(sim, DutyCycleConfig(t_on=1.0, duty_cycle=0.25))
+        radio.start()
+        sim.run_until(0.5)
+        radio.set_config(DutyCycleConfig(t_on=1.0, duty_cycle=0.5))
+        assert radio.config.duty_cycle == 0.25  # not yet
+        sim.run_until(4.0)
+        assert radio.config.duty_cycle == 0.5
+
+    def test_phase_offsets_first_wake(self):
+        sim = Simulator()
+        wakes = []
+        radio = DutyCycledRadio(
+            sim, DutyCycleConfig(t_on=1.0, duty_cycle=0.25),
+            on_wake=wakes.append, phase=2.5,
+        )
+        radio.start()
+        sim.run_until(10.0)
+        assert wakes[0] == pytest.approx(2.5)
+
+    def test_ledger_conservation(self):
+        __, radio = run_radio(duration=100.0)
+        ledger = radio.ledger
+        recomputed = sum(ledger.time_by_state.values())
+        assert ledger.total_time == pytest.approx(recomputed)
+        assert ledger.total_time == pytest.approx(100.0, abs=4.1)

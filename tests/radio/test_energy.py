@@ -1,0 +1,82 @@
+"""Unit tests for the energy model and ledger."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.radio.energy import EnergyLedger, EnergyModel, TELOSB_ENERGY_MODEL
+from repro.radio.states import RadioState
+
+
+class TestEnergyModel:
+    def test_power_is_voltage_times_current(self):
+        power = TELOSB_ENERGY_MODEL.power(RadioState.LISTEN)
+        assert power == pytest.approx(3.0 * 19.7e-3)
+
+    def test_missing_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(supply_voltage=3.0, current_by_state={RadioState.SLEEP: 0.0})
+
+    def test_negative_current_rejected(self):
+        currents = {state: 1e-3 for state in RadioState}
+        currents[RadioState.TRANSMIT] = -1.0
+        with pytest.raises(ConfigurationError):
+            EnergyModel(supply_voltage=3.0, current_by_state=currents)
+
+    def test_invalid_voltage_rejected(self):
+        currents = {state: 1e-3 for state in RadioState}
+        with pytest.raises(ConfigurationError):
+            EnergyModel(supply_voltage=0.0, current_by_state=currents)
+
+    def test_snip_assumption_tx_close_to_rx(self):
+        """SNIP assumes TX and RX/listen cost about the same (paper §III)."""
+        tx = TELOSB_ENERGY_MODEL.power(RadioState.TRANSMIT)
+        rx = TELOSB_ENERGY_MODEL.power(RadioState.LISTEN)
+        assert abs(tx - rx) / rx < 0.15
+
+
+class TestEnergyLedger:
+    def test_on_time_counts_non_sleep_states(self):
+        ledger = EnergyLedger()
+        ledger.record(RadioState.LISTEN, 2.0)
+        ledger.record(RadioState.TRANSMIT, 1.0)
+        ledger.record(RadioState.SLEEP, 97.0)
+        assert ledger.on_time == pytest.approx(3.0)
+        assert ledger.total_time == pytest.approx(100.0)
+
+    def test_joules_weighted_by_state_power(self):
+        ledger = EnergyLedger()
+        ledger.record(RadioState.LISTEN, 10.0)
+        expected = TELOSB_ENERGY_MODEL.power(RadioState.LISTEN) * 10.0
+        assert ledger.joules == pytest.approx(expected)
+
+    def test_on_time_joules_excludes_sleep(self):
+        ledger = EnergyLedger()
+        ledger.record(RadioState.SLEEP, 1000.0)
+        ledger.record(RadioState.LISTEN, 1.0)
+        assert ledger.on_time_joules() == pytest.approx(
+            TELOSB_ENERGY_MODEL.power(RadioState.LISTEN)
+        )
+        assert ledger.joules > ledger.on_time_joules()
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            EnergyLedger().record(RadioState.LISTEN, -1.0)
+
+    def test_tiny_negative_tolerated_as_zero(self):
+        ledger = EnergyLedger()
+        ledger.record(RadioState.LISTEN, -1e-12)
+        assert ledger.on_time == 0.0
+
+    def test_reset_zeroes_all_states(self):
+        ledger = EnergyLedger()
+        ledger.record(RadioState.LISTEN, 5.0)
+        ledger.reset()
+        assert ledger.total_time == 0.0
+
+    def test_snapshot_contains_summary_keys(self):
+        ledger = EnergyLedger()
+        ledger.record(RadioState.LISTEN, 5.0)
+        snapshot = ledger.snapshot()
+        assert snapshot["on_time"] == pytest.approx(5.0)
+        assert "joules" in snapshot
+        assert snapshot["time_listen"] == pytest.approx(5.0)

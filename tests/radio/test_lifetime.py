@@ -1,0 +1,83 @@
+"""Unit tests for the battery lifetime model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.lifetime import Battery, LifetimeModel
+from repro.units import DAY
+
+
+class TestBattery:
+    def test_usable_joules(self):
+        battery = Battery(capacity_mah=1000.0, voltage=3.0, usable_fraction=1.0)
+        assert battery.usable_joules == pytest.approx(10800.0)
+
+    def test_derating_applies(self):
+        full = Battery(usable_fraction=1.0).usable_joules
+        derated = Battery(usable_fraction=0.5).usable_joules
+        assert derated == pytest.approx(full / 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Battery(capacity_mah=0.0)
+        with pytest.raises(ConfigurationError):
+            Battery(usable_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            Battery(usable_fraction=1.5)
+
+
+class TestForwardModel:
+    def test_more_on_time_shorter_life(self):
+        model = LifetimeModel()
+        assert model.lifetime_days(86.4) > model.lifetime_days(864.0)
+
+    def test_paper_budgets_give_multi_year_life(self):
+        """The point of aggressive duty-cycling: years, not weeks."""
+        model = LifetimeModel()
+        assert model.lifetime_years(86.4) > 2.0     # Tepoch/1000
+        assert model.lifetime_years(864.0) > 0.75   # Tepoch/100
+
+    def test_always_on_radio_lasts_days(self):
+        model = LifetimeModel()
+        assert model.lifetime_days(DAY) < 15.0
+
+    def test_joules_per_day_monotone(self):
+        model = LifetimeModel()
+        values = [model.joules_per_day(x) for x in (0.0, 100.0, 1000.0)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        model = LifetimeModel()
+        with pytest.raises(ConfigurationError):
+            model.joules_per_day(-1.0)
+        with pytest.raises(ConfigurationError):
+            model.joules_per_day(DAY + 1)
+        with pytest.raises(ConfigurationError):
+            LifetimeModel(platform_overhead_joules_per_day=-1.0)
+
+
+class TestInverseModel:
+    def test_round_trip(self):
+        model = LifetimeModel()
+        phi_max = model.phi_max_for_lifetime(1000.0)
+        assert model.lifetime_days(phi_max) == pytest.approx(1000.0, rel=1e-6)
+
+    def test_budget_divisor_style(self):
+        model = LifetimeModel()
+        divisor = model.budget_divisor_for_lifetime(1000.0)
+        assert divisor == pytest.approx(DAY / model.phi_max_for_lifetime(1000.0))
+
+    def test_longer_target_means_smaller_allowance(self):
+        model = LifetimeModel()
+        assert model.phi_max_for_lifetime(2000.0) < model.phi_max_for_lifetime(500.0)
+
+    def test_unreachable_target_raises(self):
+        model = LifetimeModel(platform_overhead_joules_per_day=10.0)
+        with pytest.raises(ConfigurationError):
+            model.phi_max_for_lifetime(10_000_000.0)
+
+    def test_allowance_capped_at_a_day(self):
+        generous = LifetimeModel(
+            battery=Battery(capacity_mah=1e9), platform_overhead_joules_per_day=0.0
+        )
+        assert generous.phi_max_for_lifetime(1.0) == DAY

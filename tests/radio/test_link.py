@@ -1,0 +1,44 @@
+"""Unit tests for the link model."""
+
+import pytest
+
+from repro.radio.link import DEFAULT_GOODPUT_BYTES_PER_SECOND, LinkModel
+
+
+class TestLinkModel:
+    def test_default_goodput_is_derated_phy_rate(self):
+        assert DEFAULT_GOODPUT_BYTES_PER_SECOND == pytest.approx(12500.0)
+
+    def test_bytes_in_scales_with_window(self):
+        link = LinkModel(goodput_bytes_per_second=1000.0)
+        assert link.bytes_in(2.0) == pytest.approx(2000.0)
+
+    def test_association_overhead_subtracts_from_window(self):
+        link = LinkModel(goodput_bytes_per_second=1000.0, association_overhead=0.5)
+        assert link.bytes_in(2.0) == pytest.approx(1500.0)
+        assert link.bytes_in(0.4) == 0.0
+
+    def test_loss_rate_derates_goodput(self):
+        link = LinkModel(goodput_bytes_per_second=1000.0, loss_rate=0.25)
+        assert link.effective_goodput == pytest.approx(750.0)
+
+    def test_seconds_for_inverts_bytes_in(self):
+        link = LinkModel(goodput_bytes_per_second=1000.0, association_overhead=0.3)
+        window = link.seconds_for(700.0)
+        assert link.bytes_in(window) == pytest.approx(700.0)
+
+    def test_seconds_for_zero_payload(self):
+        assert LinkModel().seconds_for(0.0) == 0.0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(Exception):
+            LinkModel(goodput_bytes_per_second=0.0)
+        with pytest.raises(Exception):
+            LinkModel(loss_rate=1.0)
+        with pytest.raises(Exception):
+            LinkModel(association_overhead=-1.0)
+
+    def test_usable_window_clamps_at_zero(self):
+        link = LinkModel(association_overhead=1.0)
+        assert link.usable_window(0.5) == 0.0
+        assert link.usable_window(1.5) == pytest.approx(0.5)

@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventKind
+
+
+class TestScheduling:
+    def test_schedule_returns_event_with_time(self):
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda ev: None)
+        assert event.time == 5.0
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda ev: None)
+        sim.run_until(2.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda ev: None)
+
+    def test_schedule_after_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda ev: None)
+
+    def test_schedule_after_is_relative(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda ev: sim.schedule_after(2.0, lambda e: None))
+        sim.run_until(3.0)
+        assert sim.pending_count() == 1
+
+    def test_schedule_at_current_time_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, lambda ev: fired.append(ev.time))
+        sim.run()
+        assert fired == [0.0]
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        for time in (5.0, 1.0, 3.0):
+            sim.schedule(time, lambda ev: order.append(ev.time))
+        sim.run()
+        assert order == [1.0, 3.0, 5.0]
+
+    def test_ties_broken_by_priority_then_sequence(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda ev: order.append("late"), priority=1)
+        sim.schedule(1.0, lambda ev: order.append("first"), priority=-1)
+        sim.schedule(1.0, lambda ev: order.append("second"), priority=-1)
+        sim.run()
+        assert order == ["first", "second", "late"]
+
+    def test_same_schedule_same_order(self):
+        def build():
+            sim = Simulator()
+            order = []
+            for index in range(50):
+                sim.schedule(1.0, lambda ev, i=index: order.append(i))
+            sim.run()
+            return order
+
+        assert build() == build()
+
+
+class TestRunControls:
+    def test_run_until_advances_clock_to_target(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_inclusive_fires_boundary_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda ev: fired.append(1))
+        sim.run_until(10.0, inclusive=True)
+        assert fired == [1]
+
+    def test_run_until_exclusive_defers_boundary_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda ev: fired.append(1))
+        sim.run_until(10.0, inclusive=False)
+        assert fired == []
+        sim.run_until(10.0, inclusive=True)
+        assert fired == [1]
+
+    def test_run_until_backwards_raises(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_tiled_run_until_fires_each_event_once(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda ev: fired.append(ev.time))
+        sim.run_until(2.0, inclusive=False)
+        sim.run_until(3.0, inclusive=False)
+        sim.run_until(4.0, inclusive=False)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_exits_run_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda ev: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda ev: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_step_returns_none_on_empty_queue(self):
+        assert Simulator().step() is None
+
+    def test_fired_count_tracks_events(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(float(t), lambda ev: None)
+        sim.run()
+        assert sim.fired_count == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda ev: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda ev: None)
+        drop = sim.schedule(2.0, lambda ev: None)
+        drop.cancel()
+        assert sim.pending_count() == 1
+        assert keep.cancelled is False
+
+    def test_drain_yields_live_events_without_firing(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda ev: fired.append(1), kind=EventKind.BEACON)
+        sim.schedule(2.0, lambda ev: fired.append(2)).cancel()
+        drained = list(sim.drain())
+        assert fired == []
+        assert [e.kind for e in drained] == [EventKind.BEACON]

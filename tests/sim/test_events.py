@@ -1,0 +1,42 @@
+"""Unit tests for event records."""
+
+from repro.sim.events import Event, EventKind
+
+
+def make(time=0.0, priority=0, seq=0, **kwargs):
+    return Event(time=time, priority=priority, seq=seq, **kwargs)
+
+
+class TestOrdering:
+    def test_sort_key_orders_by_time_first(self):
+        assert make(time=1.0, seq=5) < make(time=2.0, seq=0)
+
+    def test_sort_key_breaks_time_tie_by_priority(self):
+        assert make(priority=-1, seq=9) < make(priority=0, seq=0)
+
+    def test_sort_key_breaks_final_tie_by_sequence(self):
+        assert make(seq=1) < make(seq=2)
+
+
+class TestBehaviour:
+    def test_fire_invokes_callback_with_event(self):
+        seen = []
+        event = make(callback=seen.append)
+        event.fire()
+        assert seen == [event]
+
+    def test_fire_without_callback_is_noop(self):
+        make().fire()  # must not raise
+
+    def test_cancel_marks_event(self):
+        event = make()
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+    def test_payload_carried(self):
+        event = make(payload={"contact": 1})
+        assert event.payload == {"contact": 1}
+
+    def test_default_kind_is_generic(self):
+        assert make().kind is EventKind.GENERIC

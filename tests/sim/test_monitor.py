@@ -1,0 +1,77 @@
+"""Unit tests for measurement primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.monitor import Counter, Monitor, TimeWeightedValue
+
+
+class TestCounter:
+    def test_increment_counts_units(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment()
+        assert counter.total == 2.0
+        assert counter.events == 2
+
+    def test_add_accumulates_amounts(self):
+        counter = Counter("c")
+        counter.add(1.5)
+        counter.add(2.5)
+        assert counter.total == 4.0
+        assert counter.events == 2
+
+    def test_reset_zeroes(self):
+        counter = Counter("c")
+        counter.add(3.0)
+        counter.reset()
+        assert counter.total == 0.0
+        assert counter.events == 0
+
+
+class TestTimeWeightedValue:
+    def test_integral_of_constant_signal(self):
+        signal = TimeWeightedValue("radio", initial=1.0)
+        assert signal.integral(10.0) == pytest.approx(10.0)
+
+    def test_integral_of_step_signal(self):
+        signal = TimeWeightedValue("radio", initial=0.0)
+        signal.set(2.0, 1.0)
+        signal.set(5.0, 0.0)
+        assert signal.integral(10.0) == pytest.approx(3.0)
+
+    def test_time_going_backwards_raises(self):
+        signal = TimeWeightedValue("radio")
+        signal.set(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            signal.set(4.0, 0.0)
+
+    def test_value_property_tracks_latest(self):
+        signal = TimeWeightedValue("radio", initial=0.25)
+        assert signal.value == 0.25
+        signal.set(1.0, 0.75)
+        assert signal.value == 0.75
+
+
+class TestMonitor:
+    def test_counter_is_created_on_demand_and_cached(self):
+        monitor = Monitor()
+        assert monitor.counter("zeta") is monitor.counter("zeta")
+
+    def test_snapshot_epoch_resets_counters(self):
+        monitor = Monitor()
+        monitor.counter("zeta").add(4.0)
+        row = monitor.snapshot_epoch()
+        assert row == {"zeta": 4.0}
+        assert monitor.counter("zeta").total == 0.0
+
+    def test_epoch_mean_across_snapshots(self):
+        monitor = Monitor()
+        monitor.counter("phi").add(2.0)
+        monitor.snapshot_epoch()
+        monitor.counter("phi").add(4.0)
+        monitor.snapshot_epoch()
+        assert monitor.epoch_mean("phi") == pytest.approx(3.0)
+
+    def test_epoch_mean_missing_counter_is_none(self):
+        assert Monitor().epoch_mean("nope") is None

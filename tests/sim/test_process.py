@@ -1,0 +1,116 @@
+"""Unit tests for cooperative processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, ProcessState
+
+
+class TickCounter(Process):
+    """Ticks a fixed number of times with a fixed period."""
+
+    def __init__(self, sim, period=1.0, limit=3):
+        super().__init__(sim, name="ticker")
+        self.period = period
+        self.limit = limit
+        self.ticks = []
+        self.stopped_at = None
+
+    def on_tick(self):
+        self.ticks.append(self.sim.now)
+        if len(self.ticks) >= self.limit:
+            return None
+        return self.period
+
+    def on_stop(self):
+        self.stopped_at = self.sim.now
+
+
+class TestLifecycle:
+    def test_process_ticks_until_none(self):
+        sim = Simulator()
+        proc = TickCounter(sim, period=2.0, limit=3)
+        proc.start()
+        sim.run()
+        assert proc.ticks == [0.0, 2.0, 4.0]
+        assert proc.state is ProcessState.STOPPED
+
+    def test_on_stop_called_once_at_finish(self):
+        sim = Simulator()
+        proc = TickCounter(sim, limit=1)
+        proc.start()
+        sim.run()
+        assert proc.stopped_at == 0.0
+
+    def test_double_start_raises(self):
+        sim = Simulator()
+        proc = TickCounter(sim)
+        proc.start()
+        with pytest.raises(SimulationError):
+            proc.start()
+
+    def test_stop_is_idempotent(self):
+        sim = Simulator()
+        proc = TickCounter(sim)
+        proc.start()
+        proc.stop()
+        proc.stop()
+        assert proc.state is ProcessState.STOPPED
+
+    def test_stop_cancels_pending_tick(self):
+        sim = Simulator()
+        proc = TickCounter(sim, limit=10)
+        proc.start()
+        sim.run_until(0.5)
+        proc.stop()
+        sim.run()
+        assert proc.ticks == [0.0]
+
+
+class TestPauseResume:
+    def test_pause_suspends_ticks(self):
+        sim = Simulator()
+        proc = TickCounter(sim, period=1.0, limit=10)
+        proc.start()
+        sim.run_until(1.5)
+        proc.pause()
+        sim.run_until(5.0)
+        assert proc.ticks == [0.0, 1.0]
+        assert proc.state is ProcessState.PAUSED
+
+    def test_resume_restarts_ticking(self):
+        sim = Simulator()
+        proc = TickCounter(sim, period=1.0, limit=10)
+        proc.start()
+        sim.run_until(0.5)
+        proc.pause()
+        sim.run_until(3.0)
+        proc.resume(delay=1.0)
+        sim.run_until(4.0)
+        assert proc.ticks == [0.0, 4.0]
+
+    def test_resume_on_running_process_is_noop(self):
+        sim = Simulator()
+        proc = TickCounter(sim, limit=10)
+        proc.start()
+        proc.resume()
+        sim.run_until(0.0)
+        assert proc.ticks == [0.0]
+
+    def test_pause_on_stopped_process_is_noop(self):
+        sim = Simulator()
+        proc = TickCounter(sim, limit=1)
+        proc.start()
+        sim.run()
+        proc.pause()
+        assert proc.state is ProcessState.STOPPED
+
+    def test_is_running_reflects_state(self):
+        sim = Simulator()
+        proc = TickCounter(sim, limit=5)
+        assert not proc.is_running
+        proc.start()
+        assert proc.is_running
+        proc.pause()
+        assert not proc.is_running

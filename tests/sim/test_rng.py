@@ -1,0 +1,85 @@
+"""Unit tests for reproducible random streams."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(7).stream("x").random(5)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(8).stream("x").random(5)
+        assert list(a) != list(b)
+
+    def test_streams_independent_of_request_order(self):
+        first = RandomStreams(3)
+        a1 = first.stream("a").random()
+        second = RandomStreams(3)
+        second.stream("b").random()  # request b before a
+        a2 = second.stream("a").random()
+        assert a1 == a2
+
+    def test_named_streams_are_distinct(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a").random() != streams.stream("b").random()
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+
+class TestValidation:
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams("seed")  # type: ignore[arg-type]
+
+    def test_bool_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(True)  # type: ignore[arg-type]
+
+    def test_empty_stream_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(1).stream("")
+
+
+class TestNormalPositive:
+    def test_zero_std_returns_mean(self):
+        assert RandomStreams(1).normal_positive("n", 5.0, 0.0) == 5.0
+
+    def test_samples_stay_positive(self):
+        streams = RandomStreams(1)
+        samples = [streams.normal_positive("n", 1.0, 0.9) for _ in range(500)]
+        assert all(s > 0 for s in samples)
+
+    def test_mean_approximately_respected(self):
+        streams = RandomStreams(5)
+        samples = [streams.normal_positive("n", 300.0, 30.0) for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 300.0) < 3.0
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(1).normal_positive("n", 0.0, 1.0)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(1).normal_positive("n", 1.0, -1.0)
+
+
+class TestSpawn:
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(2).spawn("rep-1").stream("x").random()
+        b = RandomStreams(2).spawn("rep-1").stream("x").random()
+        assert a == b
+
+    def test_spawned_families_differ(self):
+        root = RandomStreams(2)
+        a = root.spawn("rep-1").stream("x").random()
+        b = root.spawn("rep-2").stream("x").random()
+        assert a != b

@@ -1,0 +1,91 @@
+"""Unit tests for interval timelines."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.timeline import IntervalRecord, Timeline
+
+
+class TestIntervalRecord:
+    def test_duration(self):
+        assert IntervalRecord("a", 1.0, 3.5).duration == pytest.approx(2.5)
+
+    def test_overlap_partial(self):
+        record = IntervalRecord("a", 0.0, 10.0)
+        assert record.overlap(5.0, 15.0) == pytest.approx(5.0)
+
+    def test_overlap_disjoint_is_zero(self):
+        record = IntervalRecord("a", 0.0, 1.0)
+        assert record.overlap(2.0, 3.0) == 0.0
+
+
+class TestRecording:
+    def test_add_and_total_duration(self):
+        timeline = Timeline()
+        timeline.add("on", 0.0, 1.0)
+        timeline.add("on", 2.0, 4.0)
+        assert timeline.total_duration("on") == pytest.approx(3.0)
+
+    def test_add_backwards_interval_raises(self):
+        with pytest.raises(SimulationError):
+            Timeline().add("on", 2.0, 1.0)
+
+    def test_out_of_order_append_raises(self):
+        timeline = Timeline()
+        timeline.add("on", 5.0, 6.0)
+        with pytest.raises(SimulationError):
+            timeline.add("on", 1.0, 2.0)
+
+    def test_open_close_records_interval(self):
+        timeline = Timeline()
+        timeline.open("on", 1.0)
+        assert timeline.is_open("on")
+        record = timeline.close("on", 2.0)
+        assert record.duration == pytest.approx(1.0)
+        assert not timeline.is_open("on")
+
+    def test_double_open_raises(self):
+        timeline = Timeline()
+        timeline.open("on", 1.0)
+        with pytest.raises(SimulationError):
+            timeline.open("on", 2.0)
+
+    def test_close_without_open_returns_none(self):
+        assert Timeline().close("on", 1.0) is None
+
+
+class TestQueries:
+    def make(self):
+        timeline = Timeline()
+        for start in (0.0, 10.0, 20.0):
+            timeline.add("on", start, start + 2.0)
+        timeline.add("contact", 11.0, 12.0)
+        return timeline
+
+    def test_labels_sorted(self):
+        assert self.make().labels() == ["contact", "on"]
+
+    def test_overlap_duration_spanning_multiple_intervals(self):
+        timeline = self.make()
+        assert timeline.overlap_duration("on", 1.0, 21.0) == pytest.approx(4.0)
+
+    def test_overlap_duration_empty_label(self):
+        assert Timeline().overlap_duration("nope", 0.0, 1.0) == 0.0
+
+    def test_coverage_fraction(self):
+        timeline = self.make()
+        assert timeline.coverage_fraction("on", 0.0, 30.0) == pytest.approx(0.2)
+
+    def test_coverage_fraction_degenerate_window(self):
+        assert self.make().coverage_fraction("on", 5.0, 5.0) == 0.0
+
+    def test_iter_between_filters_by_window(self):
+        hits = list(self.make().iter_between(10.5, 11.5))
+        labels = sorted(record.label for record in hits)
+        assert labels == ["contact", "on"]
+
+    def test_intervals_returns_copy(self):
+        timeline = self.make()
+        intervals = timeline.intervals("on")
+        intervals.clear()
+        assert len(timeline.intervals("on")) == 3

@@ -1,0 +1,78 @@
+"""Unit tests for unit helpers and validators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    format_duration,
+    hours,
+    milliseconds,
+    minutes,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestConstants:
+    def test_derived_constants_consistent(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+    def test_conversion_helpers(self):
+        assert hours(2) == 7200.0
+        assert minutes(1.5) == 90.0
+        assert milliseconds(20) == pytest.approx(0.02)
+
+
+class TestValidators:
+    def test_require_positive_accepts_and_returns(self):
+        assert require_positive("x", 3) == 3.0
+
+    @pytest.mark.parametrize("bad", [0, -1.0, float("nan"), float("inf"), "2", None, True])
+    def test_require_positive_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", bad)
+
+    def test_require_non_negative_accepts_zero(self):
+        assert require_non_negative("x", 0) == 0.0
+
+    def test_require_non_negative_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_non_negative("x", -0.1)
+
+    def test_require_fraction_bounds(self):
+        assert require_fraction("x", 0.0) == 0.0
+        assert require_fraction("x", 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            require_fraction("x", 1.1)
+        with pytest.raises(ConfigurationError):
+            require_fraction("x", -0.1)
+
+    def test_error_message_names_the_parameter(self):
+        with pytest.raises(ConfigurationError, match="t_on"):
+            require_positive("t_on", -5)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.02, "20.0ms"),
+            (1.5, "1.5s"),
+            (93.5, "1m33.5s"),
+            (7200, "2h00m"),
+            (86400, "24h00m"),
+            (-60, "-1m00.0s"),
+        ],
+    )
+    def test_examples(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_rounding_up_to_next_hour(self):
+        assert format_duration(2 * 3600 - 1) == "2h00m"
