@@ -2,48 +2,64 @@
 
 The paper simulates two weeks in COOJA with normal-jittered contact
 processes (cv = 0.1) and plots per-epoch averages.  This bench runs the
-same grid on the fast contact-driven simulator, averaged over three
-seeds (the paper itself notes "a lot of variance in simulation
-results"), and prints the three panels alongside the analysis
-prediction.
+same grid as one replicated sweep — three seed replicates per
+(mechanism, ζtarget) cell (the paper itself notes "a lot of variance in
+simulation results") — executed twice: once in-process and once on a
+4-worker process pool.  The two executions must agree byte-for-byte
+(the parallel orchestration determinism contract), and the bench
+reports the measured wall-clock speedup alongside the three panels and
+the analysis prediction.
 """
+
+import time
 
 import pytest
 from conftest import emit
 
+from repro.experiments.parallel import (
+    ParallelExecutor,
+    SerialExecutor,
+    available_cpus,
+)
 from repro.experiments.reporting import format_series
 from repro.experiments.scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
 from repro.experiments.sweep import sweep_zeta_targets
 
 TARGETS = list(PAPER_ZETA_TARGETS)
 SEEDS = (1, 2, 3)
+JOBS = 4
+METRICS = ("zeta", "phi", "rho")
 
 
 def run_grid(divisor):
-    sweeps = [
-        sweep_zeta_targets(
-            paper_roadside_scenario(
-                phi_max_divisor=divisor, epochs=14, seed=seed
-            ),
-            TARGETS,
+    base = paper_roadside_scenario(
+        phi_max_divisor=divisor, epochs=14, seed=SEEDS[0]
+    )
+    start = time.perf_counter()
+    serial = sweep_zeta_targets(
+        base, TARGETS, replicate_seeds=SEEDS, executor=SerialExecutor()
+    )
+    serial_seconds = time.perf_counter() - start
+    pool = ParallelExecutor(jobs=JOBS)
+    start = time.perf_counter()
+    parallel = sweep_zeta_targets(
+        base, TARGETS, replicate_seeds=SEEDS, executor=pool
+    )
+    parallel_seconds = time.perf_counter() - start
+    assert pool.last_map_parallel, "pool fell back to serial; timing is meaningless"
+    for metric in METRICS:
+        assert serial.series(metric) == parallel.series(metric), (
+            f"parallel execution changed the {metric} series"
         )
-        for seed in SEEDS
-    ]
-    averaged = {}
-    for mechanism in sweeps[0].points:
-        averaged[mechanism] = {
-            metric: [
-                sum(getattr(sweep.points[mechanism][i], metric) for sweep in sweeps)
-                / len(sweeps)
-                for i in range(len(TARGETS))
-            ]
-            for metric in ("zeta", "phi", "rho")
-        }
-    predicted = {
-        mechanism: [point.predicted for point in sweeps[0].points[mechanism]]
-        for mechanism in sweeps[0].points
+    averaged = {
+        mechanism: {metric: parallel.series(metric)[mechanism] for metric in METRICS}
+        for mechanism in parallel.points
     }
-    return averaged, predicted
+    predicted = {
+        mechanism: [point.predicted for point in parallel.points[mechanism]]
+        for mechanism in parallel.points
+    }
+    return averaged, predicted, serial_seconds, parallel_seconds
 
 
 def generate_fig7():
@@ -51,7 +67,7 @@ def generate_fig7():
 
 
 def test_fig7_simulation_tight_budget(once):
-    averaged, predicted = once(generate_fig7)
+    averaged, predicted, serial_seconds, parallel_seconds = once(generate_fig7)
     for metric, label in (("zeta", "(a) zeta (s)"), ("phi", "(b) Phi (s)"), ("rho", "(c) rho")):
         series = {name: values[metric] for name, values in averaged.items()}
         emit(
@@ -63,6 +79,14 @@ def test_fig7_simulation_tight_budget(once):
                 ),
             )
         )
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    emit(
+        f"replicated grid wall-clock: serial {serial_seconds:.2f}s, "
+        f"{JOBS}-worker pool {parallel_seconds:.2f}s "
+        f"(speedup {speedup:.2f}x on {available_cpus()} available CPUs)"
+    )
+    if available_cpus() >= JOBS:
+        assert speedup > 1.5
     at = averaged["SNIP-AT"]
     rh = averaged["SNIP-RH"]
     opt = averaged["SNIP-OPT"]

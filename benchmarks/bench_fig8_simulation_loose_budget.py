@@ -1,45 +1,31 @@
 """Fig. 8 — simulation results, Φmax = Tepoch/100.
 
-Same simulated grid as Fig. 7 under the loose budget.  Shape pinned: AT
-meets every target at ~3x RH's per-unit cost; RH tracks targets through
-48 s and saturates below 56 s (the rush-capacity cap); OPT stays the
-cheapest mechanism that meets each target.
+Same replicated grid as Fig. 7 under the loose budget, run through the
+parallel orchestration layer (serial and 4-worker executions must agree
+byte-for-byte).  Shape pinned: AT meets every target at ~3x RH's
+per-unit cost; RH tracks targets through 48 s and saturates below 56 s
+(the rush-capacity cap); OPT stays the cheapest mechanism that meets
+each target.
 """
 
 import pytest
 from conftest import emit
 
+from bench_fig7_simulation_tight_budget import JOBS, available_cpus, run_grid
 from repro.experiments.reporting import format_series
-from repro.experiments.scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
-from repro.experiments.sweep import sweep_zeta_targets
+from repro.experiments.scenario import PAPER_ZETA_TARGETS
 
 TARGETS = list(PAPER_ZETA_TARGETS)
 SEEDS = (1, 2, 3)
 
 
 def generate_fig8():
-    sweeps = [
-        sweep_zeta_targets(
-            paper_roadside_scenario(phi_max_divisor=100, epochs=14, seed=seed),
-            TARGETS,
-        )
-        for seed in SEEDS
-    ]
-    averaged = {}
-    for mechanism in sweeps[0].points:
-        averaged[mechanism] = {
-            metric: [
-                sum(getattr(sweep.points[mechanism][i], metric) for sweep in sweeps)
-                / len(sweeps)
-                for i in range(len(TARGETS))
-            ]
-            for metric in ("zeta", "phi", "rho")
-        }
-    return averaged
+    averaged, _predicted, serial_seconds, parallel_seconds = run_grid(100)
+    return averaged, serial_seconds, parallel_seconds
 
 
 def test_fig8_simulation_loose_budget(once):
-    averaged = once(generate_fig8)
+    averaged, serial_seconds, parallel_seconds = once(generate_fig8)
     for metric, label in (("zeta", "(a) zeta (s)"), ("phi", "(b) Phi (s)"), ("rho", "(c) rho")):
         series = {name: values[metric] for name, values in averaged.items()}
         emit(
@@ -51,6 +37,12 @@ def test_fig8_simulation_loose_budget(once):
                 ),
             )
         )
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    emit(
+        f"replicated grid wall-clock: serial {serial_seconds:.2f}s, "
+        f"{JOBS}-worker pool {parallel_seconds:.2f}s "
+        f"(speedup {speedup:.2f}x on {available_cpus()} available CPUs)"
+    )
     at = averaged["SNIP-AT"]
     rh = averaged["SNIP-RH"]
     opt = averaged["SNIP-OPT"]

@@ -51,8 +51,11 @@ from .experiments import (
     FastRunner,
     MicroRunner,
     PAPER_ZETA_TARGETS,
+    ParallelExecutor,
     RunResult,
+    RunSpec,
     Scenario,
+    SerialExecutor,
     paper_roadside_scenario,
     sweep_zeta_targets,
 )
@@ -109,8 +112,11 @@ __all__ = [
     "FastRunner",
     "MicroRunner",
     "PAPER_ZETA_TARGETS",
+    "ParallelExecutor",
     "RunResult",
+    "RunSpec",
     "Scenario",
+    "SerialExecutor",
     "paper_roadside_scenario",
     "sweep_zeta_targets",
     # mobility

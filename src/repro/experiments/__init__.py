@@ -10,14 +10,17 @@
   to validate the fast engine and equation 1;
 * :mod:`~repro.experiments.metrics` — ζ/Φ/ρ extraction and aggregation;
 * :mod:`~repro.experiments.sweep` — parameter sweeps for figures and
-  ablations;
+  ablations, with seed replication and confidence intervals;
+* :mod:`~repro.experiments.parallel` — deterministic process-pool
+  orchestration of sweep/replicate shards;
 * :mod:`~repro.experiments.reporting` — plain-text tables and series.
 """
 
 from .scenario import Scenario, paper_roadside_scenario, PAPER_ZETA_TARGETS
 from .metrics import EpochMetrics, RunMetrics
-from .runner import FastRunner, RunResult
+from .runner import FastRunner, RunResult, RunSpec, default_factories, execute_run_spec
 from .micro import MicroRunner
+from .parallel import ParallelExecutor, SerialExecutor, cell_seed, replicate_seed
 from .sweep import sweep_zeta_targets, SweepResult
 from .reporting import format_table, format_series
 
@@ -29,7 +32,14 @@ __all__ = [
     "RunMetrics",
     "FastRunner",
     "RunResult",
+    "RunSpec",
+    "default_factories",
+    "execute_run_spec",
     "MicroRunner",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "cell_seed",
+    "replicate_seed",
     "sweep_zeta_targets",
     "SweepResult",
     "format_table",

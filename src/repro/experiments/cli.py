@@ -14,9 +14,23 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..core.analysis import evaluate_schedulers, rush_hour_gain_surface
+from .parallel import ParallelExecutor
 from .reporting import format_series, format_table
 from .scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
 from .sweep import sweep_zeta_targets
+
+
+def _executor_from_jobs(jobs: int):
+    """None for in-process execution, a ParallelExecutor above 1 job."""
+    return ParallelExecutor(jobs=jobs) if jobs > 1 else None
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (--jobs, --replicates)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -58,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(simulate)
     simulate.add_argument("--epochs", type=int, default=14, help="days to simulate")
     simulate.add_argument("--seed", type=int, default=1, help="RNG seed")
+    simulate.add_argument(
+        "--replicates", type=_positive_int, default=1,
+        help="seed replicates per grid cell (adds 95%% CIs above 1)",
+    )
+    simulate.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the grid (1 = in-process)",
+    )
 
     sub.add_parser("gain", help="the Fig. 4 rush-hour gain surface")
 
@@ -81,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument("--commuters", type=int, default=60, help="agents")
     network.add_argument("--days", type=int, default=7, help="days simulated")
     network.add_argument("--seed", type=int, default=1, help="RNG seed")
+    network.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for per-node fan-out (1 = in-process)",
+    )
     return parser
 
 
@@ -115,7 +141,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     scenario = paper_roadside_scenario(
         phi_max_divisor=args.budget_divisor, epochs=args.epochs, seed=args.seed
     )
-    sweep = sweep_zeta_targets(scenario, args.targets)
+    sweep = sweep_zeta_targets(
+        scenario,
+        args.targets,
+        n_replicates=args.replicates,
+        executor=_executor_from_jobs(args.jobs),
+    )
+    replicated = sweep.n_replicates > 1
+    suffix = f" x {sweep.n_replicates} seeds" if replicated else ""
     for metric, label in (("zeta", "zeta (s)"), ("phi", "Phi (s)"), ("rho", "rho")):
         print(
             format_series(
@@ -124,11 +157,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 sweep.series(metric),
                 title=(
                     f"Simulation {label}, Phi_max = Tepoch/"
-                    f"{args.budget_divisor:g}, {args.epochs} epochs"
+                    f"{args.budget_divisor:g}, {args.epochs} epochs{suffix}"
                 ),
             )
         )
         print()
+        if replicated:
+            intervals = sweep.ci_series(metric)
+            rows = [
+                [target] + [str(intervals[name][index]) for name in intervals]
+                for index, target in enumerate(args.targets)
+            ]
+            print(
+                format_table(
+                    ["zeta_target"] + list(intervals),
+                    rows,
+                    title=f"{label} 95% confidence intervals",
+                )
+            )
+            print()
     return 0
 
 
@@ -179,9 +226,17 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _network_rh_factory(scenario, node_id):
+    """Per-node SNIP-RH factory (module-level so workers can pickle it)."""
+    from ..core.schedulers.rh import SnipRhScheduler
+
+    return SnipRhScheduler(
+        scenario.profile, scenario.model, initial_contact_length=2.0
+    )
+
+
 def cmd_network(args: argparse.Namespace) -> int:
     """Run the emergent-rush-hour fleet demo and print per-node results."""
-    from ..core.schedulers.rh import SnipRhScheduler
     from ..network.agents import CommutePattern, Population
     from ..network.contacts import ContactExtractor
     from ..network.deployment import RoadDeployment
@@ -203,10 +258,8 @@ def cmd_network(args: argparse.Namespace) -> int:
     network = NetworkRunner(
         scenario,
         report.contacts_by_node,
-        lambda s, node_id: SnipRhScheduler(
-            s.profile, s.model, initial_contact_length=2.0
-        ),
-    ).run()
+        _network_rh_factory,
+    ).run(executor=_executor_from_jobs(args.jobs))
     rows = [
         [node_id, len(report.contacts_by_node[node_id]),
          outcome.zeta, outcome.phi, outcome.delivery_ratio]

@@ -1,0 +1,218 @@
+"""Parallel multi-seed experiment orchestration.
+
+The paper's evaluation is a mechanism × ζtarget grid; replicated runs
+add a third axis (the seed replicate).  This module shards that grid
+into independent cells, executes the shards on a process pool, and
+guarantees that the assembled result is **bit-identical** no matter how
+many workers ran it or in which order the shards completed.
+
+Sharding contract
+=================
+
+A shard is one ``(mechanism, ζtarget, replicate)`` cell, materialised
+as a :class:`~repro.experiments.runner.RunSpec`.  Three rules make the
+grid safe to scatter:
+
+1. **Cells are pure.**  A spec carries its complete scenario (seed
+   included), so executing it is a pure function of the spec.  No cell
+   reads state written by another cell.
+2. **Seeds are derived up front, never consumed from a shared stream.**
+   Replicate ``r`` of a sweep with base seed ``s`` runs with seed
+   ``replicate_seed(s, r)``: replicate 0 keeps ``s`` itself (so a
+   1-replicate sweep reproduces the historical serial behaviour
+   exactly), and later replicates derive independent substreams via
+   :func:`repro.sim.rng.derive_seed`, a pure function of
+   ``(base seed, key)`` that is insensitive to derivation order.
+   Within one replicate every mechanism and ζtarget shares the same
+   seed, preserving the paper's paired-comparison design: mechanisms
+   are judged on identical contact processes.
+3. **Results are reassembled by shard index, not completion order.**
+   Executors return results aligned with their input order, so
+   aggregation never observes scheduling nondeterminism.
+
+Together these rules give the determinism property the test suite pins
+(`tests/experiments/test_parallel.py`): ``jobs=1``, ``jobs=4``, and an
+adversarially shuffled execution order all produce byte-identical
+sweep series.
+
+Executors
+=========
+
+:class:`SerialExecutor` runs shards in-process (the default everywhere,
+and the reference semantics).  :class:`ParallelExecutor` fans shards
+out to a :class:`concurrent.futures.ProcessPoolExecutor`; it falls back
+to the serial path when the workload is too small, when the spec list
+is not picklable (e.g. closures as custom scheduler factories), or when
+the pool itself fails — so callers can pass an executor
+unconditionally and always get the same answer back.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+from concurrent.futures import ProcessPoolExecutor, process
+from multiprocessing import get_all_start_methods, get_context
+from typing import Callable, List, Protocol, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+from ..sim.rng import derive_seed
+
+SpecT = TypeVar("SpecT")
+ResultT = TypeVar("ResultT")
+
+
+def available_cpus() -> int:
+    """CPU cores usable by this process (cgroup/affinity aware).
+
+    ``os.cpu_count()`` reports installed cores; under a container CPU
+    quota or `taskset` that overstates real parallelism, so prefer the
+    scheduler affinity mask where the platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def replicate_seed(base_seed: int, replicate: int) -> int:
+    """The scenario seed for replicate *replicate* of a replicated run.
+
+    Replicate 0 is the base seed itself — a single-replicate run is
+    byte-identical to the historical unreplicated path — and every
+    later replicate derives an independent substream keyed by its index.
+    """
+    if replicate < 0:
+        raise ConfigurationError(f"replicate must be >= 0, got {replicate}")
+    if replicate == 0:
+        return base_seed
+    return derive_seed(base_seed, "replicate", replicate)
+
+
+def cell_seed(
+    base_seed: int, mechanism: str, zeta_target: float, replicate: int
+) -> int:
+    """A substream seed private to one (mechanism, ζtarget, replicate) cell.
+
+    Sweeps deliberately do *not* use this for trace generation (pairing:
+    mechanisms within a replicate must see identical contact processes),
+    but any cell-private randomness — scheduler exploration noise,
+    subsampling, bootstrap draws — must come from here so that adding a
+    draw in one cell can never perturb another.
+    """
+    return derive_seed(base_seed, mechanism, zeta_target, "replicate", replicate)
+
+
+class Executor(Protocol):
+    """Anything that can map a pure function over a list of shards."""
+
+    def map(
+        self, fn: Callable[[SpecT], ResultT], items: Sequence[SpecT]
+    ) -> List[ResultT]:
+        """Apply *fn* to every item; results align with input order."""
+        ...
+
+
+class SerialExecutor:
+    """In-process execution: the reference semantics for every executor."""
+
+    jobs = 1
+
+    def map(
+        self, fn: Callable[[SpecT], ResultT], items: Sequence[SpecT]
+    ) -> List[ResultT]:
+        """Apply *fn* to each item in order, in this process."""
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Process-pool execution with a transparent serial fallback.
+
+    Usage::
+
+        sweep = sweep_zeta_targets(
+            base, targets, n_replicates=8, executor=ParallelExecutor(jobs=4)
+        )
+
+    Determinism is inherited from the sharding contract (module
+    docstring): because every shard is pure and results are reassembled
+    by input index, the answer is byte-identical to
+    :class:`SerialExecutor`'s.  The fallback keeps that promise even
+    for workloads that cannot cross a process boundary.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        """*jobs* = worker processes; default: the available CPU count."""
+        if jobs is not None and jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else available_cpus()
+        #: Whether the most recent :meth:`map` actually used the pool
+        #: (False after a serial fallback) — diagnostic for benches and
+        #: tests; results are identical either way.
+        self.last_map_parallel = False
+
+    def map(
+        self, fn: Callable[[SpecT], ResultT], items: Sequence[SpecT]
+    ) -> List[ResultT]:
+        """Map *fn* over *items* on the pool; serial when that can't work."""
+        items = list(items)
+        self.last_map_parallel = False
+        if self.jobs <= 1 or len(items) <= 1 or not self._transportable(fn, items):
+            return [fn(item) for item in items]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(items)),
+                mp_context=self._context(),
+                initializer=_init_worker,
+                initargs=(list(sys.path),),
+            ) as pool:
+                results = list(pool.map(fn, items))
+            self.last_map_parallel = True
+            return results
+        except (pickle.PicklingError, TypeError, AttributeError,
+                process.BrokenProcessPool, OSError):
+            # Pool startup or shard transport failed (resource limits,
+            # dead worker, an unpicklable item past the sampled first):
+            # cells are pure, so rerunning serially gives the identical
+            # answer.
+            return [fn(item) for item in items]
+
+    @staticmethod
+    def _transportable(fn: Callable, items: Sequence) -> bool:
+        """True when *fn* and a sample shard survive a pickle round-trip.
+
+        Only the first item is checked — shard lists are homogeneous in
+        practice (the unpicklable part, e.g. a closure factory, appears
+        in every shard), and pickling the whole workload twice would
+        double the dominant fan-out cost.  A heterogeneous list that
+        slips through is caught by the pickle errors handled in
+        :meth:`map`.
+        """
+        try:
+            pickle.dumps(fn)
+            if items:
+                pickle.dumps(items[0])
+        except Exception:
+            return False
+        return True
+
+    @staticmethod
+    def _context():
+        """Prefer fork (workers inherit sys.path); else the default."""
+        if "fork" in get_all_start_methods():
+            return get_context("fork")
+        return None
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def _init_worker(parent_sys_path: List[str]) -> None:
+    """Mirror the parent's sys.path so spawned workers can import repro."""
+    for entry in parent_sys_path:
+        if entry not in sys.path:
+            sys.path.append(entry)

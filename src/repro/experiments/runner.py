@@ -25,9 +25,13 @@ Invariants enforced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
+from ..core.schedulers.at import SnipAtScheduler
 from ..core.schedulers.base import Scheduler
+from ..core.schedulers.opt import SnipOptScheduler
+from ..core.schedulers.rh import SnipRhScheduler
+from ..errors import ConfigurationError
 from ..mobility.contact import Contact, ContactTrace
 from ..mobility.synthetic import SyntheticTraceGenerator
 from ..node.buffer import DataBuffer
@@ -42,6 +46,71 @@ from ..sim.timeline import Timeline
 from ..units import TIME_EPSILON
 from .metrics import EpochMetrics, RunMetrics
 from .scenario import Scenario
+
+SchedulerFactory = Callable[[Scenario], Scheduler]
+
+
+def default_factories() -> Dict[str, SchedulerFactory]:
+    """The paper's three mechanisms, built from a scenario.
+
+    This registry is the worker-side mechanism resolver for parallel
+    execution: a :class:`RunSpec` that names one of these mechanisms can
+    be executed in a subprocess without shipping a (possibly
+    unpicklable) factory closure across the process boundary.
+    """
+    return {
+        "SNIP-AT": lambda s: SnipAtScheduler(
+            s.profile, s.model, zeta_target=s.zeta_target, phi_max=s.phi_max
+        ),
+        "SNIP-OPT": lambda s: SnipOptScheduler(
+            s.profile, s.model, zeta_target=s.zeta_target, phi_max=s.phi_max
+        ),
+        "SNIP-RH": lambda s: SnipRhScheduler(
+            s.profile, s.model, initial_contact_length=2.0
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined simulation cell, safe to ship to a worker.
+
+    The scenario already carries the cell's derived seed, so executing a
+    spec is a pure function: the same spec produces the same
+    :class:`RunResult` in any process, on any worker, in any order.
+
+    Attributes:
+        scenario: the complete configuration, seed included.
+        mechanism: scheduler name; resolved worker-side through
+            :func:`default_factories` unless *factory* overrides it.
+        replicate: replicate index within its (mechanism, ζtarget) cell
+            (bookkeeping for aggregation; does not affect execution).
+        factory: optional custom scheduler factory.  Must be picklable
+            for process-pool execution; executors fall back to serial
+            in-process execution when it is not.
+    """
+
+    scenario: Scenario
+    mechanism: str
+    replicate: int = 0
+    factory: Optional[SchedulerFactory] = None
+
+
+def execute_run_spec(spec: RunSpec) -> RunResult:
+    """Run one :class:`RunSpec` to completion (the pool entry point).
+
+    Module-level (hence picklable by reference) so a process pool can
+    map it over a shard list.
+    """
+    factory = spec.factory
+    if factory is None:
+        registry = default_factories()
+        if spec.mechanism not in registry:
+            raise ConfigurationError(
+                f"unknown mechanism {spec.mechanism!r}; known: {sorted(registry)}"
+            )
+        factory = registry[spec.mechanism]
+    return FastRunner(spec.scenario, factory(spec.scenario)).run()
 
 
 @dataclass

@@ -11,16 +11,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Sequence
 
 from scipy import stats as scipy_stats
 
-from ..core.schedulers.base import Scheduler
 from ..errors import ConfigurationError
-from .runner import FastRunner, RunResult
+from .runner import RunResult, RunSpec, SchedulerFactory, execute_run_spec
 from .scenario import Scenario
-
-SchedulerFactory = Callable[[Scenario], Scheduler]
 
 #: The metrics replicated by default (RunResult attributes).
 DEFAULT_METRICS = ("mean_zeta", "mean_phi", "mean_rho")
@@ -82,25 +79,21 @@ class ReplicatedResult:
         return self.estimates[metric]
 
 
-def replicate(
-    scenario: Scenario,
-    scheduler_factory: SchedulerFactory,
+def estimates_from_runs(
+    runs: Sequence[RunResult],
     *,
-    seeds: Sequence[int] = (1, 2, 3, 4, 5),
     metrics: Sequence[str] = DEFAULT_METRICS,
     confidence: float = 0.95,
-) -> ReplicatedResult:
-    """Run *scenario* across *seeds* and estimate each metric.
+) -> Dict[str, IntervalEstimate]:
+    """Interval-estimate each metric across replicate *runs*.
 
-    The scheduler factory is invoked fresh per replication so learning
-    state never leaks between seeds.
+    Metric names resolve against :class:`RunResult` first and fall back
+    to its :class:`~repro.experiments.metrics.RunMetrics`.  This is the
+    aggregation step shared by :func:`replicate` and the replicated
+    sweep path (:func:`repro.experiments.sweep.sweep_zeta_targets`).
     """
-    if not seeds:
-        raise ConfigurationError("need at least one seed")
-    runs: List[RunResult] = []
-    for seed in seeds:
-        replication = scenario.with_seed(seed)
-        runs.append(FastRunner(replication, scheduler_factory(replication)).run())
+    if not runs:
+        raise ConfigurationError("need at least one run")
     estimates = {}
     for metric in metrics:
         samples = [getattr(run, metric, None) for run in runs]
@@ -109,4 +102,42 @@ def replicate(
         estimates[metric] = interval_from_samples(
             [float(s) for s in samples], confidence=confidence
         )
-    return ReplicatedResult(estimates=estimates, runs=runs)
+    return estimates
+
+
+def replicate(
+    scenario: Scenario,
+    scheduler_factory: SchedulerFactory,
+    *,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    confidence: float = 0.95,
+    executor=None,
+) -> ReplicatedResult:
+    """Run *scenario* across *seeds* and estimate each metric.
+
+    The scheduler factory is invoked fresh per replication so learning
+    state never leaks between seeds.  Pass an
+    :class:`~repro.experiments.parallel.ParallelExecutor` to fan the
+    replications out to worker processes (the factory must then be
+    picklable; unpicklable factories transparently run serially).
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    specs = [
+        RunSpec(
+            scenario=scenario.with_seed(seed),
+            mechanism=getattr(scheduler_factory, "__name__", "custom"),
+            replicate=index,
+            factory=scheduler_factory,
+        )
+        for index, seed in enumerate(seeds)
+    ]
+    if executor is None:
+        runs = [execute_run_spec(spec) for spec in specs]
+    else:
+        runs = executor.map(execute_run_spec, specs)
+    return ReplicatedResult(
+        estimates=estimates_from_runs(runs, metrics=metrics, confidence=confidence),
+        runs=list(runs),
+    )

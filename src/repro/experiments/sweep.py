@@ -4,62 +4,85 @@ The paper's evaluation is a grid: mechanism x ζtarget x Φmax.  This
 module runs that grid on the fast simulator and pairs each simulated
 point with its closed-form prediction so benches can print both (the
 paper presents them as separate analysis and simulation figures).
+
+Replication and parallelism: ``sweep_zeta_targets`` accepts
+``n_replicates`` (or explicit ``replicate_seeds``) to run every cell
+across independent seeds and annotate each point with Student-t
+confidence intervals, and ``executor`` to scatter the resulting
+(mechanism, ζtarget, replicate) shards over a process pool.  The
+sharding/seeding contract that keeps the output bit-identical across
+worker counts and execution orders is documented in
+:mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.analysis import AnalysisPoint, evaluate_schedulers
-from ..core.schedulers.at import SnipAtScheduler
-from ..core.schedulers.base import Scheduler
-from ..core.schedulers.opt import SnipOptScheduler
-from ..core.schedulers.rh import SnipRhScheduler
-from .runner import FastRunner, RunResult
+from ..errors import ConfigurationError
+from .parallel import Executor, SerialExecutor, replicate_seed
+from .runner import RunResult, RunSpec, SchedulerFactory, default_factories, execute_run_spec
 from .scenario import Scenario
+from .stats import IntervalEstimate, estimates_from_runs
 
-SchedulerFactory = Callable[[Scenario], Scheduler]
-
-
-def default_factories() -> Dict[str, SchedulerFactory]:
-    """The paper's three mechanisms, built from a scenario."""
-    return {
-        "SNIP-AT": lambda s: SnipAtScheduler(
-            s.profile, s.model, zeta_target=s.zeta_target, phi_max=s.phi_max
-        ),
-        "SNIP-OPT": lambda s: SnipOptScheduler(
-            s.profile, s.model, zeta_target=s.zeta_target, phi_max=s.phi_max
-        ),
-        "SNIP-RH": lambda s: SnipRhScheduler(
-            s.profile, s.model, initial_contact_length=2.0
-        ),
-    }
+__all__ = [
+    "SchedulerFactory",
+    "default_factories",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_zeta_targets",
+]
 
 
 @dataclass
 class SweepPoint:
-    """One (mechanism, ζtarget) cell of the evaluation grid."""
+    """One (mechanism, ζtarget) cell of the evaluation grid.
+
+    With replication the cell holds every replicate's run plus interval
+    estimates; ``simulated`` stays the replicate-0 run for backward
+    compatibility, and the ζ/Φ/ρ properties report means across
+    replicates (identical to the single run when there is only one).
+    """
 
     mechanism: str
     zeta_target: float
     simulated: RunResult
     predicted: Optional[AnalysisPoint]
+    replicates: List[RunResult] = field(default_factory=list)
+    estimates: Optional[Dict[str, IntervalEstimate]] = None
+
+    def __post_init__(self) -> None:
+        if not self.replicates:
+            self.replicates = [self.simulated]
+        if self.estimates is None:
+            self.estimates = estimates_from_runs(self.replicates)
+
+    @property
+    def n_replicates(self) -> int:
+        """Number of seed replicates behind this cell."""
+        return len(self.replicates)
 
     @property
     def zeta(self) -> float:
-        """Simulated mean probed capacity per epoch."""
-        return self.simulated.mean_zeta
+        """Mean probed capacity per epoch (the paper's ζ plots)."""
+        return self.estimates["mean_zeta"].mean
 
     @property
     def phi(self) -> float:
-        """Simulated mean probing overhead per epoch."""
-        return self.simulated.mean_phi
+        """Mean probing overhead per epoch (the paper's Φ plots)."""
+        return self.estimates["mean_phi"].mean
 
     @property
     def rho(self) -> float:
-        """Simulated mean per-unit cost."""
-        return self.simulated.mean_rho
+        """Mean per-unit cost (the paper's ρ plots)."""
+        return self.estimates["mean_rho"].mean
+
+    def interval(self, metric: str) -> IntervalEstimate:
+        """The confidence interval for *metric* ('zeta', 'phi', 'rho')."""
+        key = metric if metric in self.estimates else f"mean_{metric}"
+        return self.estimates[key]
 
 
 @dataclass
@@ -69,10 +92,25 @@ class SweepResult:
     points: Dict[str, List[SweepPoint]]
     zeta_targets: Sequence[float]
 
+    @property
+    def n_replicates(self) -> int:
+        """Replicates per cell (uniform across the grid)."""
+        for column in self.points.values():
+            for point in column:
+                return point.n_replicates
+        return 0
+
     def series(self, metric: str) -> Dict[str, List[float]]:
         """Extract one metric as {mechanism: [value per target]}."""
         return {
             mechanism: [getattr(point, metric) for point in column]
+            for mechanism, column in self.points.items()
+        }
+
+    def ci_series(self, metric: str) -> Dict[str, List[IntervalEstimate]]:
+        """One metric's interval estimates, {mechanism: [CI per target]}."""
+        return {
+            mechanism: [point.interval(metric) for point in column]
             for mechanism, column in self.points.items()
         }
 
@@ -87,18 +125,67 @@ class SweepResult:
         }
 
 
+def _resolve_seeds(
+    base_seed: int,
+    n_replicates: int,
+    replicate_seeds: Optional[Sequence[int]],
+) -> List[int]:
+    """The per-replicate scenario seeds for a sweep."""
+    if replicate_seeds is not None:
+        seeds = [int(seed) for seed in replicate_seeds]
+        if not seeds:
+            raise ConfigurationError("replicate_seeds must be non-empty")
+        if n_replicates not in (1, len(seeds)):
+            raise ConfigurationError(
+                f"n_replicates={n_replicates} conflicts with "
+                f"{len(seeds)} explicit replicate_seeds"
+            )
+        return seeds
+    if n_replicates < 1:
+        raise ConfigurationError(f"n_replicates must be >= 1, got {n_replicates}")
+    return [replicate_seed(base_seed, r) for r in range(n_replicates)]
+
+
 def sweep_zeta_targets(
     base: Scenario,
     zeta_targets: Sequence[float],
     *,
     factories: Optional[Mapping[str, SchedulerFactory]] = None,
     with_predictions: bool = True,
+    n_replicates: int = 1,
+    replicate_seeds: Optional[Sequence[int]] = None,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
-    """Run the mechanism x ζtarget grid on the fast simulator."""
-    factories = dict(factories) if factories is not None else default_factories()
+    """Run the mechanism x ζtarget grid on the fast simulator.
+
+    Args:
+        base: the scenario template; its seed anchors replicate 0.
+        zeta_targets: the ζtarget sweep values.
+        factories: mechanism name → scheduler factory (default: the
+            paper's three mechanisms).  Custom factories are carried
+            inside each shard; they must be picklable to actually cross
+            a process boundary, otherwise execution silently stays
+            serial (and identical).
+        with_predictions: pair each simulated point with its closed-form
+            prediction where one exists.
+        n_replicates: seed replicates per cell.  Seeds derive from
+            ``base.seed`` via the substream contract in
+            :mod:`repro.experiments.parallel`; replicate 0 is
+            ``base.seed`` itself, so ``n_replicates=1`` reproduces the
+            historical serial sweep exactly.
+        replicate_seeds: explicit per-replicate seeds overriding the
+            derivation (e.g. to reproduce a legacy multi-seed average).
+        executor: shard mapper; default :class:`SerialExecutor`.  Pass
+            :class:`~repro.experiments.parallel.ParallelExecutor` for a
+            process pool — results are bit-identical either way.
+    """
+    factories = dict(factories) if factories is not None else None
+    names = list(factories) if factories is not None else list(default_factories())
+    seeds = _resolve_seeds(base.seed, n_replicates, replicate_seeds)
+
     predictions: Dict[str, List[AnalysisPoint]] = {}
     if with_predictions:
-        known = [name for name in factories if name in ("SNIP-AT", "SNIP-OPT", "SNIP-RH")]
+        known = [name for name in names if name in ("SNIP-AT", "SNIP-OPT", "SNIP-RH")]
         predictions = evaluate_schedulers(
             base.profile,
             base.model,
@@ -106,12 +193,28 @@ def sweep_zeta_targets(
             phi_max=base.phi_max,
             mechanisms=known,
         )
-    points: Dict[str, List[SweepPoint]] = {name: [] for name in factories}
+
+    specs: List[RunSpec] = []
+    for target in zeta_targets:
+        for name in names:
+            for index, seed in enumerate(seeds):
+                specs.append(
+                    RunSpec(
+                        scenario=base.with_target(target).with_seed(seed),
+                        mechanism=name,
+                        replicate=index,
+                        factory=factories[name] if factories is not None else None,
+                    )
+                )
+
+    results = (executor or SerialExecutor()).map(execute_run_spec, specs)
+
+    points: Dict[str, List[SweepPoint]] = {name: [] for name in names}
+    cursor = 0
     for target_index, target in enumerate(zeta_targets):
-        scenario = base.with_target(target)
-        for name, factory in factories.items():
-            scheduler = factory(scenario)
-            result = FastRunner(scenario, scheduler).run()
+        for name in names:
+            replicates = list(results[cursor : cursor + len(seeds)])
+            cursor += len(seeds)
             predicted = (
                 predictions[name][target_index] if name in predictions else None
             )
@@ -119,8 +222,9 @@ def sweep_zeta_targets(
                 SweepPoint(
                     mechanism=name,
                     zeta_target=target,
-                    simulated=result,
+                    simulated=replicates[0],
                     predicted=predicted,
+                    replicates=replicates,
                 )
             )
     return SweepResult(points=points, zeta_targets=zeta_targets)

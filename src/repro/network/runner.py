@@ -14,11 +14,25 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from ..core.schedulers.base import Scheduler
 from ..errors import ConfigurationError
+from ..experiments.parallel import Executor
 from ..experiments.runner import FastRunner, RunResult
 from ..experiments.scenario import Scenario
 from ..mobility.contact import ContactTrace
 
 SchedulerFactory = Callable[[Scenario, str], Scheduler]
+
+
+def _run_node(item: tuple) -> RunResult:
+    """Pool entry point: simulate one node against its own trace.
+
+    Module-level so a process pool can pickle it by reference; each
+    node's work is a pure function of (scenario, node_id, trace,
+    factory), which makes per-node fan-out deterministic regardless of
+    worker count or completion order.
+    """
+    scenario, node_id, trace, factory = item
+    scheduler = factory(scenario, node_id)
+    return FastRunner(scenario, scheduler, trace=trace).run()
 
 
 @dataclass
@@ -108,11 +122,25 @@ class NetworkRunner:
         self.traces_by_node = dict(traces_by_node)
         self.scheduler_factory = scheduler_factory
 
-    def run(self) -> NetworkResult:
-        """Run every node; returns the aggregated result."""
+    def run(self, *, executor: Optional[Executor] = None) -> NetworkResult:
+        """Run every node; returns the aggregated result.
+
+        Pass an :class:`~repro.experiments.parallel.ParallelExecutor`
+        to simulate nodes on worker processes.  Nodes are independent
+        (each owns its trace and scheduler), so the aggregate is
+        identical for any worker count; scheduler factories that cannot
+        be pickled (e.g. lambdas) transparently run serially.
+        """
+        ordered = sorted(self.traces_by_node.items())
+        items = [
+            (self.scenario, node_id, trace, self.scheduler_factory)
+            for node_id, trace in ordered
+        ]
+        if executor is None:
+            results = [_run_node(item) for item in items]
+        else:
+            results = executor.map(_run_node, items)
         network = NetworkResult()
-        for node_id, trace in sorted(self.traces_by_node.items()):
-            scheduler = self.scheduler_factory(self.scenario, node_id)
-            result = FastRunner(self.scenario, scheduler, trace=trace).run()
+        for (node_id, _trace), result in zip(ordered, results):
             network.outcomes[node_id] = NodeOutcome(node_id=node_id, result=result)
         return network

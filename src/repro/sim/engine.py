@@ -40,6 +40,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._fired_count = 0
+        self._live_count = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -55,8 +56,12 @@ class Simulator:
         return self._fired_count
 
     def pending_count(self) -> int:
-        """Number of queued events that are not cancelled."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued events that are not cancelled.
+
+        O(1): a live-event counter is maintained across schedule, cancel,
+        and pop instead of scanning the queue.
+        """
+        return self._live_count
 
     # ------------------------------------------------------------------
     # scheduling
@@ -87,9 +92,11 @@ class Simulator:
             kind=kind,
             callback=callback,
             payload=payload,
+            on_cancel=self._note_cancelled,
         )
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live_count += 1
         return event
 
     def schedule_after(
@@ -161,18 +168,39 @@ class Simulator:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _note_cancelled(self, _event: Event) -> None:
+        """Observer installed on scheduled events: keep the counter exact.
+
+        Fired exactly once per cancellation (Event.cancel is idempotent)
+        and detached when an event leaves the queue, so late cancels of
+        already-fired events cannot double-count.
+        """
+        self._live_count -= 1
+
     def _peek_live_event(self) -> Optional[Event]:
-        """Return the next non-cancelled event without removing it."""
+        """Return the next non-cancelled event without removing it.
+
+        Cancelled events reached at the heap top are purged immediately;
+        their count was already settled when they were cancelled.
+        """
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
         return self._queue[0] if self._queue else None
 
     def _pop_live_event(self) -> Optional[Event]:
-        """Remove and return the next non-cancelled event."""
-        event = self._peek_live_event()
-        if event is None:
-            return None
-        return heapq.heappop(self._queue)
+        """Remove and return the next non-cancelled event.
+
+        Lazily purges any cancelled events it skips over, and detaches
+        the returned event's cancel observer (it is no longer pending).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._live_count -= 1
+            object.__setattr__(event, "on_cancel", None)
+            return event
+        return None
 
     def drain(self) -> Iterable[Event]:
         """Remove and yield all remaining live events without firing them.

@@ -61,6 +61,9 @@ class Event:
         kind: semantic tag for tracing.
         callback: invoked as ``callback(event)`` when the event fires.
         payload: arbitrary data for the callback / tracing.
+        on_cancel: observer invoked on the first :meth:`cancel` call;
+            the simulator installs one so its live-event counter stays
+            exact without scanning the queue.
     """
 
     time: float
@@ -70,14 +73,22 @@ class Event:
     callback: Optional[Callable[["Event"], None]] = None
     payload: Any = None
     cancelled: bool = field(default=False, compare=False)
+    on_cancel: Optional[Callable[["Event"], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the simulator discards it instead of firing.
 
         Cancellation is lazy: the event stays in the queue and is skipped
         when popped, which is O(1) and keeps the heap invariant intact.
+        Idempotent: repeated calls notify ``on_cancel`` only once.
         """
+        if self.cancelled:
+            return
         object.__setattr__(self, "cancelled", True)
+        if self.on_cancel is not None:
+            self.on_cancel(self)
 
     def sort_key(self) -> tuple:
         """Total order used by the simulator's priority queue."""

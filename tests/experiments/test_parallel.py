@@ -1,0 +1,225 @@
+"""Parallel orchestration determinism: the verification layer.
+
+The contract under test (see :mod:`repro.experiments.parallel`): a
+replicated sweep produces byte-identical results whether it runs
+in-process, on a process pool of any size, or in an adversarially
+shuffled shard order — because every (mechanism, ζtarget, replicate)
+cell is a pure function of its pre-derived spec.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import (
+    ParallelExecutor,
+    SerialExecutor,
+    replicate_seed,
+)
+from repro.experiments.runner import RunSpec, default_factories, execute_run_spec
+from repro.experiments.scenario import paper_roadside_scenario
+from repro.experiments.sweep import sweep_zeta_targets
+from repro.mobility.contact import Contact, ContactTrace
+from repro.network.runner import NetworkRunner
+
+TARGETS = (16.0, 48.0)
+METRICS = ("zeta", "phi", "rho")
+
+
+class ShuffledExecutor:
+    """Executes shards in a deterministic but scrambled order.
+
+    Results are still returned aligned with input order, as the
+    Executor protocol requires; only the *execution* order is
+    adversarial.  Any hidden cross-cell state would surface as a
+    series mismatch against the serial reference.
+    """
+
+    def __init__(self, shuffle_seed: int = 1234) -> None:
+        self.shuffle_seed = shuffle_seed
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        items = list(items)
+        order = list(range(len(items)))
+        random.Random(self.shuffle_seed).shuffle(order)
+        results: List = [None] * len(items)
+        for index in order:
+            results[index] = fn(items[index])
+        return results
+
+
+@pytest.fixture(scope="module")
+def base_scenario():
+    return paper_roadside_scenario(phi_max_divisor=100, epochs=2, seed=9)
+
+
+@pytest.fixture(scope="module")
+def reference_sweep(base_scenario):
+    """The serial (jobs=1) replicated sweep every variant must match."""
+    return sweep_zeta_targets(
+        base_scenario, TARGETS, n_replicates=2, executor=SerialExecutor()
+    )
+
+
+def assert_identical_series(sweep, reference):
+    for metric in METRICS:
+        assert sweep.series(metric) == reference.series(metric)
+        assert sweep.predicted_series(metric) == reference.predicted_series(metric)
+
+
+class TestSweepDeterminism:
+    def test_default_executor_matches_serial(self, base_scenario, reference_sweep):
+        sweep = sweep_zeta_targets(base_scenario, TARGETS, n_replicates=2)
+        assert_identical_series(sweep, reference_sweep)
+
+    def test_four_workers_match_serial(self, base_scenario, reference_sweep):
+        sweep = sweep_zeta_targets(
+            base_scenario,
+            TARGETS,
+            n_replicates=2,
+            executor=ParallelExecutor(jobs=4),
+        )
+        assert_identical_series(sweep, reference_sweep)
+
+    def test_shuffled_shard_order_matches_serial(
+        self, base_scenario, reference_sweep
+    ):
+        sweep = sweep_zeta_targets(
+            base_scenario, TARGETS, n_replicates=2, executor=ShuffledExecutor()
+        )
+        assert_identical_series(sweep, reference_sweep)
+
+    def test_single_replicate_reproduces_legacy_sweep(self, base_scenario):
+        legacy = sweep_zeta_targets(base_scenario, TARGETS)
+        replicated = sweep_zeta_targets(
+            base_scenario, TARGETS, n_replicates=1, executor=ParallelExecutor(jobs=2)
+        )
+        assert_identical_series(replicated, legacy)
+
+    def test_replicated_points_carry_intervals(self, reference_sweep):
+        point = reference_sweep.points["SNIP-RH"][0]
+        assert point.n_replicates == 2
+        assert len(point.replicates) == 2
+        assert point.simulated is point.replicates[0]
+        interval = point.interval("zeta")
+        assert interval.replications == 2
+        assert interval.low <= point.zeta <= interval.high
+        assert reference_sweep.n_replicates == 2
+
+    def test_explicit_replicate_seeds(self, base_scenario):
+        explicit = sweep_zeta_targets(
+            base_scenario, TARGETS, replicate_seeds=(9, 21)
+        )
+        assert explicit.n_replicates == 2
+        # Replicate 0 with seed 9 is exactly the legacy single run.
+        legacy = sweep_zeta_targets(base_scenario, TARGETS)
+        for mechanism, column in explicit.points.items():
+            for target_index, point in enumerate(column):
+                legacy_point = legacy.points[mechanism][target_index]
+                assert point.replicates[0].mean_zeta == legacy_point.zeta
+
+    def test_unpicklable_factory_falls_back_serially(self, base_scenario):
+        bound = {"count": 0}
+
+        def counting_rh(scenario):  # closes over `bound`: not picklable
+            bound["count"] += 1
+            return default_factories()["SNIP-RH"](scenario)
+
+        sweep = sweep_zeta_targets(
+            base_scenario,
+            TARGETS,
+            factories={"SNIP-RH": counting_rh},
+            n_replicates=2,
+            executor=ParallelExecutor(jobs=4),
+        )
+        # Ran in-process (the closure observed every cell) and still
+        # produced the full grid.
+        assert bound["count"] == len(TARGETS) * 2
+        assert set(sweep.points) == {"SNIP-RH"}
+
+
+class TestExecutors:
+    def test_parallel_executor_orders_results(self):
+        pool = ParallelExecutor(jobs=4)
+        out = pool.map(_square, list(range(10)))
+        assert out == [n * n for n in range(10)]
+        assert pool.last_map_parallel
+
+    def test_fallback_is_observable(self):
+        pool = ParallelExecutor(jobs=4)
+        bound = 1
+        out = pool.map(lambda n: n + bound, [1, 2, 3])  # unpicklable fn
+        assert out == [2, 3, 4]
+        assert not pool.last_map_parallel
+
+    def test_serial_executor_orders_results(self):
+        out = SerialExecutor().map(_square, list(range(10)))
+        assert out == [n * n for n in range(10)]
+
+    def test_jobs_default_positive(self):
+        assert ParallelExecutor().jobs >= 1
+
+    def test_jobs_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=0)
+
+    def test_execute_run_spec_unknown_mechanism(self, base_scenario):
+        spec = RunSpec(scenario=base_scenario, mechanism="SNIP-??")
+        with pytest.raises(ConfigurationError):
+            execute_run_spec(spec)
+
+
+def _square(n: int) -> int:
+    return n * n
+
+
+def _node_factory(scenario, node_id):
+    return default_factories()["SNIP-RH"](scenario)
+
+
+class TestNetworkFanOut:
+    def _traces(self):
+        def trace(offset):
+            return ContactTrace(
+                contacts=[
+                    Contact(start=3600.0 * k + offset, length=2.0, mobile_id=f"m{k}")
+                    for k in range(1, 20)
+                ]
+            )
+
+        return {"node-a": trace(0.0), "node-b": trace(120.0), "node-c": trace(777.0)}
+
+    def test_parallel_fleet_matches_serial(self, base_scenario):
+        runner = NetworkRunner(base_scenario, self._traces(), _node_factory)
+        serial = runner.run()
+        parallel = runner.run(executor=ParallelExecutor(jobs=3))
+        assert sorted(serial.outcomes) == sorted(parallel.outcomes)
+        for node_id, outcome in serial.outcomes.items():
+            other = parallel.outcomes[node_id]
+            assert outcome.zeta == other.zeta
+            assert outcome.phi == other.phi
+            assert outcome.delivery_ratio == other.delivery_ratio
+        assert serial.fleet_rho == parallel.fleet_rho
+
+
+class TestReplicateSeeds:
+    def test_replicate_zero_is_base_seed(self):
+        assert replicate_seed(123, 0) == 123
+
+    def test_later_replicates_differ(self):
+        seeds = [replicate_seed(123, r) for r in range(32)]
+        assert len(set(seeds)) == 32
+
+    def test_negative_replicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate_seed(1, -1)
+
+    def test_conflicting_replicate_arguments_rejected(self, base_scenario):
+        with pytest.raises(ConfigurationError):
+            sweep_zeta_targets(
+                base_scenario, TARGETS, n_replicates=3, replicate_seeds=(1, 2)
+            )
