@@ -6,6 +6,11 @@ increase abruptly" when d_rh slightly overshoots the knee.  This bench
 sweeps a multiplier on the knee duty-cycle and prints the resulting
 capacity and cost, both analytically and on the simulator with the
 online estimator disabled (fixed prior).
+
+Ported onto the grid executor layer: each multiplier's simulation is one
+pure shard mapped by a
+:class:`~repro.experiments.parallel.ParallelExecutor`; the analytic
+half stays in-process (closed-form arithmetic).
 """
 
 import pytest
@@ -13,6 +18,7 @@ from conftest import emit
 
 from repro.core.schedulers.rh import SnipRhScheduler
 from repro.core.snip_model import upsilon
+from repro.experiments.parallel import ParallelExecutor
 from repro.experiments.reporting import format_series
 from repro.experiments.runner import FastRunner
 from repro.experiments.scenario import paper_roadside_scenario
@@ -21,6 +27,26 @@ MULTIPLIERS = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 4.0]
 T_ON = 0.02
 CONTACT = 2.0
 KNEE = T_ON / CONTACT
+
+
+def _run_duty_cell(multiplier):
+    """Executor shard: one fixed-prior simulation at a knee multiplier."""
+    scenario = paper_roadside_scenario(
+        phi_max_divisor=10,  # effectively unconstrained
+        zeta_target=96.0,    # drain everything: probe every contact
+        epochs=4,
+        seed=5,
+    )
+    scheduler = SnipRhScheduler(
+        scenario.profile,
+        scenario.model,
+        # Encode the multiplier through the length prior; weight ~0
+        # is not allowed, so pick the smallest allowed adaptation.
+        initial_contact_length=CONTACT / multiplier,
+        ewma_weight=0.01,
+    )
+    result = FastRunner(scenario, scheduler).run()
+    return result.mean_zeta, result.mean_rho
 
 
 def generate_ablation():
@@ -33,26 +59,10 @@ def generate_ablation():
         phi = 14400.0 * duty
         analytic_capacity.append(capacity)
         analytic_rho.append(phi / capacity)
-    simulated_capacity = []
-    simulated_rho = []
-    for multiplier in MULTIPLIERS:
-        scenario = paper_roadside_scenario(
-            phi_max_divisor=10,  # effectively unconstrained
-            zeta_target=96.0,    # drain everything: probe every contact
-            epochs=4,
-            seed=5,
-        )
-        scheduler = SnipRhScheduler(
-            scenario.profile,
-            scenario.model,
-            # Encode the multiplier through the length prior; weight ~0
-            # is not allowed, so pick the smallest allowed adaptation.
-            initial_contact_length=CONTACT / multiplier,
-            ewma_weight=0.01,
-        )
-        result = FastRunner(scenario, scheduler).run()
-        simulated_capacity.append(result.mean_zeta)
-        simulated_rho.append(result.mean_rho)
+    pool = ParallelExecutor(jobs=min(4, len(MULTIPLIERS)))
+    cells = pool.map(_run_duty_cell, MULTIPLIERS)
+    simulated_capacity = [zeta for zeta, _rho in cells]
+    simulated_rho = [rho for _zeta, rho in cells]
     return analytic_capacity, analytic_rho, simulated_capacity, simulated_rho
 
 

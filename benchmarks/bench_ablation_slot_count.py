@@ -9,12 +9,18 @@ a coarse N waste by marking whole oversized slots?
 Setup: the true rush windows are 07:00-09:00 and 17:00-19:00 but shifted
 by 30 minutes (07:30-09:30 / 17:30-19:30) so they straddle slot
 boundaries at every N — the situation where granularity matters.
+
+Ported onto the grid executor layer: each slot count is one pure shard
+(a module-level function over picklable ``(slot_count, trace)`` items)
+mapped by a :class:`~repro.experiments.parallel.ParallelExecutor`, so
+the ablation runs on the same sharded code path as the figure grids.
 """
 
 import pytest
 from conftest import emit
 
 from repro.core.schedulers.rh import SnipRhScheduler
+from repro.experiments.parallel import ParallelExecutor
 from repro.experiments.reporting import format_series
 from repro.experiments.runner import FastRunner
 from repro.experiments.scenario import Scenario
@@ -39,6 +45,27 @@ def make_profile(slot_count):
     ).to_profile()
 
 
+def _run_slot_cell(item):
+    """Executor shard: one slot-count cell against the shared fine trace."""
+    slot_count, trace = item
+    profile = make_profile(slot_count)
+    scenario = Scenario(
+        profile=profile,
+        model=SnipModel(t_on=0.02),
+        phi_max=DAY / 100.0,
+        zeta_target=24.0,
+        epochs=7,
+        trace_config=TraceConfig(style=ArrivalStyle.NORMAL, epochs=7),
+        seed=3,
+    )
+    scheduler = SnipRhScheduler(
+        profile, scenario.model, initial_contact_length=2.0
+    )
+    result = FastRunner(scenario, scheduler, trace=trace).run()
+    marked = sum(profile.rush_flags) * profile.slot_length / 3600.0
+    return result.mean_zeta, result.mean_phi, marked
+
+
 def generate_ablation():
     # One shared fine-grained trace: contacts truly follow the shifted
     # windows; each N only changes the *scheduler's* slot marking.
@@ -47,27 +74,9 @@ def generate_ablation():
         TraceConfig(style=ArrivalStyle.NORMAL, cv=0.1, epochs=7),
         streams=RandomStreams(3),
     ).generate()
-    zetas, phis, marked_hours = [], [], []
-    for slot_count in SLOT_COUNTS:
-        profile = make_profile(slot_count)
-        scenario = Scenario(
-            profile=profile,
-            model=SnipModel(t_on=0.02),
-            phi_max=DAY / 100.0,
-            zeta_target=24.0,
-            epochs=7,
-            trace_config=TraceConfig(style=ArrivalStyle.NORMAL, epochs=7),
-            seed=3,
-        )
-        scheduler = SnipRhScheduler(
-            profile, scenario.model, initial_contact_length=2.0
-        )
-        result = FastRunner(scenario, scheduler, trace=trace).run()
-        zetas.append(result.mean_zeta)
-        phis.append(result.mean_phi)
-        marked_hours.append(
-            sum(profile.rush_flags) * profile.slot_length / 3600.0
-        )
+    pool = ParallelExecutor(jobs=min(4, len(SLOT_COUNTS)))
+    cells = pool.map(_run_slot_cell, [(n, trace) for n in SLOT_COUNTS])
+    zetas, phis, marked_hours = (list(values) for values in zip(*cells))
     return zetas, phis, marked_hours
 
 

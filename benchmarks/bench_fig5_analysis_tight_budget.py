@@ -4,26 +4,23 @@ Regenerates all three panels: (a) probed contact capacity ζ, (b) probing
 overhead Φ, (c) per-unit cost ρ, versus ζtarget, for SNIP-AT, SNIP-OPT,
 SNIP-RH.  Shape pinned: AT is budget-starved at 8.8 s everywhere; RH
 matches OPT; both cap at 28.8 s; ρ is 3 versus AT's 9.8.
+
+Ported onto the executor layer via :func:`grid_common.analysis_points`:
+each (budget, mechanism) closed-form evaluation is a pure shard mapped
+over a ``SerialExecutor``, so the analysis benches share the shard code
+path with the simulation benches while the timing stays a measurement
+of the analysis arithmetic itself.
 """
 
 import pytest
 from conftest import emit
+from grid_common import TARGETS, analysis_points
 
-from repro.core.analysis import evaluate_schedulers
 from repro.experiments.reporting import format_series
-from repro.experiments.scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
-
-TARGETS = list(PAPER_ZETA_TARGETS)
 
 
 def generate_fig5():
-    scenario = paper_roadside_scenario(phi_max_divisor=1000)
-    return evaluate_schedulers(
-        scenario.profile,
-        scenario.model,
-        zeta_targets=TARGETS,
-        phi_max=scenario.phi_max,
-    )
+    return analysis_points(1000)
 
 
 def test_fig5_analysis_tight_budget(once):

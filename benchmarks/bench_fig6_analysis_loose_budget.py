@@ -4,26 +4,22 @@ Same three panels as Fig. 5 under the loose budget.  Shape pinned: AT
 now reaches every target but at ρ = 9.8; RH reaches every target up to
 its 48 s rush-capacity cap and fails only ζtarget = 56; OPT reaches 56
 by extending the rush slots past their knees at a higher ρ.
+
+Like Fig. 5, ported onto the executor layer via
+:func:`grid_common.analysis_points`: the loose budget's (budget,
+mechanism) closed-form cells mapped as shards over a
+``SerialExecutor``.
 """
 
 import pytest
 from conftest import emit
+from grid_common import TARGETS, analysis_points
 
-from repro.core.analysis import evaluate_schedulers
 from repro.experiments.reporting import format_series
-from repro.experiments.scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
-
-TARGETS = list(PAPER_ZETA_TARGETS)
 
 
 def generate_fig6():
-    scenario = paper_roadside_scenario(phi_max_divisor=100)
-    return evaluate_schedulers(
-        scenario.profile,
-        scenario.model,
-        zeta_targets=TARGETS,
-        phi_max=scenario.phi_max,
-    )
+    return analysis_points(100)
 
 
 def test_fig6_analysis_loose_budget(once):

@@ -4,66 +4,24 @@ The paper simulates two weeks in COOJA with normal-jittered contact
 processes (cv = 0.1) and plots per-epoch averages.  This bench runs the
 same grid as one replicated sweep — three seed replicates per
 (mechanism, ζtarget) cell (the paper itself notes "a lot of variance in
-simulation results") — executed twice: once in-process and once on a
-4-worker process pool.  The two executions must agree byte-for-byte
-(the parallel orchestration determinism contract), and the bench
-reports the measured wall-clock speedup alongside the three panels and
-the analysis prediction.
+simulation results") — through the shared ``sweep_grid`` harness in
+:mod:`grid_common`, which covers **both** paper budgets in one grid
+(Fig. 8 reads the other slice from the same memoized run): once
+in-process and once on a 4-worker streaming pool, asserted
+byte-identical, with the measured wall-clock speedup reported alongside
+the three panels and the analysis prediction.
 """
-
-import time
 
 import pytest
 from conftest import emit
+from grid_common import JOBS, PAPER_EPOCHS, SEEDS, TARGETS, simulated_series
 
-from repro.experiments.parallel import (
-    ParallelExecutor,
-    SerialExecutor,
-    available_cpus,
-)
+from repro.experiments.parallel import available_cpus
 from repro.experiments.reporting import format_series
-from repro.experiments.scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
-from repro.experiments.sweep import sweep_zeta_targets
-
-TARGETS = list(PAPER_ZETA_TARGETS)
-SEEDS = (1, 2, 3)
-JOBS = 4
-METRICS = ("zeta", "phi", "rho")
-
-
-def run_grid(divisor):
-    base = paper_roadside_scenario(
-        phi_max_divisor=divisor, epochs=14, seed=SEEDS[0]
-    )
-    start = time.perf_counter()
-    serial = sweep_zeta_targets(
-        base, TARGETS, replicate_seeds=SEEDS, executor=SerialExecutor()
-    )
-    serial_seconds = time.perf_counter() - start
-    pool = ParallelExecutor(jobs=JOBS)
-    start = time.perf_counter()
-    parallel = sweep_zeta_targets(
-        base, TARGETS, replicate_seeds=SEEDS, executor=pool
-    )
-    parallel_seconds = time.perf_counter() - start
-    assert pool.last_map_parallel, "pool fell back to serial; timing is meaningless"
-    for metric in METRICS:
-        assert serial.series(metric) == parallel.series(metric), (
-            f"parallel execution changed the {metric} series"
-        )
-    averaged = {
-        mechanism: {metric: parallel.series(metric)[mechanism] for metric in METRICS}
-        for mechanism in parallel.points
-    }
-    predicted = {
-        mechanism: [point.predicted for point in parallel.points[mechanism]]
-        for mechanism in parallel.points
-    }
-    return averaged, predicted, serial_seconds, parallel_seconds
 
 
 def generate_fig7():
-    return run_grid(1000)
+    return simulated_series(1000, epochs=PAPER_EPOCHS, replicate_seeds=SEEDS)
 
 
 def test_fig7_simulation_tight_budget(once):

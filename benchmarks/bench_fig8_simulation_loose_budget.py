@@ -1,8 +1,10 @@
 """Fig. 8 — simulation results, Φmax = Tepoch/100.
 
-Same replicated grid as Fig. 7 under the loose budget, run through the
-parallel orchestration layer (serial and 4-worker executions must agree
-byte-for-byte).  Shape pinned: AT meets every target at ~3x RH's
+The loose-budget slice of the same shared two-budget ``sweep_grid`` run
+as Fig. 7 (:mod:`grid_common`; a memoized lookup when Fig. 7 ran
+first): serial and 4-worker streaming executions must agree
+byte-for-byte and the pool path must actually be taken.  Shape pinned:
+AT meets every target at ~3x RH's
 per-unit cost; RH tracks targets through 48 s and saturates below 56 s
 (the rush-capacity cap); OPT stays the cheapest mechanism that meets
 each target.
@@ -10,17 +12,16 @@ each target.
 
 import pytest
 from conftest import emit
+from grid_common import JOBS, PAPER_EPOCHS, SEEDS, TARGETS, simulated_series
 
-from bench_fig7_simulation_tight_budget import JOBS, available_cpus, run_grid
+from repro.experiments.parallel import available_cpus
 from repro.experiments.reporting import format_series
-from repro.experiments.scenario import PAPER_ZETA_TARGETS
-
-TARGETS = list(PAPER_ZETA_TARGETS)
-SEEDS = (1, 2, 3)
 
 
 def generate_fig8():
-    averaged, _predicted, serial_seconds, parallel_seconds = run_grid(100)
+    averaged, _predicted, serial_seconds, parallel_seconds = simulated_series(
+        100, epochs=PAPER_EPOCHS, replicate_seeds=SEEDS
+    )
     return averaged, serial_seconds, parallel_seconds
 
 

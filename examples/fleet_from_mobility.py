@@ -11,6 +11,15 @@ The complete Fig.-1 pipeline with nothing hand-marked:
 5. report fleet economics against SNIP-AT on the same traces, plus the
    lifetime implied by each mechanism's radio budget.
 
+Scheduler factories are **registry-named**: the adaptive factory below
+registers itself under ``"adaptive-RH"`` in
+``repro.experiments.registry.node_factories`` and the fleet is built
+from names (``NetworkRunner(..., "adaptive-RH")``).  Names pickle as
+plain strings and are re-resolved inside each worker, so the fan-out
+below runs on a real process pool; passing the function (or a lambda)
+directly would degrade to serial execution with a
+``ParallelFallbackWarning``.  ``"SNIP-AT"`` is pre-registered.
+
 Run::
 
     python examples/fleet_from_mobility.py
@@ -18,7 +27,8 @@ Run::
 
 from repro.core.learning import LearnerConfig
 from repro.core.schedulers.adaptive import AdaptiveSnipRhScheduler
-from repro.core.schedulers.at import SnipAtScheduler
+from repro.experiments.parallel import ParallelExecutor
+from repro.experiments.registry import node_factories
 from repro.experiments.reporting import format_table
 from repro.experiments.scenario import paper_roadside_scenario
 from repro.network import (
@@ -35,7 +45,9 @@ ROAD = 6000.0
 DAYS = 14
 
 
+@node_factories.register("adaptive-RH")
 def adaptive_factory(scenario, node_id):
+    """Adaptive SNIP-RH per node, resolvable by name in pool workers."""
     return AdaptiveSnipRhScheduler(
         scenario.profile,
         scenario.model,
@@ -45,13 +57,6 @@ def adaptive_factory(scenario, node_id):
         learning_duty_cycle=0.005,
         background_duty_cycle=0.0003,
         initial_contact_length=2.0,
-    )
-
-
-def at_factory(scenario, node_id):
-    return SnipAtScheduler(
-        scenario.profile, scenario.model,
-        zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
     )
 
 
@@ -72,10 +77,15 @@ def main() -> None:
     scenario = paper_roadside_scenario(
         phi_max_divisor=100, zeta_target=16.0, epochs=DAYS, seed=1
     )
+    # Registry names ("adaptive-RH" registered above, "SNIP-AT" built
+    # in) cross the process boundary, so both fleets fan out for real.
+    pool = ParallelExecutor()
     adaptive = NetworkRunner(
-        scenario, report.contacts_by_node, adaptive_factory
-    ).run()
-    at = NetworkRunner(scenario, report.contacts_by_node, at_factory).run()
+        scenario, report.contacts_by_node, "adaptive-RH"
+    ).run(executor=pool)
+    at = NetworkRunner(
+        scenario, report.contacts_by_node, "SNIP-AT"
+    ).run(executor=pool)
 
     rows = []
     for node_id in sorted(adaptive.outcomes):

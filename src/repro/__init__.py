@@ -49,14 +49,22 @@ from .errors import (
 )
 from .experiments import (
     FastRunner,
+    GridResult,
     MicroRunner,
+    NamedFactory,
+    PAPER_MECHANISMS,
     PAPER_ZETA_TARGETS,
     ParallelExecutor,
+    ParallelFallbackWarning,
     RunResult,
     RunSpec,
     Scenario,
     SerialExecutor,
+    ShardError,
+    mechanism_factories,
+    node_factories,
     paper_roadside_scenario,
+    sweep_grid,
     sweep_zeta_targets,
 )
 from .mobility import (
@@ -110,14 +118,22 @@ __all__ = [
     "TraceFormatError",
     # experiments
     "FastRunner",
+    "GridResult",
     "MicroRunner",
+    "NamedFactory",
+    "PAPER_MECHANISMS",
     "PAPER_ZETA_TARGETS",
     "ParallelExecutor",
+    "ParallelFallbackWarning",
     "RunResult",
     "RunSpec",
     "Scenario",
     "SerialExecutor",
+    "ShardError",
+    "mechanism_factories",
+    "node_factories",
     "paper_roadside_scenario",
+    "sweep_grid",
     "sweep_zeta_targets",
     # mobility
     "Contact",

@@ -10,37 +10,65 @@
   to validate the fast engine and equation 1;
 * :mod:`~repro.experiments.metrics` — ζ/Φ/ρ extraction and aggregation;
 * :mod:`~repro.experiments.sweep` — parameter sweeps for figures and
-  ablations, with seed replication and confidence intervals;
+  ablations (including the full mechanism × ζtarget × Φmax paper grid),
+  with seed replication, confidence intervals, and streaming progress;
 * :mod:`~repro.experiments.parallel` — deterministic process-pool
-  orchestration of sweep/replicate shards;
+  orchestration of grid shards, blocking or streaming;
+* :mod:`~repro.experiments.registry` — named scheduler factories that
+  resolve across process boundaries;
 * :mod:`~repro.experiments.reporting` — plain-text tables and series.
 """
 
 from .scenario import Scenario, paper_roadside_scenario, PAPER_ZETA_TARGETS
 from .metrics import EpochMetrics, RunMetrics
+from .registry import (
+    NamedFactory,
+    PAPER_MECHANISMS,
+    mechanism_factories,
+    node_factories,
+)
 from .runner import FastRunner, RunResult, RunSpec, default_factories, execute_run_spec
 from .micro import MicroRunner
-from .parallel import ParallelExecutor, SerialExecutor, cell_seed, replicate_seed
-from .sweep import sweep_zeta_targets, SweepResult
+from .parallel import (
+    Executor,
+    ParallelExecutor,
+    ParallelFallbackWarning,
+    SerialExecutor,
+    ShardError,
+    StreamingExecutor,
+    cell_seed,
+    replicate_seed,
+)
+from .sweep import GridResult, SweepResult, sweep_grid, sweep_zeta_targets
 from .reporting import format_table, format_series
 
 __all__ = [
     "Scenario",
     "paper_roadside_scenario",
     "PAPER_ZETA_TARGETS",
+    "PAPER_MECHANISMS",
     "EpochMetrics",
     "RunMetrics",
     "FastRunner",
     "RunResult",
     "RunSpec",
+    "NamedFactory",
+    "mechanism_factories",
+    "node_factories",
     "default_factories",
     "execute_run_spec",
     "MicroRunner",
+    "Executor",
     "ParallelExecutor",
+    "ParallelFallbackWarning",
     "SerialExecutor",
+    "ShardError",
+    "StreamingExecutor",
     "cell_seed",
     "replicate_seed",
     "sweep_zeta_targets",
+    "sweep_grid",
+    "GridResult",
     "SweepResult",
     "format_table",
     "format_series",

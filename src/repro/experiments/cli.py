@@ -4,7 +4,17 @@ Examples::
 
     repro-snip analyze --budget-divisor 1000
     repro-snip simulate --budget-divisor 100 --epochs 14 --seed 3
+    repro-snip grid --budget-divisors 1000 100 --jobs 4 --replicates 3
+    repro-snip network --jobs 2 --factory SNIP-RH
     repro-snip gain
+
+``grid`` runs the paper's complete mechanism × ζtarget × Φmax
+evaluation (Figs. 5–8 in one sweep), streaming a progress line per
+completed cell before printing the per-budget tables; ``--jobs N``
+shards the grid over a process pool and reports whether the pool path
+was actually taken (a serial fallback also emits a
+:class:`~repro.experiments.parallel.ParallelFallbackWarning` to
+stderr).
 """
 
 from __future__ import annotations
@@ -14,10 +24,12 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..core.analysis import evaluate_schedulers, rush_hour_gain_surface
+from ..units import DAY
 from .parallel import ParallelExecutor
+from .registry import node_factories
 from .reporting import format_series, format_table
 from .scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
-from .sweep import sweep_zeta_targets
+from .sweep import sweep_grid, sweep_zeta_targets
 
 
 def _executor_from_jobs(jobs: int):
@@ -81,6 +93,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the grid (1 = in-process)",
     )
 
+    grid = sub.add_parser(
+        "grid",
+        help="the full mechanism x zeta_target x Phi_max grid (Figs. 5-8)",
+    )
+    grid.add_argument(
+        "--budget-divisors",
+        type=float,
+        nargs="+",
+        default=[1000.0, 100.0],
+        help="Phi_max = Tepoch / divisor, one per budget (paper: 1000 100)",
+    )
+    grid.add_argument(
+        "--targets",
+        type=float,
+        nargs="+",
+        default=list(PAPER_ZETA_TARGETS),
+        help="zeta_target sweep values in seconds",
+    )
+    grid.add_argument("--epochs", type=int, default=14, help="days to simulate")
+    grid.add_argument("--seed", type=int, default=1, help="RNG seed")
+    grid.add_argument(
+        "--replicates", type=_positive_int, default=1,
+        help="seed replicates per grid cell (adds 95%% CIs above 1)",
+    )
+    grid.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the grid (1 = in-process)",
+    )
+    grid.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the streaming per-cell progress lines",
+    )
+
     sub.add_parser("gain", help="the Fig. 4 rush-hour gain surface")
 
     lifetime = sub.add_parser(
@@ -106,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument(
         "--jobs", type=_positive_int, default=1,
         help="worker processes for per-node fan-out (1 = in-process)",
+    )
+    network.add_argument(
+        "--factory", default="SNIP-RH", choices=node_factories.names(),
+        help="registry-named per-node scheduler factory",
     )
     return parser
 
@@ -147,6 +196,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         n_replicates=args.replicates,
         executor=_executor_from_jobs(args.jobs),
     )
+    _print_budget_tables(args, args.budget_divisor, sweep)
+    return 0
+
+
+def _print_budget_tables(args: argparse.Namespace, divisor: float, sweep) -> None:
+    """Print one budget's three metric tables (plus CIs if replicated)."""
     replicated = sweep.n_replicates > 1
     suffix = f" x {sweep.n_replicates} seeds" if replicated else ""
     for metric, label in (("zeta", "zeta (s)"), ("phi", "Phi (s)"), ("rho", "rho")):
@@ -157,7 +212,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 sweep.series(metric),
                 title=(
                     f"Simulation {label}, Phi_max = Tepoch/"
-                    f"{args.budget_divisor:g}, {args.epochs} epochs{suffix}"
+                    f"{divisor:g}, {args.epochs} epochs{suffix}"
                 ),
             )
         )
@@ -172,10 +227,52 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 format_table(
                     ["zeta_target"] + list(intervals),
                     rows,
-                    title=f"{label} 95% confidence intervals",
+                    title=(
+                        f"{label} 95% confidence intervals, "
+                        f"Phi_max = Tepoch/{divisor:g}"
+                    ),
                 )
             )
             print()
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    """Run the full paper grid, streaming cells, then print per-budget tables."""
+    scenario = paper_roadside_scenario(
+        phi_max_divisor=args.budget_divisors[0], epochs=args.epochs, seed=args.seed
+    )
+    phi_maxes = [DAY / divisor for divisor in args.budget_divisors]
+    executor = _executor_from_jobs(args.jobs)
+
+    def report_cell(spec, result, completed, total) -> None:
+        """Streaming progress: one line per finished grid cell."""
+        if args.no_progress:
+            return
+        divisor = DAY / spec.scenario.phi_max
+        width = len(str(total))
+        print(
+            f"[{completed:>{width}}/{total}] Phi_max=Tepoch/{divisor:g} "
+            f"zeta_target={spec.scenario.zeta_target:g} {spec.mechanism} "
+            f"replicate {spec.replicate}: zeta={result.mean_zeta:.2f} "
+            f"Phi={result.mean_phi:.2f}",
+            flush=True,
+        )
+
+    grid = sweep_grid(
+        scenario,
+        args.targets,
+        phi_maxes,
+        n_replicates=args.replicates,
+        executor=executor,
+        progress=report_cell,
+    )
+    if not args.no_progress:
+        print()
+    for divisor, phi_max in zip(args.budget_divisors, phi_maxes):
+        _print_budget_tables(args, divisor, grid.budget(phi_max))
+    if executor is not None:
+        used = "yes" if executor.last_map_parallel else "no"
+        print(f"grid fan-out: {args.jobs} jobs, pool used: {used}")
     return 0
 
 
@@ -226,22 +323,17 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
     return 0
 
 
-def _network_rh_factory(scenario, node_id):
-    """Per-node SNIP-RH factory (module-level so workers can pickle it)."""
-    from ..core.schedulers.rh import SnipRhScheduler
-
-    return SnipRhScheduler(
-        scenario.profile, scenario.model, initial_contact_length=2.0
-    )
-
-
 def cmd_network(args: argparse.Namespace) -> int:
-    """Run the emergent-rush-hour fleet demo and print per-node results."""
+    """Run the emergent-rush-hour fleet demo and print per-node results.
+
+    The per-node scheduler comes from the named factory registry
+    (``--factory``), so ``--jobs N`` fans nodes out over a real process
+    pool — the factory crosses the boundary as a name, not a closure.
+    """
     from ..network.agents import CommutePattern, Population
     from ..network.contacts import ContactExtractor
     from ..network.deployment import RoadDeployment
     from ..network.runner import NetworkRunner
-    from ..units import DAY
 
     road = 2000.0 * (args.nodes + 1)
     deployment = RoadDeployment.evenly_spaced(args.nodes, road)
@@ -255,11 +347,12 @@ def cmd_network(args: argparse.Namespace) -> int:
         phi_max_divisor=100, zeta_target=16.0,
         epochs=args.days, seed=args.seed,
     )
+    executor = _executor_from_jobs(args.jobs)
     network = NetworkRunner(
         scenario,
         report.contacts_by_node,
-        _network_rh_factory,
-    ).run(executor=_executor_from_jobs(args.jobs))
+        args.factory,
+    ).run(executor=executor)
     rows = [
         [node_id, len(report.contacts_by_node[node_id]),
          outcome.zeta, outcome.phi, outcome.delivery_ratio]
@@ -270,13 +363,16 @@ def cmd_network(args: argparse.Namespace) -> int:
             ["node", "contacts", "zeta (s)", "Phi (s)", "delivery"],
             rows,
             title=(
-                f"SNIP-RH fleet: {args.commuters} commuters, "
+                f"{args.factory} fleet: {args.commuters} commuters, "
                 f"{args.nodes} nodes, {args.days} days"
             ),
         )
     )
     print(f"fleet rho: {network.fleet_rho:.2f}  "
           f"mean delivery: {network.mean_delivery_ratio:.2%}")
+    if executor is not None:
+        used = "yes" if executor.last_map_parallel else "no"
+        print(f"per-node fan-out: {args.jobs} jobs, pool used: {used}")
     return 0
 
 
@@ -286,6 +382,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "analyze": cmd_analyze,
         "simulate": cmd_simulate,
+        "grid": cmd_grid,
         "gain": cmd_gain,
         "lifetime": cmd_lifetime,
         "network": cmd_network,

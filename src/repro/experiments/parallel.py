@@ -1,21 +1,22 @@
 """Parallel multi-seed experiment orchestration.
 
-The paper's evaluation is a mechanism × ζtarget grid; replicated runs
-add a third axis (the seed replicate).  This module shards that grid
-into independent cells, executes the shards on a process pool, and
+The paper's evaluation is a mechanism × ζtarget × Φmax grid (Φmax ∈
+{Tepoch/1000, Tepoch/100} for Figs. 5–8); replicated runs add a fourth
+axis (the seed replicate).  This module shards that grid into
+independent cells, executes the shards on a process pool, and
 guarantees that the assembled result is **bit-identical** no matter how
 many workers ran it or in which order the shards completed.
 
 Sharding contract
 =================
 
-A shard is one ``(mechanism, ζtarget, replicate)`` cell, materialised
-as a :class:`~repro.experiments.runner.RunSpec`.  Three rules make the
-grid safe to scatter:
+A shard is one ``(mechanism, ζtarget, Φmax, replicate)`` cell,
+materialised as a :class:`~repro.experiments.runner.RunSpec`.  Three
+rules make the grid safe to scatter:
 
-1. **Cells are pure.**  A spec carries its complete scenario (seed
-   included), so executing it is a pure function of the spec.  No cell
-   reads state written by another cell.
+1. **Cells are pure.**  A spec carries its complete scenario (seed and
+   Φmax budget included), so executing it is a pure function of the
+   spec.  No cell reads state written by another cell.
 2. **Seeds are derived up front, never consumed from a shared stream.**
    Replicate ``r`` of a sweep with base seed ``s`` runs with seed
    ``replicate_seed(s, r)``: replicate 0 keeps ``s`` itself (so a
@@ -23,28 +24,49 @@ grid safe to scatter:
    exactly), and later replicates derive independent substreams via
    :func:`repro.sim.rng.derive_seed`, a pure function of
    ``(base seed, key)`` that is insensitive to derivation order.
-   Within one replicate every mechanism and ζtarget shares the same
-   seed, preserving the paper's paired-comparison design: mechanisms
-   are judged on identical contact processes.
+   Within one replicate every mechanism, ζtarget **and Φmax budget**
+   shares the same seed, preserving the paper's paired-comparison
+   design: mechanisms are judged on identical contact processes, and
+   the tight and loose budgets see identical traffic.  (Trace
+   generation never consumes Φmax, so sharing a seed across budgets is
+   sound — the budget only changes how the trace is probed.)
 3. **Results are reassembled by shard index, not completion order.**
-   Executors return results aligned with their input order, so
-   aggregation never observes scheduling nondeterminism.
+   The blocking path (:meth:`Executor.map`) returns results aligned
+   with input order; the streaming path (:meth:`Executor.imap`) yields
+   ``(shard index, result)`` pairs as shards complete, and consumers
+   slot each result into its index before aggregating.  Either way,
+   aggregation never observes scheduling nondeterminism — a table can
+   render incrementally while the assembled grid stays byte-identical.
 
 Together these rules give the determinism property the test suite pins
-(`tests/experiments/test_parallel.py`): ``jobs=1``, ``jobs=4``, and an
-adversarially shuffled execution order all produce byte-identical
-sweep series.
+(`tests/experiments/test_parallel.py`, `tests/experiments/test_grid.py`):
+``jobs=1``, ``jobs=4``, and an adversarially shuffled execution order
+all produce byte-identical series for every Φmax budget.
 
 Executors
 =========
 
 :class:`SerialExecutor` runs shards in-process (the default everywhere,
 and the reference semantics).  :class:`ParallelExecutor` fans shards
-out to a :class:`concurrent.futures.ProcessPoolExecutor`; it falls back
-to the serial path when the workload is too small, when the spec list
-is not picklable (e.g. closures as custom scheduler factories), or when
-the pool itself fails — so callers can pass an executor
-unconditionally and always get the same answer back.
+out to a :class:`concurrent.futures.ProcessPoolExecutor` and
+distinguishes two failure classes:
+
+* **Worker-side shard errors** — the shard function itself raised (a
+  buggy scheduler factory, a configuration error inside a cell) —
+  propagate to the caller exactly once, immediately.  Completed shards
+  are never re-executed: re-running a deterministic failure serially
+  would double the wall-clock only to raise the same exception again.
+* **Transport/pool failures** — the pool could not start, a worker
+  process died, a spec or result would not pickle — degrade to the
+  in-process path with a :class:`ParallelFallbackWarning` naming the
+  cause, so ``--jobs 8`` users are never unknowingly running serial.
+  Cells are pure, so only the shards that had not yet completed are
+  re-run, and the assembled answer is identical.
+
+Scheduler factories that are closures cannot cross a process boundary;
+register them by name in :mod:`repro.experiments.registry` and pass the
+name (or a :class:`~repro.experiments.registry.NamedFactory`) instead —
+workers re-resolve the name on their side of the boundary.
 """
 
 from __future__ import annotations
@@ -52,15 +74,58 @@ from __future__ import annotations
 import os
 import pickle
 import sys
-from concurrent.futures import ProcessPoolExecutor, process
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed, process
+from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
-from typing import Callable, List, Protocol, Sequence, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from ..errors import ConfigurationError
 from ..sim.rng import derive_seed
 
 SpecT = TypeVar("SpecT")
 ResultT = TypeVar("ResultT")
+
+#: Exceptions that indicate the *transport* (pool startup, spec/result
+#: pickling, worker process lifetime) failed — never the shard function
+#: itself, whose exceptions are captured worker-side by
+#: :func:`_guarded_shard` and re-raised verbatim in the parent.
+_TRANSPORT_FAILURES = (
+    pickle.PicklingError,
+    TypeError,
+    AttributeError,
+    process.BrokenProcessPool,
+    OSError,
+)
+
+
+class ParallelFallbackWarning(RuntimeWarning):
+    """Emitted when :class:`ParallelExecutor` degrades to serial execution.
+
+    The message names the cause (an unpicklable shard function, a dead
+    worker, ...) so a ``--jobs N`` user can tell that their run silently
+    lost its parallelism — the results are still identical.
+    """
+
+
+class ShardError(RuntimeError):
+    """A worker-side shard exception that could not cross the boundary.
+
+    Raised in place of the original exception when that exception is not
+    picklable; the message carries the worker's formatted traceback.
+    """
 
 
 def available_cpus() -> int:
@@ -105,12 +170,36 @@ def cell_seed(
 
 
 class Executor(Protocol):
-    """Anything that can map a pure function over a list of shards."""
+    """Anything that can map a pure function over a list of shards.
+
+    This is the minimum contract: grid consumers probe for the optional
+    streaming extension (:class:`StreamingExecutor`) at runtime and fall
+    back to the blocking :meth:`map` when it is absent, so third-party
+    executors only need this method.
+    """
 
     def map(
         self, fn: Callable[[SpecT], ResultT], items: Sequence[SpecT]
     ) -> List[ResultT]:
         """Apply *fn* to every item; results align with input order."""
+        ...
+
+
+class StreamingExecutor(Executor, Protocol):
+    """An executor that can additionally stream results as they complete.
+
+    Both built-in executors implement it; sweeps use it (when present)
+    to drive incremental progress reporting.
+    """
+
+    def imap(
+        self, fn: Callable[[SpecT], ResultT], items: Sequence[SpecT]
+    ) -> Iterator[Tuple[int, ResultT]]:
+        """Yield ``(shard index, result)`` pairs as shards complete.
+
+        Completion order is unspecified; consumers must reassemble by
+        index (sharding-contract rule 3).
+        """
         ...
 
 
@@ -125,24 +214,66 @@ class SerialExecutor:
         """Apply *fn* to each item in order, in this process."""
         return [fn(item) for item in items]
 
+    def imap(
+        self, fn: Callable[[SpecT], ResultT], items: Sequence[SpecT]
+    ) -> Iterator[Tuple[int, ResultT]]:
+        """Yield ``(index, fn(item))`` pairs lazily, in input order."""
+        for index, item in enumerate(items):
+            yield index, fn(item)
+
     def __repr__(self) -> str:
         return "SerialExecutor()"
 
 
+@dataclass
+class _ShardOutcome:
+    """What one guarded shard sent back: a value or a captured exception."""
+
+    value: Any = None
+    error: Optional[BaseException] = None
+    traceback_text: str = field(default="", repr=False)
+
+
+def _guarded_shard(fn: Callable, item: Any) -> _ShardOutcome:
+    """Run one shard in a worker, capturing any exception it raises.
+
+    Module-level (hence picklable by reference) so the pool can ship it.
+    Capturing worker-side is what lets the parent distinguish a genuine
+    shard error (propagate immediately, no serial re-run) from a
+    transport failure (fall back to serial).  An exception that cannot
+    itself be pickled is replaced by a :class:`ShardError` carrying the
+    worker's formatted traceback.
+    """
+    try:
+        return _ShardOutcome(value=fn(item))
+    except Exception as exc:  # noqa: BLE001 — re-raised in the parent
+        text = traceback.format_exc()
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            exc = ShardError(
+                f"shard raised unpicklable {type(exc).__name__}; "
+                f"worker traceback:\n{text}"
+            )
+        return _ShardOutcome(error=exc, traceback_text=text)
+
+
 class ParallelExecutor:
-    """Process-pool execution with a transparent serial fallback.
+    """Process-pool execution with an observable serial fallback.
 
     Usage::
 
-        sweep = sweep_zeta_targets(
-            base, targets, n_replicates=8, executor=ParallelExecutor(jobs=4)
+        grid = sweep_grid(
+            base, targets, phi_maxes, executor=ParallelExecutor(jobs=4)
         )
 
     Determinism is inherited from the sharding contract (module
     docstring): because every shard is pure and results are reassembled
     by input index, the answer is byte-identical to
-    :class:`SerialExecutor`'s.  The fallback keeps that promise even
-    for workloads that cannot cross a process boundary.
+    :class:`SerialExecutor`'s.  Transport failures keep that promise by
+    degrading to the serial path (with a :class:`ParallelFallbackWarning`
+    naming the cause); worker-side shard exceptions propagate exactly
+    once with no serial re-run of completed shards.
     """
 
     def __init__(self, jobs: int | None = None) -> None:
@@ -150,19 +281,54 @@ class ParallelExecutor:
         if jobs is not None and jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else available_cpus()
-        #: Whether the most recent :meth:`map` actually used the pool
-        #: (False after a serial fallback) — diagnostic for benches and
-        #: tests; results are identical either way.
+        #: Whether the most recent :meth:`map`/:meth:`imap` ran entirely
+        #: on the pool (False after any serial fallback, including a
+        #: mid-stream one) — diagnostic for benches, the CLI, and tests;
+        #: results are identical either way.
         self.last_map_parallel = False
 
     def map(
         self, fn: Callable[[SpecT], ResultT], items: Sequence[SpecT]
     ) -> List[ResultT]:
-        """Map *fn* over *items* on the pool; serial when that can't work."""
+        """Map *fn* over *items* on the pool; serial when that can't work.
+
+        Implemented over :meth:`imap` so the blocking and streaming
+        paths share one execution, fallback, and error-propagation
+        implementation (and :attr:`last_map_parallel` stays accurate on
+        both).
+        """
+        items = list(items)
+        results: List[ResultT] = [None] * len(items)  # type: ignore[list-item]
+        for index, result in self.imap(fn, items):
+            results[index] = result
+        return results
+
+    def imap(
+        self, fn: Callable[[SpecT], ResultT], items: Sequence[SpecT]
+    ) -> Iterator[Tuple[int, ResultT]]:
+        """Yield ``(shard index, result)`` pairs as workers finish shards.
+
+        Failure semantics (module docstring): an exception raised *by
+        the shard function inside a worker* is re-raised here exactly
+        once — completed shards are never re-run, pending shards are
+        cancelled.  A transport/pool failure instead finishes the
+        not-yet-completed shards in-process and warns with
+        :class:`ParallelFallbackWarning`.
+        """
         items = list(items)
         self.last_map_parallel = False
-        if self.jobs <= 1 or len(items) <= 1 or not self._transportable(fn, items):
-            return [fn(item) for item in items]
+        if self.jobs <= 1 or len(items) <= 1:
+            # Intentionally serial (trivial workload): not a degradation,
+            # so no warning.
+            yield from SerialExecutor().imap(fn, items)
+            return
+        problem = self._transport_problem(fn, items)
+        if problem is not None:
+            self._warn_fallback(problem)
+            yield from SerialExecutor().imap(fn, items)
+            return
+        pending: Dict[int, SpecT] = dict(enumerate(items))
+        failure: Optional[_ShardOutcome] = None
         try:
             with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(items)),
@@ -170,35 +336,97 @@ class ParallelExecutor:
                 initializer=_init_worker,
                 initargs=(list(sys.path),),
             ) as pool:
-                results = list(pool.map(fn, items))
-            self.last_map_parallel = True
-            return results
-        except (pickle.PicklingError, TypeError, AttributeError,
-                process.BrokenProcessPool, OSError):
+                futures = {
+                    pool.submit(_guarded_shard, fn, item): index
+                    for index, item in pending.items()
+                }
+                try:
+                    for future in as_completed(futures):
+                        outcome = future.result()
+                        if outcome.error is not None:
+                            failure = outcome
+                            for other in futures:
+                                other.cancel()
+                            break
+                        index = futures[future]
+                        del pending[index]
+                        yield index, outcome.value
+                except GeneratorExit:
+                    # The consumer abandoned the stream (break, head of a
+                    # pipe, ...): cancel every not-yet-started shard so
+                    # the with-block's shutdown only waits for the few
+                    # already running, not the whole remaining grid.
+                    for other in futures:
+                        other.cancel()
+                    raise
+        except _TRANSPORT_FAILURES as exc:
             # Pool startup or shard transport failed (resource limits,
             # dead worker, an unpicklable item past the sampled first):
-            # cells are pure, so rerunning serially gives the identical
-            # answer.
-            return [fn(item) for item in items]
+            # cells are pure, so finishing the incomplete shards
+            # serially gives the identical answer.
+            self._warn_fallback(
+                f"the process pool failed mid-run "
+                f"({type(exc).__name__}: {exc}); finishing "
+                f"{len(pending)} incomplete shard(s) in-process"
+            )
+            for index in sorted(pending):
+                yield index, fn(pending[index])
+            return
+        if failure is not None:
+            raise self._rehydrate(failure)
+        self.last_map_parallel = True
 
     @staticmethod
-    def _transportable(fn: Callable, items: Sequence) -> bool:
-        """True when *fn* and a sample shard survive a pickle round-trip.
+    def _rehydrate(failure: _ShardOutcome) -> BaseException:
+        """The worker's exception, annotated with its remote traceback."""
+        error = failure.error
+        assert error is not None
+        if failure.traceback_text:
+            note = "worker-side shard traceback:\n" + failure.traceback_text
+            if hasattr(error, "add_note"):
+                error.add_note(note)
+            elif error.__cause__ is None:  # Python 3.10: chain instead
+                error.__cause__ = ShardError(note)
+        return error
+
+    def _warn_fallback(self, cause: str) -> None:
+        """Emit the (observable) degradation diagnostic."""
+        warnings.warn(
+            f"ParallelExecutor(jobs={self.jobs}) degraded to serial "
+            f"in-process execution: {cause}",
+            ParallelFallbackWarning,
+            stacklevel=3,
+        )
+
+    @staticmethod
+    def _transport_problem(fn: Callable, items: Sequence) -> Optional[str]:
+        """Why *fn* and a sample shard cannot cross the pool, or None.
 
         Only the first item is checked — shard lists are homogeneous in
         practice (the unpicklable part, e.g. a closure factory, appears
         in every shard), and pickling the whole workload twice would
         double the dominant fan-out cost.  A heterogeneous list that
-        slips through is caught by the pickle errors handled in
-        :meth:`map`.
+        slips through is caught by the transport errors handled in
+        :meth:`imap`.
         """
         try:
             pickle.dumps(fn)
-            if items:
-                pickle.dumps(items[0])
         except Exception:
-            return False
-        return True
+            return (
+                f"the shard function {getattr(fn, '__name__', fn)!r} is not "
+                "picklable; use a module-level function or a registry name "
+                "(repro.experiments.registry)"
+            )
+        if items:
+            try:
+                pickle.dumps(items[0])
+            except Exception:
+                return (
+                    "the shards are not picklable (closures as scheduler "
+                    "factories? register them by name in "
+                    "repro.experiments.registry)"
+                )
+        return None
 
     @staticmethod
     def _context():
@@ -212,7 +440,14 @@ class ParallelExecutor:
 
 
 def _init_worker(parent_sys_path: List[str]) -> None:
-    """Mirror the parent's sys.path so spawned workers can import repro."""
-    for entry in parent_sys_path:
-        if entry not in sys.path:
-            sys.path.append(entry)
+    """Mirror the parent's sys.path so spawned workers can import repro.
+
+    Parent entries are *prepended in parent order*: appending them after
+    the worker's defaults could resolve ``repro`` to a different
+    (shadowing) installation than the parent's, silently mixing two
+    versions of the code in one experiment.
+    """
+    parent_entries = list(parent_sys_path)
+    parent_set = set(parent_entries)
+    worker_only = [entry for entry in sys.path if entry not in parent_set]
+    sys.path[:] = parent_entries + worker_only

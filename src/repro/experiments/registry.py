@@ -1,0 +1,249 @@
+"""Named scheduler-factory registries for cross-process resolution.
+
+A scheduler factory that is a closure cannot be pickled, so PR 1's
+process-pool fan-out silently degraded to serial execution whenever one
+was used — ``NetworkRunner`` fleets and custom sweep mechanisms paid
+for ``--jobs N`` and got 1.  This module removes that cliff: factories
+are registered under a **name**, and a :class:`NamedFactory` — a frozen
+dataclass holding only the name — crosses the process boundary instead
+of the callable.  Workers re-resolve the name against their own copy of
+the registry (populated at import time, or inherited via fork), so the
+factory itself never needs to be picklable.
+
+Two registries exist, one per factory signature:
+
+* :data:`mechanism_factories` — ``factory(scenario) -> Scheduler``, the
+  sweep/grid mechanisms (:func:`repro.experiments.runner.default_factories`
+  is a view onto this registry);
+* :data:`node_factories` — ``factory(scenario, node_id) -> Scheduler``,
+  the per-node schedulers used by
+  :class:`repro.network.runner.NetworkRunner` fleets.
+
+Registering a custom factory::
+
+    from repro.experiments.registry import node_factories
+
+    @node_factories.register("my-rh")
+    def my_rh(scenario, node_id):
+        return SnipRhScheduler(scenario.profile, scenario.model,
+                               initial_contact_length=2.0)
+
+    NetworkRunner(scenario, traces, "my-rh").run(
+        executor=ParallelExecutor(jobs=8))   # real pool fan-out, no fallback
+
+The paper's three mechanisms (SNIP-AT, SNIP-OPT, SNIP-RH) are
+pre-registered in both registries at import time.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..core.schedulers.at import SnipAtScheduler
+from ..core.schedulers.opt import SnipOptScheduler
+from ..core.schedulers.rh import SnipRhScheduler
+from ..errors import ConfigurationError
+
+#: The mechanism names of the paper's evaluation, in figure order.
+PAPER_MECHANISMS = ("SNIP-AT", "SNIP-OPT", "SNIP-RH")
+
+
+class FactoryRegistry:
+    """A name → scheduler-factory mapping with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        """*kind* labels the registry in error messages and reprs."""
+        self.kind = kind
+        self._factories: Dict[str, Callable] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable] = None,
+        *,
+        replace: bool = False,
+    ):
+        """Register *factory* under *name*; usable as a decorator.
+
+        Direct form: ``registry.register("x", fn)``.  Decorator form::
+
+            @registry.register("x")
+            def fn(...): ...
+
+        Re-registering an existing name raises unless ``replace=True``
+        (accidental shadowing of a built-in mechanism would silently
+        change every sweep that names it).
+        """
+        if factory is None:
+            def decorator(fn: Callable) -> Callable:
+                self.register(name, fn, replace=replace)
+                return fn
+
+            return decorator
+        if not name:
+            raise ConfigurationError(f"{self.kind} factory name must be non-empty")
+        if not replace and name in self._factories:
+            raise ConfigurationError(
+                f"{self.kind} factory {name!r} is already registered; "
+                "pass replace=True to overwrite it"
+            )
+        self._factories[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove *name* from the registry (test/teardown helper)."""
+        if name not in self._factories:
+            raise ConfigurationError(
+                f"unknown {self.kind} factory {name!r}; known: {self.names()}"
+            )
+        del self._factories[name]
+
+    def resolve(self, name: str) -> Callable:
+        """The factory registered under *name*; raises on unknown names."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} factory {name!r}; known: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """The registered names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        """True when *name* is registered."""
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate over the registered names, sorted."""
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        """Number of registered factories."""
+        return len(self._factories)
+
+    def __repr__(self) -> str:
+        return f"FactoryRegistry({self.kind!r}, names={self.names()})"
+
+
+#: Sweep/grid mechanism factories: ``factory(scenario) -> Scheduler``.
+mechanism_factories = FactoryRegistry("mechanism")
+
+#: Per-node fleet factories: ``factory(scenario, node_id) -> Scheduler``.
+node_factories = FactoryRegistry("node scheduler")
+
+#: :class:`NamedFactory` kind → registry resolved against.
+_REGISTRIES: Dict[str, FactoryRegistry] = {
+    "mechanism": mechanism_factories,
+    "node": node_factories,
+}
+
+
+@dataclass(frozen=True)
+class NamedFactory:
+    """A picklable reference to a registered factory.
+
+    Pickles as plain strings and re-resolves against the worker-side
+    registry when called, so a ``NamedFactory`` survives any process
+    boundary that the registration itself also crossed: built-ins
+    register at import time, forked workers inherit the parent's
+    runtime registrations, and spawned workers re-import ``__main__``
+    (module-level registrations in a script run there too).  The one
+    gap is a *runtime* registration made outside any importable module
+    (e.g. inside a function) on a spawn-start-method platform; *module*
+    records where the factory was registered so workers can import that
+    module before resolving, closing the gap for module-level factories
+    referenced from long-lived parents.
+
+    Attributes:
+        name: the registered factory name.
+        kind: which registry to resolve against: ``"mechanism"``
+            (``factory(scenario)``) or ``"node"``
+            (``factory(scenario, node_id)``).
+        module: optional module to import before resolving when the
+            name is missing (the factory's defining module).
+    """
+
+    name: str
+    kind: str = "mechanism"
+    module: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _REGISTRIES:
+            raise ConfigurationError(
+                f"unknown registry kind {self.kind!r}; "
+                f"known: {sorted(_REGISTRIES)}"
+            )
+
+    def __call__(self, *args, **kwargs):
+        """Resolve the name and build the scheduler."""
+        registry = _REGISTRIES[self.kind]
+        import_error: Optional[ImportError] = None
+        if self.name not in registry and self.module:
+            # A spawned worker may not have executed the registering
+            # module yet; importing it re-runs the registration.
+            try:
+                importlib.import_module(self.module)
+            except ImportError as exc:
+                import_error = exc
+        try:
+            factory = registry.resolve(self.name)
+        except ConfigurationError as exc:
+            if import_error is not None:
+                raise ConfigurationError(
+                    f"{exc} (importing {self.module!r} to register it "
+                    f"failed: {import_error})"
+                ) from import_error
+            raise
+        return factory(*args, **kwargs)
+
+
+@mechanism_factories.register("SNIP-AT")
+def snip_at_mechanism(scenario) -> SnipAtScheduler:
+    """The paper's SNIP-AT (all-time probing) mechanism for a scenario."""
+    return SnipAtScheduler(
+        scenario.profile,
+        scenario.model,
+        zeta_target=scenario.zeta_target,
+        phi_max=scenario.phi_max,
+    )
+
+
+@mechanism_factories.register("SNIP-OPT")
+def snip_opt_mechanism(scenario) -> SnipOptScheduler:
+    """The paper's SNIP-OPT (optimal slot allocation) mechanism."""
+    return SnipOptScheduler(
+        scenario.profile,
+        scenario.model,
+        zeta_target=scenario.zeta_target,
+        phi_max=scenario.phi_max,
+    )
+
+
+@mechanism_factories.register("SNIP-RH")
+def snip_rh_mechanism(scenario) -> SnipRhScheduler:
+    """The paper's SNIP-RH (rush-hour probing) mechanism."""
+    return SnipRhScheduler(
+        scenario.profile, scenario.model, initial_contact_length=2.0
+    )
+
+
+@node_factories.register("SNIP-AT")
+def snip_at_node(scenario, node_id: str) -> SnipAtScheduler:
+    """Per-node SNIP-AT: every node probes all the time."""
+    return snip_at_mechanism(scenario)
+
+
+@node_factories.register("SNIP-OPT")
+def snip_opt_node(scenario, node_id: str) -> SnipOptScheduler:
+    """Per-node SNIP-OPT against the shared deployment profile."""
+    return snip_opt_mechanism(scenario)
+
+
+@node_factories.register("SNIP-RH")
+def snip_rh_node(scenario, node_id: str) -> SnipRhScheduler:
+    """Per-node SNIP-RH: each node exploits its own rush hours."""
+    return snip_rh_mechanism(scenario)

@@ -27,11 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..core.schedulers.at import SnipAtScheduler
 from ..core.schedulers.base import Scheduler
-from ..core.schedulers.opt import SnipOptScheduler
-from ..core.schedulers.rh import SnipRhScheduler
-from ..errors import ConfigurationError
 from ..mobility.contact import Contact, ContactTrace
 from ..mobility.synthetic import SyntheticTraceGenerator
 from ..node.buffer import DataBuffer
@@ -45,29 +41,24 @@ from ..sim.rng import RandomStreams
 from ..sim.timeline import Timeline
 from ..units import TIME_EPSILON
 from .metrics import EpochMetrics, RunMetrics
+from .registry import PAPER_MECHANISMS, mechanism_factories
 from .scenario import Scenario
 
 SchedulerFactory = Callable[[Scenario], Scheduler]
 
 
 def default_factories() -> Dict[str, SchedulerFactory]:
-    """The paper's three mechanisms, built from a scenario.
+    """The paper's three mechanisms, resolved from the named registry.
 
-    This registry is the worker-side mechanism resolver for parallel
-    execution: a :class:`RunSpec` that names one of these mechanisms can
-    be executed in a subprocess without shipping a (possibly
-    unpicklable) factory closure across the process boundary.
+    A view onto :data:`repro.experiments.registry.mechanism_factories`
+    restricted to the paper's mechanisms (SNIP-AT, SNIP-OPT, SNIP-RH),
+    in figure order.  The registry is the worker-side mechanism resolver
+    for parallel execution: a :class:`RunSpec` that names a registered
+    mechanism can be executed in a subprocess without shipping a
+    (possibly unpicklable) factory closure across the process boundary.
     """
     return {
-        "SNIP-AT": lambda s: SnipAtScheduler(
-            s.profile, s.model, zeta_target=s.zeta_target, phi_max=s.phi_max
-        ),
-        "SNIP-OPT": lambda s: SnipOptScheduler(
-            s.profile, s.model, zeta_target=s.zeta_target, phi_max=s.phi_max
-        ),
-        "SNIP-RH": lambda s: SnipRhScheduler(
-            s.profile, s.model, initial_contact_length=2.0
-        ),
+        name: mechanism_factories.resolve(name) for name in PAPER_MECHANISMS
     }
 
 
@@ -80,14 +71,18 @@ class RunSpec:
     :class:`RunResult` in any process, on any worker, in any order.
 
     Attributes:
-        scenario: the complete configuration, seed included.
+        scenario: the complete configuration, seed and Φmax included.
         mechanism: scheduler name; resolved worker-side through
-            :func:`default_factories` unless *factory* overrides it.
-        replicate: replicate index within its (mechanism, ζtarget) cell
-            (bookkeeping for aggregation; does not affect execution).
+            :data:`repro.experiments.registry.mechanism_factories`
+            unless *factory* overrides it.
+        replicate: replicate index within its (mechanism, ζtarget, Φmax)
+            cell (bookkeeping for aggregation; does not affect
+            execution).
         factory: optional custom scheduler factory.  Must be picklable
-            for process-pool execution; executors fall back to serial
-            in-process execution when it is not.
+            for process-pool execution — prefer registering it by name
+            (:mod:`repro.experiments.registry`) or passing a
+            :class:`~repro.experiments.registry.NamedFactory`; executors
+            fall back to serial in-process execution when it is not.
     """
 
     scenario: Scenario
@@ -104,12 +99,7 @@ def execute_run_spec(spec: RunSpec) -> RunResult:
     """
     factory = spec.factory
     if factory is None:
-        registry = default_factories()
-        if spec.mechanism not in registry:
-            raise ConfigurationError(
-                f"unknown mechanism {spec.mechanism!r}; known: {sorted(registry)}"
-            )
-        factory = registry[spec.mechanism]
+        factory = mechanism_factories.resolve(spec.mechanism)
     return FastRunner(spec.scenario, factory(spec.scenario)).run()
 
 

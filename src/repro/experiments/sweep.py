@@ -5,20 +5,32 @@ module runs that grid on the fast simulator and pairs each simulated
 point with its closed-form prediction so benches can print both (the
 paper presents them as separate analysis and simulation figures).
 
-Replication and parallelism: ``sweep_zeta_targets`` accepts
-``n_replicates`` (or explicit ``replicate_seeds``) to run every cell
-across independent seeds and annotate each point with Student-t
-confidence intervals, and ``executor`` to scatter the resulting
-(mechanism, ζtarget, replicate) shards over a process pool.  The
-sharding/seeding contract that keeps the output bit-identical across
-worker counts and execution orders is documented in
+Two entry points share one sharded code path:
+
+* :func:`sweep_zeta_targets` — one Φmax budget, the historical API
+  (Figs. 5/7 or 6/8 individually);
+* :func:`sweep_grid` — the complete paper grid, flattening all four
+  axes (mechanism × ζtarget × Φmax × replicate) into
+  :class:`~repro.experiments.runner.RunSpec` shards; Figs. 5–8 are one
+  call with ``phi_maxes=(Tepoch/1000, Tepoch/100)``.
+
+Both accept ``n_replicates`` (or explicit ``replicate_seeds``) to run
+every cell across independent seeds and annotate each point with
+Student-t confidence intervals, and ``executor`` to scatter the shards
+over a process pool.  When the executor provides the streaming
+:meth:`~repro.experiments.parallel.Executor.imap` path, completed cells
+are reported through the ``progress`` callback as they finish, so a CLI
+or bench can render tables incrementally instead of blocking on the
+slowest cell — the assembled result is byte-identical either way
+because reassembly is by shard index, never completion order.  The full
+sharding/seeding contract is documented in
 :mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.analysis import AnalysisPoint, evaluate_schedulers
 from ..errors import ConfigurationError
@@ -32,8 +44,16 @@ __all__ = [
     "default_factories",
     "SweepPoint",
     "SweepResult",
+    "GridResult",
+    "ProgressCallback",
     "sweep_zeta_targets",
+    "sweep_grid",
 ]
+
+#: Streaming observer: ``progress(spec, result, completed, total)`` is
+#: invoked once per finished shard, in completion order, where
+#: *completed* counts shards done so far out of *total*.
+ProgressCallback = Callable[[RunSpec, RunResult, int, int], None]
 
 
 @dataclass
@@ -87,7 +107,7 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """The full grid, keyed by mechanism then ζtarget order."""
+    """One Φmax budget's grid, keyed by mechanism then ζtarget order."""
 
     points: Dict[str, List[SweepPoint]]
     zeta_targets: Sequence[float]
@@ -125,6 +145,47 @@ class SweepResult:
         }
 
 
+@dataclass
+class GridResult:
+    """The full paper grid: one :class:`SweepResult` per Φmax budget."""
+
+    budgets: Dict[float, SweepResult]
+    phi_maxes: Tuple[float, ...]
+    zeta_targets: Tuple[float, ...]
+
+    def budget(self, phi_max: float) -> SweepResult:
+        """The sweep for one Φmax budget (exact value, in seconds)."""
+        key = float(phi_max)
+        if key not in self.budgets:
+            raise ConfigurationError(
+                f"no Phi_max {phi_max!r} in this grid; have "
+                f"{sorted(self.budgets)}"
+            )
+        return self.budgets[key]
+
+    @property
+    def n_replicates(self) -> int:
+        """Replicates per cell (uniform across budgets)."""
+        for sweep in self.budgets.values():
+            return sweep.n_replicates
+        return 0
+
+    def series(self, metric: str) -> Dict[float, Dict[str, List[float]]]:
+        """One metric across the whole grid: {Φmax: {mechanism: [...]}}."""
+        return {
+            phi_max: self.budgets[phi_max].series(metric)
+            for phi_max in self.phi_maxes
+        }
+
+    def __iter__(self) -> Iterator[Tuple[float, SweepResult]]:
+        """Iterate ``(phi_max, sweep)`` pairs in the requested order."""
+        return iter((phi_max, self.budgets[phi_max]) for phi_max in self.phi_maxes)
+
+    def __len__(self) -> int:
+        """Number of Φmax budgets in the grid."""
+        return len(self.phi_maxes)
+
+
 def _resolve_seeds(
     base_seed: int,
     n_replicates: int,
@@ -146,75 +207,66 @@ def _resolve_seeds(
     return [replicate_seed(base_seed, r) for r in range(n_replicates)]
 
 
-def sweep_zeta_targets(
-    base: Scenario,
-    zeta_targets: Sequence[float],
-    *,
-    factories: Optional[Mapping[str, SchedulerFactory]] = None,
-    with_predictions: bool = True,
-    n_replicates: int = 1,
-    replicate_seeds: Optional[Sequence[int]] = None,
-    executor: Optional[Executor] = None,
-) -> SweepResult:
-    """Run the mechanism x ζtarget grid on the fast simulator.
+def _stream_results(
+    executor: Optional[Executor],
+    specs: Sequence[RunSpec],
+    progress: Optional[ProgressCallback],
+) -> List[RunResult]:
+    """Execute *specs*, reassembling by shard index (contract rule 3).
 
-    Args:
-        base: the scenario template; its seed anchors replicate 0.
-        zeta_targets: the ζtarget sweep values.
-        factories: mechanism name → scheduler factory (default: the
-            paper's three mechanisms).  Custom factories are carried
-            inside each shard; they must be picklable to actually cross
-            a process boundary, otherwise execution silently stays
-            serial (and identical).
-        with_predictions: pair each simulated point with its closed-form
-            prediction where one exists.
-        n_replicates: seed replicates per cell.  Seeds derive from
-            ``base.seed`` via the substream contract in
-            :mod:`repro.experiments.parallel`; replicate 0 is
-            ``base.seed`` itself, so ``n_replicates=1`` reproduces the
-            historical serial sweep exactly.
-        replicate_seeds: explicit per-replicate seeds overriding the
-            derivation (e.g. to reproduce a legacy multi-seed average).
-        executor: shard mapper; default :class:`SerialExecutor`.  Pass
-            :class:`~repro.experiments.parallel.ParallelExecutor` for a
-            process pool — results are bit-identical either way.
+    Uses the executor's streaming ``imap`` when it has one — *progress*
+    then fires per shard as it completes — and falls back to the
+    blocking ``map`` for executors that only implement the protocol's
+    minimum (progress then fires after the barrier, still per shard).
     """
-    factories = dict(factories) if factories is not None else None
-    names = list(factories) if factories is not None else list(default_factories())
-    seeds = _resolve_seeds(base.seed, n_replicates, replicate_seeds)
+    executor = executor if executor is not None else SerialExecutor()
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    completed = 0
+    imap = getattr(executor, "imap", None)
+    if imap is not None:
+        pairs = imap(execute_run_spec, specs)
+    else:
+        pairs = enumerate(executor.map(execute_run_spec, specs))
+    for index, result in pairs:
+        results[index] = result
+        completed += 1
+        if progress is not None:
+            progress(specs[index], result, completed, len(specs))
+    return results  # type: ignore[return-value]
 
-    predictions: Dict[str, List[AnalysisPoint]] = {}
-    if with_predictions:
-        known = [name for name in names if name in ("SNIP-AT", "SNIP-OPT", "SNIP-RH")]
-        predictions = evaluate_schedulers(
-            base.profile,
-            base.model,
-            zeta_targets=zeta_targets,
-            phi_max=base.phi_max,
-            mechanisms=known,
-        )
 
-    specs: List[RunSpec] = []
-    for target in zeta_targets:
-        for name in names:
-            for index, seed in enumerate(seeds):
-                specs.append(
-                    RunSpec(
-                        scenario=base.with_target(target).with_seed(seed),
-                        mechanism=name,
-                        replicate=index,
-                        factory=factories[name] if factories is not None else None,
-                    )
-                )
+def _predictions_for(
+    base: Scenario,
+    names: Sequence[str],
+    zeta_targets: Sequence[float],
+) -> Dict[str, List[AnalysisPoint]]:
+    """Closed-form predictions for the mechanisms that have them."""
+    known = [name for name in names if name in ("SNIP-AT", "SNIP-OPT", "SNIP-RH")]
+    if not known:
+        return {}
+    return evaluate_schedulers(
+        base.profile,
+        base.model,
+        zeta_targets=zeta_targets,
+        phi_max=base.phi_max,
+        mechanisms=known,
+    )
 
-    results = (executor or SerialExecutor()).map(execute_run_spec, specs)
 
+def _assemble_sweep(
+    names: Sequence[str],
+    zeta_targets: Sequence[float],
+    n_seeds: int,
+    results: Sequence[RunResult],
+    predictions: Mapping[str, List[AnalysisPoint]],
+) -> SweepResult:
+    """Fold one budget's index-ordered results into a :class:`SweepResult`."""
     points: Dict[str, List[SweepPoint]] = {name: [] for name in names}
     cursor = 0
     for target_index, target in enumerate(zeta_targets):
         for name in names:
-            replicates = list(results[cursor : cursor + len(seeds)])
-            cursor += len(seeds)
+            replicates = list(results[cursor : cursor + n_seeds])
+            cursor += n_seeds
             predicted = (
                 predictions[name][target_index] if name in predictions else None
             )
@@ -228,3 +280,132 @@ def sweep_zeta_targets(
                 )
             )
     return SweepResult(points=points, zeta_targets=zeta_targets)
+
+
+def sweep_grid(
+    base: Scenario,
+    zeta_targets: Sequence[float],
+    phi_maxes: Sequence[float],
+    *,
+    factories: Optional[Mapping[str, SchedulerFactory]] = None,
+    with_predictions: bool = True,
+    n_replicates: int = 1,
+    replicate_seeds: Optional[Sequence[int]] = None,
+    executor: Optional[Executor] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> GridResult:
+    """Run the full mechanism × ζtarget × Φmax × replicate paper grid.
+
+    All four axes are flattened up front into pure
+    :class:`~repro.experiments.runner.RunSpec` shards (Φmax outermost,
+    then ζtarget, mechanism, replicate) on the seeding contract of
+    :mod:`repro.experiments.parallel`: every (mechanism, ζtarget, Φmax)
+    cell of replicate *r* shares ``replicate_seed(base.seed, r)``, so
+    mechanisms *and budgets* are compared on identical contact
+    processes, and the assembled grid is byte-identical for any worker
+    count or execution order.
+
+    Args:
+        base: the scenario template; its seed anchors replicate 0 and
+            its own ``phi_max`` is ignored in favour of *phi_maxes*.
+        zeta_targets: the ζtarget sweep values.
+        phi_maxes: the Φmax budgets, in seconds (the paper uses
+            ``Tepoch/1000`` and ``Tepoch/100``).  Must be distinct.
+        factories: mechanism name → scheduler factory (default: the
+            paper's three registry mechanisms).  Custom factories are
+            carried inside each shard; prefer registry-named factories
+            (:mod:`repro.experiments.registry`) — unpicklable closures
+            degrade execution to serial with a
+            :class:`~repro.experiments.parallel.ParallelFallbackWarning`.
+        with_predictions: pair each simulated point with its closed-form
+            prediction where one exists (computed per budget).
+        n_replicates: seed replicates per cell (replicate 0 is
+            ``base.seed`` itself).
+        replicate_seeds: explicit per-replicate seeds overriding the
+            derivation.
+        progress: optional streaming observer; see
+            :data:`ProgressCallback`.
+        executor: shard mapper; default
+            :class:`~repro.experiments.parallel.SerialExecutor`.
+
+    Returns:
+        A :class:`GridResult` holding one :class:`SweepResult` per
+        budget, in *phi_maxes* order.
+    """
+    phi_values = [float(phi_max) for phi_max in phi_maxes]
+    if not phi_values:
+        raise ConfigurationError("phi_maxes must be non-empty")
+    if len(set(phi_values)) != len(phi_values):
+        raise ConfigurationError(f"phi_maxes must be distinct, got {phi_values}")
+    factories = dict(factories) if factories is not None else None
+    names = list(factories) if factories is not None else list(default_factories())
+    seeds = _resolve_seeds(base.seed, n_replicates, replicate_seeds)
+
+    specs: List[RunSpec] = []
+    for phi_max in phi_values:
+        budget_base = base.with_budget(phi_max)
+        for target in zeta_targets:
+            for name in names:
+                for index, seed in enumerate(seeds):
+                    specs.append(
+                        RunSpec(
+                            scenario=budget_base.with_target(target).with_seed(seed),
+                            mechanism=name,
+                            replicate=index,
+                            factory=factories[name] if factories is not None else None,
+                        )
+                    )
+
+    results = _stream_results(executor, specs, progress)
+
+    budgets: Dict[float, SweepResult] = {}
+    block = len(zeta_targets) * len(names) * len(seeds)
+    for budget_index, phi_max in enumerate(phi_values):
+        budget_base = base.with_budget(phi_max)
+        predictions = (
+            _predictions_for(budget_base, names, zeta_targets)
+            if with_predictions
+            else {}
+        )
+        block_results = results[budget_index * block : (budget_index + 1) * block]
+        budgets[phi_max] = _assemble_sweep(
+            names, zeta_targets, len(seeds), block_results, predictions
+        )
+    return GridResult(
+        budgets=budgets,
+        phi_maxes=tuple(phi_values),
+        zeta_targets=tuple(zeta_targets),
+    )
+
+
+def sweep_zeta_targets(
+    base: Scenario,
+    zeta_targets: Sequence[float],
+    *,
+    factories: Optional[Mapping[str, SchedulerFactory]] = None,
+    with_predictions: bool = True,
+    n_replicates: int = 1,
+    replicate_seeds: Optional[Sequence[int]] = None,
+    executor: Optional[Executor] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Run the mechanism x ζtarget grid at the scenario's own Φmax.
+
+    The single-budget slice of :func:`sweep_grid` (which see for the
+    argument semantics and the sharding/seeding contract): exactly
+    ``sweep_grid(base, zeta_targets, [base.phi_max], ...)`` followed by
+    selecting that budget, so the historical API and the full paper
+    grid exercise one sharded code path.
+    """
+    grid = sweep_grid(
+        base,
+        zeta_targets,
+        [base.phi_max],
+        factories=factories,
+        with_predictions=with_predictions,
+        n_replicates=n_replicates,
+        replicate_seeds=replicate_seeds,
+        executor=executor,
+        progress=progress,
+    )
+    return grid.budget(base.phi_max)

@@ -10,11 +10,12 @@ different places and their contacts ... may follow different patterns".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
 from ..core.schedulers.base import Scheduler
 from ..errors import ConfigurationError
 from ..experiments.parallel import Executor
+from ..experiments.registry import NamedFactory, node_factories
 from ..experiments.runner import FastRunner, RunResult
 from ..experiments.scenario import Scenario
 from ..mobility.contact import ContactTrace
@@ -114,10 +115,28 @@ class NetworkRunner:
         self,
         scenario: Scenario,
         traces_by_node: Mapping[str, ContactTrace],
-        scheduler_factory: SchedulerFactory,
+        scheduler_factory: Union[str, SchedulerFactory],
     ) -> None:
+        """*scheduler_factory* is a callable ``(scenario, node_id) ->
+        Scheduler`` or the name of a factory registered in
+        :data:`repro.experiments.registry.node_factories`.  Names
+        resolve to a picklable
+        :class:`~repro.experiments.registry.NamedFactory`, so a named
+        fleet fans out over a real process pool instead of silently
+        degrading to serial (closures cannot cross the boundary).
+        Unknown names fail fast here, not in a worker.
+        """
         if not traces_by_node:
             raise ConfigurationError("need at least one node trace")
+        if isinstance(scheduler_factory, str):
+            registered = node_factories.resolve(scheduler_factory)  # fail fast
+            scheduler_factory = NamedFactory(
+                scheduler_factory,
+                kind="node",
+                # Spawn-start workers import this to replay a runtime
+                # registration that fork would have inherited for free.
+                module=getattr(registered, "__module__", None),
+            )
         self.scenario = scenario
         self.traces_by_node = dict(traces_by_node)
         self.scheduler_factory = scheduler_factory
@@ -128,8 +147,10 @@ class NetworkRunner:
         Pass an :class:`~repro.experiments.parallel.ParallelExecutor`
         to simulate nodes on worker processes.  Nodes are independent
         (each owns its trace and scheduler), so the aggregate is
-        identical for any worker count; scheduler factories that cannot
-        be pickled (e.g. lambdas) transparently run serially.
+        identical for any worker count.  Scheduler factories that
+        cannot be pickled (e.g. lambdas) run serially with a
+        :class:`~repro.experiments.parallel.ParallelFallbackWarning`;
+        registry-named factories (see ``__init__``) avoid the fallback.
         """
         ordered = sorted(self.traces_by_node.items())
         items = [

@@ -39,6 +39,69 @@ class TestNetworkCommand:
         assert "sensor-0" in out and "sensor-1" in out
         assert "fleet rho" in out
 
+    def test_factory_defaults_to_registry_rh(self):
+        args = build_parser().parse_args(["network"])
+        assert args.factory == "SNIP-RH"
+
+    def test_jobs_with_registry_factory_takes_pool_path(self, capsys):
+        # The acceptance criterion end-to-end: `network --jobs 2` with a
+        # registry-named factory must report the pool was actually used.
+        code = main(
+            [
+                "network",
+                "--nodes", "2",
+                "--commuters", "10",
+                "--days", "2",
+                "--jobs", "2",
+                "--factory", "SNIP-RH",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pool used: yes" in out
+
+
+class TestGridCommand:
+    def test_defaults_cover_both_paper_budgets(self):
+        args = build_parser().parse_args(["grid"])
+        assert args.budget_divisors == [1000.0, 100.0]
+        assert args.replicates == 1
+        assert args.jobs == 1
+
+    def test_streams_cells_and_prints_per_budget_tables(self, capsys):
+        code = main(
+            [
+                "grid",
+                "--targets", "16",
+                "--epochs", "1",
+                "--budget-divisors", "1000", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Streaming: one progress line per (mechanism, target, budget,
+        # replicate) cell, numbered to the full grid size.
+        assert "[1/6]" in out and "[6/6]" in out
+        # Both budgets appear in the streamed cells and in the tables.
+        assert "Phi_max=Tepoch/1000" in out and "Phi_max=Tepoch/100 " in out
+        assert "Phi_max = Tepoch/1000" in out and "Phi_max = Tepoch/100" in out
+        assert "SNIP-RH" in out
+
+    def test_no_progress_suppresses_streaming(self, capsys):
+        code = main(
+            [
+                "grid",
+                "--targets", "16",
+                "--epochs", "1",
+                "--budget-divisors", "100",
+                "--no-progress",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[1/3]" not in out
+        assert "Simulation zeta" in out
+
 
 class TestAsciiLinePlot:
     def test_contains_markers_and_legend(self):

@@ -1,0 +1,184 @@
+"""Full-grid determinism: the Φmax axis joins the sharding contract.
+
+``sweep_grid`` flattens mechanism × ζtarget × Φmax × replicate into one
+shard list.  The contract under test: the assembled grid is
+byte-identical for jobs=1, jobs=4, and an adversarially shuffled
+execution order — for *every* Φmax budget — and each budget's slice is
+byte-identical to running ``sweep_zeta_targets`` for that budget alone.
+Streaming progress must observe every cell exactly once without
+perturbing the result.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import ParallelExecutor, SerialExecutor
+from repro.experiments.scenario import paper_roadside_scenario
+from repro.experiments.sweep import sweep_grid, sweep_zeta_targets
+from repro.units import DAY
+
+TARGETS = (16.0, 48.0)
+PHI_MAXES = (DAY / 1000.0, DAY / 100.0)
+METRICS = ("zeta", "phi", "rho")
+
+
+class ShuffledStreamingExecutor:
+    """Executes shards in a deterministic but scrambled order, streaming.
+
+    Any hidden cross-cell or cross-budget state would surface as a
+    series mismatch against the serial reference.
+    """
+
+    def __init__(self, shuffle_seed: int = 4321) -> None:
+        self.shuffle_seed = shuffle_seed
+
+    def map(self, fn, items):
+        results = [None] * len(items)
+        for index, result in self.imap(fn, items):
+            results[index] = result
+        return results
+
+    def imap(self, fn, items):
+        """Yield (index, result) pairs in the scrambled order."""
+        items = list(items)
+        order = list(range(len(items)))
+        random.Random(self.shuffle_seed).shuffle(order)
+        for index in order:
+            yield index, fn(items[index])
+
+
+@pytest.fixture(scope="module")
+def base_scenario():
+    return paper_roadside_scenario(phi_max_divisor=1000, epochs=2, seed=9)
+
+
+@pytest.fixture(scope="module")
+def reference_grid(base_scenario):
+    """The serial (jobs=1) replicated grid every variant must match."""
+    return sweep_grid(
+        base_scenario,
+        TARGETS,
+        PHI_MAXES,
+        n_replicates=2,
+        executor=SerialExecutor(),
+    )
+
+
+def assert_identical_grids(grid, reference):
+    for phi_max in PHI_MAXES:
+        sweep = grid.budget(phi_max)
+        expected = reference.budget(phi_max)
+        for metric in METRICS:
+            assert sweep.series(metric) == expected.series(metric)
+            assert sweep.predicted_series(metric) == expected.predicted_series(
+                metric
+            )
+
+
+class TestGridDeterminism:
+    def test_four_workers_match_serial(self, base_scenario, reference_grid):
+        pool = ParallelExecutor(jobs=4)
+        grid = sweep_grid(
+            base_scenario, TARGETS, PHI_MAXES, n_replicates=2, executor=pool
+        )
+        assert pool.last_map_parallel, "grid silently fell back to serial"
+        assert_identical_grids(grid, reference_grid)
+
+    def test_shuffled_execution_matches_serial(self, base_scenario, reference_grid):
+        grid = sweep_grid(
+            base_scenario,
+            TARGETS,
+            PHI_MAXES,
+            n_replicates=2,
+            executor=ShuffledStreamingExecutor(),
+        )
+        assert_identical_grids(grid, reference_grid)
+
+    def test_budget_slices_match_standalone_sweeps(
+        self, base_scenario, reference_grid
+    ):
+        # The Φmax axis must not perturb per-budget seeding: each slice
+        # equals the historical single-budget sweep bit-for-bit.
+        for phi_max in PHI_MAXES:
+            standalone = sweep_zeta_targets(
+                base_scenario.with_budget(phi_max), TARGETS, n_replicates=2
+            )
+            sliced = reference_grid.budget(phi_max)
+            for metric in METRICS:
+                assert sliced.series(metric) == standalone.series(metric)
+
+    def test_budgets_actually_differ(self, reference_grid):
+        # Sanity: the grid really swept the Φmax axis (the loose budget
+        # lets SNIP-AT probe more than the tight one).
+        tight = reference_grid.budget(PHI_MAXES[0]).series("phi")["SNIP-AT"]
+        loose = reference_grid.budget(PHI_MAXES[1]).series("phi")["SNIP-AT"]
+        assert max(loose) > max(tight)
+
+
+class TestGridStreaming:
+    def test_progress_sees_every_cell_once(self, base_scenario, reference_grid):
+        seen = []
+
+        def observe(spec, result, completed, total):
+            seen.append((spec, result, completed, total))
+
+        grid = sweep_grid(
+            base_scenario,
+            TARGETS,
+            PHI_MAXES,
+            n_replicates=2,
+            executor=SerialExecutor(),
+            progress=observe,
+        )
+        total = len(PHI_MAXES) * len(TARGETS) * 3 * 2
+        assert len(seen) == total
+        assert [entry[2] for entry in seen] == list(range(1, total + 1))
+        assert all(entry[3] == total for entry in seen)
+        observed_budgets = {entry[0].scenario.phi_max for entry in seen}
+        assert observed_budgets == set(PHI_MAXES)
+        assert_identical_grids(grid, reference_grid)
+
+    def test_progress_streams_from_pool(self, base_scenario):
+        completed_counts = []
+
+        def observe(spec, result, completed, total):
+            completed_counts.append(completed)
+
+        pool = ParallelExecutor(jobs=2)
+        sweep_grid(
+            base_scenario,
+            (16.0,),
+            PHI_MAXES,
+            executor=pool,
+            progress=observe,
+        )
+        assert pool.last_map_parallel
+        assert completed_counts == list(range(1, len(PHI_MAXES) * 3 + 1))
+
+
+class TestGridResultShape:
+    def test_budget_order_and_len(self, reference_grid):
+        assert len(reference_grid) == 2
+        assert [phi for phi, _sweep in reference_grid] == list(PHI_MAXES)
+        assert reference_grid.n_replicates == 2
+
+    def test_series_keyed_by_budget(self, reference_grid):
+        nested = reference_grid.series("zeta")
+        assert set(nested) == set(PHI_MAXES)
+        assert set(nested[PHI_MAXES[0]]) == {"SNIP-AT", "SNIP-OPT", "SNIP-RH"}
+
+    def test_unknown_budget_rejected(self, reference_grid):
+        with pytest.raises(ConfigurationError):
+            reference_grid.budget(123.456)
+
+    def test_empty_phi_maxes_rejected(self, base_scenario):
+        with pytest.raises(ConfigurationError):
+            sweep_grid(base_scenario, TARGETS, [])
+
+    def test_duplicate_phi_maxes_rejected(self, base_scenario):
+        with pytest.raises(ConfigurationError):
+            sweep_grid(base_scenario, TARGETS, [DAY / 100, DAY / 100])

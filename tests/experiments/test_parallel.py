@@ -9,7 +9,10 @@ cell is a pure function of its pre-derived spec.
 
 from __future__ import annotations
 
+import os
 import random
+import warnings
+from collections import Counter
 from typing import Callable, List, Sequence
 
 import pytest
@@ -17,6 +20,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.experiments.parallel import (
     ParallelExecutor,
+    ParallelFallbackWarning,
     SerialExecutor,
     replicate_seed,
 )
@@ -44,12 +48,18 @@ class ShuffledExecutor:
 
     def map(self, fn: Callable, items: Sequence) -> List:
         items = list(items)
+        results: List = [None] * len(items)
+        for index, result in self.imap(fn, items):
+            results[index] = result
+        return results
+
+    def imap(self, fn: Callable, items: Sequence):
+        """Stream (index, result) pairs in the scrambled execution order."""
+        items = list(items)
         order = list(range(len(items)))
         random.Random(self.shuffle_seed).shuffle(order)
-        results: List = [None] * len(items)
         for index in order:
-            results[index] = fn(items[index])
-        return results
+            yield index, fn(items[index])
 
 
 @pytest.fixture(scope="module")
@@ -129,13 +139,14 @@ class TestSweepDeterminism:
             bound["count"] += 1
             return default_factories()["SNIP-RH"](scenario)
 
-        sweep = sweep_zeta_targets(
-            base_scenario,
-            TARGETS,
-            factories={"SNIP-RH": counting_rh},
-            n_replicates=2,
-            executor=ParallelExecutor(jobs=4),
-        )
+        with pytest.warns(ParallelFallbackWarning, match="not picklable"):
+            sweep = sweep_zeta_targets(
+                base_scenario,
+                TARGETS,
+                factories={"SNIP-RH": counting_rh},
+                n_replicates=2,
+                executor=ParallelExecutor(jobs=4),
+            )
         # Ran in-process (the closure observed every cell) and still
         # produced the full grid.
         assert bound["count"] == len(TARGETS) * 2
@@ -152,8 +163,19 @@ class TestExecutors:
     def test_fallback_is_observable(self):
         pool = ParallelExecutor(jobs=4)
         bound = 1
-        out = pool.map(lambda n: n + bound, [1, 2, 3])  # unpicklable fn
+        # The degradation must be loud (satellite bugfix): a warning
+        # naming the cause, plus the last_map_parallel diagnostic.
+        with pytest.warns(ParallelFallbackWarning, match="not picklable"):
+            out = pool.map(lambda n: n + bound, [1, 2, 3])  # unpicklable fn
         assert out == [2, 3, 4]
+        assert not pool.last_map_parallel
+
+    def test_trivial_workloads_stay_serial_without_warning(self):
+        pool = ParallelExecutor(jobs=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ParallelFallbackWarning)
+            assert pool.map(_square, [7]) == [49]
+            assert ParallelExecutor(jobs=1).map(_square, [2, 3]) == [4, 9]
         assert not pool.last_map_parallel
 
     def test_serial_executor_orders_results(self):
@@ -175,6 +197,81 @@ class TestExecutors:
 
 def _square(n: int) -> int:
     return n * n
+
+
+def _record_and_maybe_raise(item):
+    """Shard that logs '<pid> <n>' to a file and explodes on n == 3."""
+    path, n = item
+    with open(path, "a") as handle:
+        handle.write(f"{os.getpid()} {n}\n")
+    if n == 3:
+        raise ValueError("shard 3 exploded")
+    return n
+
+
+class TestShardErrors:
+    """The headline bugfix: worker exceptions are not transport failures.
+
+    A shard function raising inside a worker used to be swallowed by the
+    fallback machinery, triggering a full serial re-run of the entire
+    workload that doubled wall-clock and then re-raised anyway.  Now it
+    propagates exactly once, immediately, with no re-execution.
+    """
+
+    def test_worker_exception_propagates_without_serial_rerun(self, tmp_path):
+        log = tmp_path / "calls.log"
+        items = [(str(log), n) for n in range(6)]
+        pool = ParallelExecutor(jobs=4)
+        with pytest.raises(ValueError, match="shard 3 exploded"):
+            pool.map(_record_and_maybe_raise, items)
+        lines = log.read_text().splitlines()
+        executed_pids = {int(line.split()[0]) for line in lines}
+        # No shard ever ran in the parent: there was no serial fallback.
+        assert os.getpid() not in executed_pids
+        # And no shard ran twice: completed work was not re-executed.
+        counts = Counter(int(line.split()[1]) for line in lines)
+        assert all(count == 1 for count in counts.values())
+        # Shard 3 did run (the failure is real, not a transport artifact).
+        assert 3 in counts
+
+    def test_worker_exception_raised_for_typeerror(self):
+        # TypeError was previously treated as a transport failure and
+        # re-run serially; from a worker it must propagate as-is.
+        pool = ParallelExecutor(jobs=2)
+        with pytest.raises(TypeError):
+            pool.map(_square, ["a", "b"])
+
+    def test_serial_path_raises_identically(self):
+        with pytest.raises(ValueError, match="shard 3 exploded"):
+            SerialExecutor().map(
+                _record_and_maybe_raise, [(os.devnull, 3)]
+            )
+
+
+class TestStreaming:
+    """Executor.imap yields (index, result) pairs as shards complete."""
+
+    def test_parallel_imap_covers_all_indices(self):
+        pool = ParallelExecutor(jobs=4)
+        pairs = list(pool.imap(_square, list(range(8))))
+        assert sorted(pairs) == [(n, n * n) for n in range(8)]
+        assert pool.last_map_parallel
+
+    def test_serial_imap_streams_in_order(self):
+        assert list(SerialExecutor().imap(_square, [3, 1])) == [(0, 9), (1, 1)]
+
+    def test_imap_trivial_workload_is_serial(self):
+        pool = ParallelExecutor(jobs=4)
+        assert list(pool.imap(_square, [5])) == [(0, 25)]
+        assert not pool.last_map_parallel
+
+    def test_imap_fallback_still_yields_every_pair(self):
+        pool = ParallelExecutor(jobs=4)
+        bound = 2
+        with pytest.warns(ParallelFallbackWarning):
+            pairs = list(pool.imap(lambda n: n + bound, [1, 2, 3]))
+        assert pairs == [(0, 3), (1, 4), (2, 5)]
+        assert not pool.last_map_parallel
 
 
 def _node_factory(scenario, node_id):
