@@ -15,22 +15,19 @@ from conftest import emit
 
 from repro.core.schedulers.at import SnipAtScheduler
 from repro.core.schedulers.rh import SnipRhScheduler
-from repro.experiments.micro import MicroRunner
+from repro.experiments.engine import resolve_engine
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import FastRunner
+from repro.experiments.runner import generate_trace
 from repro.experiments.scenario import paper_roadside_scenario
-from repro.mobility.synthetic import SyntheticTraceGenerator
-from repro.sim.rng import RandomStreams
 
 
 def generate_comparison():
     scenario = paper_roadside_scenario(
         phi_max_divisor=100, zeta_target=24.0, epochs=2, seed=5
     )
-    trace = SyntheticTraceGenerator(
-        scenario.profile, scenario.trace_config,
-        streams=RandomStreams(scenario.seed),
-    ).generate()
+    trace = generate_trace(scenario)
+    fast_engine = resolve_engine("fast")
+    micro_engine = resolve_engine("micro")
 
     def at():
         return SnipAtScheduler(
@@ -47,10 +44,10 @@ def generate_comparison():
     speedups = {}
     for name, factory in (("SNIP-AT", at), ("SNIP-RH", rh)):
         start = time.perf_counter()
-        fast = FastRunner(scenario, factory(), trace=trace).run()
+        fast = fast_engine.run(scenario, factory(), trace=trace)
         fast_elapsed = time.perf_counter() - start
         start = time.perf_counter()
-        micro = MicroRunner(scenario, factory(), trace=trace).run()
+        micro = micro_engine.run(scenario, factory(), trace=trace)
         micro_elapsed = time.perf_counter() - start
         rows.append(
             [name, "fast", fast.mean_zeta, fast.mean_phi, fast_elapsed]

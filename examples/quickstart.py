@@ -6,12 +6,17 @@ peak, 2 s contacts), runs one simulated week under the SNIP-RH
 scheduler, and prints the metrics the paper reports: probed contact
 capacity ζ, probing overhead Φ, and per-unit cost ρ.
 
+Simulation backends are **engines** resolved by name from the engine
+registry — ``"fast"`` (contact-driven, the default) and ``"micro"``
+(cycle-accurate, ~100x slower) share one run API, so swapping the
+string below re-runs the same experiment at COOJA fidelity.
+
 Run::
 
     python examples/quickstart.py
 """
 
-from repro import FastRunner, SnipRhScheduler, paper_roadside_scenario
+from repro import SnipRhScheduler, paper_roadside_scenario, resolve_engine
 
 
 def main() -> None:
@@ -26,7 +31,8 @@ def main() -> None:
         scenario.model,
         initial_contact_length=2.0,  # engineer's deployment estimate
     )
-    result = FastRunner(scenario, scheduler).run()
+    engine = resolve_engine("fast")  # or "micro" for cycle accuracy
+    result = engine.run(scenario, scheduler)
 
     print("SNIP-RH on the paper's roadside scenario, one week")
     print("-" * 52)
@@ -49,7 +55,7 @@ def main() -> None:
         scenario.profile, scenario.model,
         zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
     )
-    at_result = FastRunner(scenario, at).run()
+    at_result = engine.run(scenario, at)
     print()
     print(f"SNIP-AT needs Φ = {at_result.mean_phi:.1f} s/epoch for the "
           f"same target — {at_result.mean_phi / result.mean_phi:.1f}x "

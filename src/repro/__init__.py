@@ -48,10 +48,16 @@ from .errors import (
     TraceFormatError,
 )
 from .experiments import (
+    AgreementPoint,
+    AgreementResult,
+    Engine,
+    FastEngine,
     FastRunner,
     GridResult,
+    MicroEngine,
     MicroRunner,
     NamedFactory,
+    PAPER_ENGINES,
     PAPER_MECHANISMS,
     PAPER_ZETA_TARGETS,
     ParallelExecutor,
@@ -61,9 +67,12 @@ from .experiments import (
     Scenario,
     SerialExecutor,
     ShardError,
+    agreement_grid,
+    engine_factories,
     mechanism_factories,
     node_factories,
     paper_roadside_scenario,
+    resolve_engine,
     sweep_grid,
     sweep_zeta_targets,
 )
@@ -117,10 +126,16 @@ __all__ = [
     "SimulationError",
     "TraceFormatError",
     # experiments
+    "AgreementPoint",
+    "AgreementResult",
+    "Engine",
+    "FastEngine",
     "FastRunner",
     "GridResult",
+    "MicroEngine",
     "MicroRunner",
     "NamedFactory",
+    "PAPER_ENGINES",
     "PAPER_MECHANISMS",
     "PAPER_ZETA_TARGETS",
     "ParallelExecutor",
@@ -130,9 +145,12 @@ __all__ = [
     "Scenario",
     "SerialExecutor",
     "ShardError",
+    "agreement_grid",
+    "engine_factories",
     "mechanism_factories",
     "node_factories",
     "paper_roadside_scenario",
+    "resolve_engine",
     "sweep_grid",
     "sweep_zeta_targets",
     # mobility

@@ -1,0 +1,13 @@
+"""``python -m repro`` — the repro-snip CLI without the console script.
+
+Dispatches to :func:`repro.experiments.cli.main`, so
+``python -m repro agree --jobs 4`` and ``repro-snip agree --jobs 4``
+are the same program.
+"""
+
+import sys
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,17 @@
 * :mod:`~repro.experiments.sweep` — parameter sweeps for figures and
   ablations (including the full mechanism × ζtarget × Φmax paper grid),
   with seed replication, confidence intervals, and streaming progress;
+* :mod:`~repro.experiments.engine` — the unified
+  :class:`~repro.experiments.engine.Engine` protocol and named engine
+  resolution (one run API across the fast, micro, and future engines);
+* :mod:`~repro.experiments.agreement` — replicated micro-vs-fast
+  agreement grids that make the engine-equivalence claim statistical;
 * :mod:`~repro.experiments.parallel` — deterministic process-pool
-  orchestration of grid shards, blocking or streaming;
-* :mod:`~repro.experiments.registry` — named scheduler factories that
-  resolve across process boundaries;
-* :mod:`~repro.experiments.reporting` — plain-text tables and series.
+  orchestration of grid shards, blocking or streaming, with optional
+  shard batching;
+* :mod:`~repro.experiments.registry` — named scheduler factories and
+  engines that resolve across process boundaries;
+* :mod:`~repro.experiments.reporting` — plain-text tables, series, CSV.
 """
 
 from .scenario import Scenario, paper_roadside_scenario, PAPER_ZETA_TARGETS
@@ -24,11 +30,27 @@ from .metrics import EpochMetrics, RunMetrics
 from .registry import (
     NamedFactory,
     PAPER_MECHANISMS,
+    engine_factories,
     mechanism_factories,
     node_factories,
 )
-from .runner import FastRunner, RunResult, RunSpec, default_factories, execute_run_spec
-from .micro import MicroRunner
+from .engine import Engine, PAPER_ENGINES, engine_names, resolve_engine
+from .runner import (
+    FastEngine,
+    FastRunner,
+    RunResult,
+    RunSpec,
+    default_factories,
+    execute_run_spec,
+    generate_trace,
+)
+from .micro import MicroEngine, MicroRunner
+from .agreement import (
+    AGREEMENT_METRICS,
+    AgreementPoint,
+    AgreementResult,
+    agreement_grid,
+)
 from .parallel import (
     Executor,
     ParallelExecutor,
@@ -47,17 +69,29 @@ __all__ = [
     "paper_roadside_scenario",
     "PAPER_ZETA_TARGETS",
     "PAPER_MECHANISMS",
+    "PAPER_ENGINES",
     "EpochMetrics",
     "RunMetrics",
+    "Engine",
+    "FastEngine",
     "FastRunner",
+    "MicroEngine",
     "RunResult",
     "RunSpec",
     "NamedFactory",
+    "engine_factories",
+    "engine_names",
+    "resolve_engine",
     "mechanism_factories",
     "node_factories",
     "default_factories",
     "execute_run_spec",
+    "generate_trace",
     "MicroRunner",
+    "AGREEMENT_METRICS",
+    "AgreementPoint",
+    "AgreementResult",
+    "agreement_grid",
     "Executor",
     "ParallelExecutor",
     "ParallelFallbackWarning",

@@ -5,16 +5,21 @@ Examples::
     repro-snip analyze --budget-divisor 1000
     repro-snip simulate --budget-divisor 100 --epochs 14 --seed 3
     repro-snip grid --budget-divisors 1000 100 --jobs 4 --replicates 3
-    repro-snip network --jobs 2 --factory SNIP-RH
+    repro-snip agree --jobs 4 --replicates 3 --epochs 1
+    repro-snip network --jobs 2 --factory SNIP-RH --engine fast
     repro-snip gain
 
-``grid`` runs the paper's complete mechanism × ζtarget × Φmax
-evaluation (Figs. 5–8 in one sweep), streaming a progress line per
-completed cell before printing the per-budget tables; ``--jobs N``
-shards the grid over a process pool and reports whether the pool path
-was actually taken (a serial fallback also emits a
+(Equivalently ``python -m repro <subcommand>``.)  ``grid`` runs the
+paper's complete mechanism × ζtarget × Φmax evaluation (Figs. 5–8 in
+one sweep), streaming a progress line per completed cell before
+printing the per-budget tables; ``agree`` runs the replicated
+micro-vs-fast engine agreement grid (shared per-cell seeds, per-cell
+delta confidence intervals) through the same machinery.  Both accept
+``--jobs N`` to shard over a process pool — they report whether the
+pool path was actually taken (a serial fallback also emits a
 :class:`~repro.experiments.parallel.ParallelFallbackWarning` to
-stderr).
+stderr) — and ``--out PATH`` to write the result as ``.json`` or
+``.csv``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ from typing import List, Optional, Sequence
 
 from ..core.analysis import evaluate_schedulers, rush_hour_gain_surface
 from ..units import DAY
+from .agreement import AGREEMENT_METRICS, agreement_grid
+from .engine import PAPER_ENGINES
 from .parallel import ParallelExecutor
 from .registry import node_factories
 from .reporting import format_series, format_table
@@ -33,8 +40,16 @@ from .sweep import sweep_grid, sweep_zeta_targets
 
 
 def _executor_from_jobs(jobs: int):
-    """None for in-process execution, a ParallelExecutor above 1 job."""
-    return ParallelExecutor(jobs=jobs) if jobs > 1 else None
+    """None for in-process execution, a ParallelExecutor above 1 job.
+
+    The pool batches shards adaptively (``batch_size="auto"``): CLI
+    grids are often many tiny cells, where per-task pickling would
+    otherwise dominate.  Batching never changes results — reassembly
+    stays by shard index.
+    """
+    if jobs <= 1:
+        return None
+    return ParallelExecutor(jobs=jobs, batch_size="auto")
 
 
 def _positive_int(text: str) -> int:
@@ -43,6 +58,18 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _write_output(path: str, result) -> None:
+    """Write *result* (anything with to_json/to_csv) to *path*.
+
+    The extension picks the format: ``.json`` serializes with
+    ``to_json()``, anything else with ``to_csv()``.
+    """
+    text = result.to_json() if path.endswith(".json") else result.to_csv()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {path}")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -125,6 +152,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress", action="store_true",
         help="suppress the streaming per-cell progress lines",
     )
+    grid.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the grid to PATH (.json or .csv by extension)",
+    )
+
+    agree = sub.add_parser(
+        "agree",
+        help="replicated micro-vs-fast engine agreement grid",
+    )
+    agree.add_argument(
+        "--budget-divisors",
+        type=float,
+        nargs="+",
+        default=[1000.0, 100.0],
+        help="Phi_max = Tepoch / divisor, one per budget (paper: 1000 100)",
+    )
+    agree.add_argument(
+        "--targets",
+        type=float,
+        nargs="+",
+        default=[16.0, 24.0],
+        help="zeta_target sweep values in seconds (keep the grid small: "
+             "half the cells run the cycle-accurate engine)",
+    )
+    agree.add_argument(
+        "--epochs", type=_positive_int, default=1,
+        help="days per run (micro is ~100x slower; keep the horizon short)",
+    )
+    agree.add_argument("--seed", type=int, default=1, help="RNG seed")
+    agree.add_argument(
+        "--replicates", type=_positive_int, default=2,
+        help="paired seed replicates per cell (>= 2 gives finite delta CIs)",
+    )
+    agree.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the grid (1 = in-process)",
+    )
+    agree.add_argument(
+        "--engines", nargs=2, default=list(PAPER_ENGINES),
+        metavar=("BASELINE", "CANDIDATE"),
+        help="engine-registry names to compare (default: fast micro)",
+    )
+    agree.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the streaming per-cell progress lines",
+    )
+    agree.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the agreement grid to PATH (.json or .csv by extension)",
+    )
 
     sub.add_parser("gain", help="the Fig. 4 rush-hour gain surface")
 
@@ -155,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument(
         "--factory", default="SNIP-RH", choices=node_factories.names(),
         help="registry-named per-node scheduler factory",
+    )
+    network.add_argument(
+        "--engine", default="fast", choices=list(PAPER_ENGINES),
+        help="registry-named per-node simulation engine",
     )
     return parser
 
@@ -270,9 +351,99 @@ def cmd_grid(args: argparse.Namespace) -> int:
         print()
     for divisor, phi_max in zip(args.budget_divisors, phi_maxes):
         _print_budget_tables(args, divisor, grid.budget(phi_max))
+    if args.out:
+        _write_output(args.out, grid)
     if executor is not None:
         used = "yes" if executor.last_map_parallel else "no"
         print(f"grid fan-out: {args.jobs} jobs, pool used: {used}")
+    return 0
+
+
+def cmd_agree(args: argparse.Namespace) -> int:
+    """Run the replicated two-engine agreement grid and print deltas.
+
+    The headline validation of the fast engine: every cell runs both
+    engines on the same replicate seeds (identical contact traces), and
+    the per-cell candidate−baseline deltas are reported with Student-t
+    confidence intervals.
+    """
+    scenario = paper_roadside_scenario(
+        phi_max_divisor=args.budget_divisors[0], epochs=args.epochs,
+        seed=args.seed,
+    )
+    phi_maxes = [DAY / divisor for divisor in args.budget_divisors]
+    executor = _executor_from_jobs(args.jobs)
+    baseline, candidate = args.engines
+
+    def report_cell(spec, result, completed, total) -> None:
+        """Streaming progress: one line per finished engine run."""
+        if args.no_progress:
+            return
+        divisor = DAY / spec.scenario.phi_max
+        width = len(str(total))
+        print(
+            f"[{completed:>{width}}/{total}] {spec.engine:<5} "
+            f"Phi_max=Tepoch/{divisor:g} "
+            f"zeta_target={spec.scenario.zeta_target:g} {spec.mechanism} "
+            f"replicate {spec.replicate}: zeta={result.mean_zeta:.2f} "
+            f"Phi={result.mean_phi:.2f}",
+            flush=True,
+        )
+
+    agreement = agreement_grid(
+        scenario,
+        args.targets,
+        phi_maxes,
+        engines=(baseline, candidate),
+        n_replicates=args.replicates,
+        executor=executor,
+        progress=report_cell,
+    )
+    if not args.no_progress:
+        print()
+    headers = [
+        "zeta_target", "mechanism",
+        f"zeta[{baseline}]", f"zeta[{candidate}]", "d_zeta",
+        f"Phi[{baseline}]", f"Phi[{candidate}]", "d_Phi",
+        "d_probed/epoch",
+    ]
+    for divisor, phi_max in zip(args.budget_divisors, phi_maxes):
+        rows = [
+            [
+                point.zeta_target,
+                point.mechanism,
+                point.engine_mean("baseline", "mean_zeta"),
+                point.engine_mean("candidate", "mean_zeta"),
+                str(point.delta("mean_zeta")),
+                point.engine_mean("baseline", "mean_phi"),
+                point.engine_mean("candidate", "mean_phi"),
+                str(point.delta("mean_phi")),
+                str(point.delta("probed_per_epoch")),
+            ]
+            for point in agreement.budget(phi_max)
+        ]
+        print(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Engine agreement ({candidate} - {baseline}), "
+                    f"Phi_max = Tepoch/{divisor:g}, {args.epochs} epoch(s) "
+                    f"x {agreement.n_replicates} paired seeds"
+                ),
+            )
+        )
+        print()
+    summary = ", ".join(
+        f"{metric}={agreement.max_abs_delta(metric):.3f}"
+        for metric in AGREEMENT_METRICS
+    )
+    print(f"max |mean delta| across cells: {summary}")
+    if args.out:
+        _write_output(args.out, agreement)
+    if executor is not None:
+        used = "yes" if executor.last_map_parallel else "no"
+        print(f"agreement fan-out: {args.jobs} jobs, pool used: {used}")
     return 0
 
 
@@ -352,6 +523,7 @@ def cmd_network(args: argparse.Namespace) -> int:
         scenario,
         report.contacts_by_node,
         args.factory,
+        engine=args.engine,
     ).run(executor=executor)
     rows = [
         [node_id, len(report.contacts_by_node[node_id]),
@@ -383,6 +555,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": cmd_analyze,
         "simulate": cmd_simulate,
         "grid": cmd_grid,
+        "agree": cmd_agree,
         "gain": cmd_gain,
         "lifetime": cmd_lifetime,
         "network": cmd_network,

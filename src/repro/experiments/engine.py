@@ -1,0 +1,121 @@
+"""The unified :class:`Engine` protocol and named engine resolution.
+
+Before this module existed the repository had three divergent run entry
+points: :class:`~repro.experiments.runner.FastRunner` (construct, then
+``.run()``), :class:`~repro.experiments.micro.MicroRunner` (a second
+constructor shape), and :class:`~repro.network.runner.NetworkRunner`
+(its own fleet API).  Only the fast path could flow through the
+:class:`~repro.experiments.runner.RunSpec`/executor machinery, so the
+paper's equivalence claim — the fast contact-driven engine reproduces
+the cycle-accurate micro engine — could not be validated statistically
+on the replicated grid.
+
+Now every simulation backend is an **engine**: an object exposing
+``run(scenario, scheduler, *, trace=None, streams=None) -> RunResult``
+and registered under a name in :data:`engine_factories` (a
+:class:`~repro.experiments.registry.FactoryRegistry`).  The built-in
+names:
+
+* ``"fast"`` — :class:`~repro.experiments.runner.FastEngine`, the
+  contact-driven simulator behind Figs. 7/8 (default everywhere);
+* ``"micro"`` — :class:`~repro.experiments.micro.MicroEngine`, the
+  cycle-accurate COOJA-fidelity substitute (2–3 orders of magnitude
+  slower; use short horizons);
+* a ``"fleet"`` adapter wrapping per-node
+  :class:`~repro.network.runner.NetworkRunner` execution is planned.
+
+Because engines resolve **by name**, a :class:`RunSpec` carrying
+``engine="micro"`` crosses a process boundary as a plain string and the
+worker re-resolves it on its side — exactly the contract the mechanism
+registry already established for scheduler factories.  This is what
+lets :func:`~repro.experiments.sweep.sweep_grid` grow an engine axis
+and :func:`~repro.experiments.agreement.agreement_grid` run replicated
+micro-vs-fast comparisons through the process pool.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+from .registry import engine_factories
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from ..core.schedulers.base import Scheduler
+    from ..mobility.contact import ContactTrace
+    from ..sim.rng import RandomStreams
+    from .runner import RunResult
+    from .scenario import Scenario
+
+#: The engine names exercised by the paper reproduction, in speed order.
+PAPER_ENGINES = ("fast", "micro")
+
+#: Defining module per built-in engine name: resolution imports the
+#: module lazily so that a spawned worker which unpickled only
+#: ``execute_run_spec`` (hence imported only ``runner``) can still
+#: resolve ``"micro"``, and so this module never has to import the
+#: engine implementations (which import it back to register).
+_ENGINE_MODULES = {
+    "fast": "repro.experiments.runner",
+    "micro": "repro.experiments.micro",
+}
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """One simulation backend: the single run API every engine exposes.
+
+    Implementations are stateless adapters (all run state lives in the
+    call), so one instance can serve any number of runs and registries
+    can hand out fresh instances cheaply.
+    """
+
+    #: The registry name this engine answers to (``"fast"``, ...).
+    name: str
+
+    def run(
+        self,
+        scenario: "Scenario",
+        scheduler: "Scheduler",
+        *,
+        trace: Optional["ContactTrace"] = None,
+        streams: Optional["RandomStreams"] = None,
+    ) -> "RunResult":
+        """Simulate *scenario* under *scheduler* and return the result.
+
+        Args:
+            scenario: the complete configuration (seed, Φmax, epochs).
+            scheduler: a freshly built scheduler instance (engines never
+                share or reset scheduler state between runs).
+            trace: optional pre-generated contact trace; when omitted
+                the engine derives the deterministic trace seeded by
+                ``scenario.seed``, so two engines given the same
+                scenario compare on identical contact processes.
+            streams: optional RNG streams overriding the trace
+                generator's default ``RandomStreams(scenario.seed)``
+                (ignored when *trace* is given).
+        """
+        ...
+
+
+def resolve_engine(name: str) -> Engine:
+    """Instantiate the engine registered under *name*.
+
+    Unknown names raise
+    :class:`~repro.errors.ConfigurationError` listing the known
+    engines.  Built-in names lazily import their defining module first,
+    so resolution works in spawned workers that have not imported the
+    full :mod:`repro.experiments` package (sharding contract: a
+    :class:`~repro.experiments.runner.RunSpec` names its engine, the
+    worker re-resolves it).
+    """
+    if name not in engine_factories and name in _ENGINE_MODULES:
+        importlib.import_module(_ENGINE_MODULES[name])
+    return engine_factories.resolve(name)()
+
+
+def engine_names() -> list:
+    """All resolvable engine names (built-ins plus runtime registrations)."""
+    for module in _ENGINE_MODULES.values():
+        importlib.import_module(module)
+    return engine_factories.names()

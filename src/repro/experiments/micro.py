@@ -1,18 +1,26 @@
 """The cycle-accurate micro simulator (the COOJA-fidelity substitute).
 
-Unlike :class:`~repro.experiments.runner.FastRunner`, this engine
-enumerates *every* radio wake-up as a discrete event: the duty-cycled
-radio (:class:`~repro.radio.duty_cycle.DutyCycledRadio`) beacons at each
-turn-on through :class:`~repro.protocols.snip.SnipProbing`, contacts
-open and close presence windows, a CPU process consults the scheduler at
-the decision period, and a data generator fills the buffer.  It is two
-to three orders of magnitude slower, so it runs short horizons — the
-test suite and the engine-agreement ablation use it to validate both
-equation 1 and the fast engine.
+Unlike the fast engine (:class:`~repro.experiments.runner.FastEngine`),
+this engine enumerates *every* radio wake-up as a discrete event: the
+duty-cycled radio (:class:`~repro.radio.duty_cycle.DutyCycledRadio`)
+beacons at each turn-on through
+:class:`~repro.protocols.snip.SnipProbing`, contacts open and close
+presence windows, a CPU process consults the scheduler at the decision
+period, and a data generator fills the buffer.  It is two to three
+orders of magnitude slower, so it runs short horizons — the test suite,
+the engine-agreement ablation, and the replicated agreement grid
+(:mod:`repro.experiments.agreement`) use it to validate both equation 1
+and the fast engine.
+
+:class:`MicroEngine` is the ``"micro"`` entry of the engine registry
+(:data:`repro.experiments.registry.engine_factories`) and the supported
+entry point; the historical constructor-shaped :class:`MicroRunner` is
+kept as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -29,28 +37,42 @@ from ..sim.events import Event, EventKind
 from ..sim.rng import RandomStreams
 from ..units import TIME_EPSILON
 from .metrics import EpochMetrics, RunMetrics
-from .runner import RunResult
+from .registry import engine_factories
+from .runner import RunResult, generate_trace
 from .scenario import Scenario
 
 
-class MicroRunner:
-    """Event-per-radio-cycle simulation of one sensor node."""
+class MicroEngine:
+    """Event-per-radio-cycle simulation of one sensor node.
 
-    def __init__(
+    The ``"micro"`` engine of the unified run API
+    (:class:`~repro.experiments.engine.Engine`): stateless, so one
+    instance serves any number of runs, and a
+    :class:`~repro.experiments.runner.RunSpec` carrying
+    ``engine="micro"`` resolves it by name on whichever worker executes
+    the shard.
+    """
+
+    name = "micro"
+
+    def run(
         self,
         scenario: Scenario,
         scheduler: Scheduler,
         *,
         trace: Optional[ContactTrace] = None,
-    ) -> None:
-        self.scenario = scenario
-        self.scheduler = scheduler
-        self._trace_override = trace
+        streams: Optional[RandomStreams] = None,
+    ) -> RunResult:
+        """Simulate ``scenario.epochs`` epochs event-by-event.
 
-    def run(self) -> RunResult:
-        """Simulate ``scenario.epochs`` epochs event-by-event."""
-        scenario = self.scenario
-        trace = self._trace_override or self._generate_trace()
+        See :meth:`repro.experiments.engine.Engine.run` for the
+        parameter contract.  The trace, when not supplied, is the same
+        deterministic one the fast engine derives from
+        ``scenario.seed`` — identical contact processes are what make
+        cross-engine comparisons paired.
+        """
+        if trace is None:
+            trace = generate_trace(scenario, streams)
         sim = Simulator()
         node = SensorNode(
             node_id="sensor-0",
@@ -77,7 +99,7 @@ class MicroRunner:
             epoch.zeta += probed
             epoch.uploaded += uploaded
             epoch.probed_contacts += 1
-            self.scheduler.on_probe(probe.probe_time, probe.contact, probed, uploaded)
+            scheduler.on_probe(probe.probe_time, probe.contact, probed, uploaded)
 
         probing = SnipProbing(sim, radio, on_probe=handle_probe)
 
@@ -100,7 +122,7 @@ class MicroRunner:
         # CPU decision process.
         def decide(event: Event) -> None:
             generator.deposit_up_to_now()
-            decision = self.scheduler.decide(sim.now, node)
+            decision = scheduler.decide(sim.now, node)
             if decision.active and node.account.remaining >= radio.config.t_on:
                 radio.set_config(decision.duty_cycle)
                 radio.enable()
@@ -121,7 +143,7 @@ class MicroRunner:
             if probing.missed_count > before:
                 node.record_miss()
                 epoch_box["current"].missed_contacts += 1
-                self.scheduler.on_miss(sim.now, contact)
+                scheduler.on_miss(sim.now, contact)
 
         for contact in trace:
             sim.schedule(
@@ -136,7 +158,7 @@ class MicroRunner:
         # Drive epoch-by-epoch; negative priority so the boundary work
         # happens before user events at the same instant.
         epoch_length = scenario.profile.epoch_length
-        self.scheduler.on_epoch_start(0, node)
+        scheduler.on_epoch_start(0, node)
         generator.start()
         # The radio starts parked; the first CPU decision enables it.
         radio.disable()
@@ -146,7 +168,7 @@ class MicroRunner:
             epoch_start = epoch_index * epoch_length
             epoch_end = epoch_start + epoch_length
             if epoch_index > 0:
-                self.scheduler.on_epoch_start(epoch_index, node)
+                scheduler.on_epoch_start(epoch_index, node)
             sim.run_until(epoch_end, inclusive=False)
             epoch = epoch_box["current"]
             epoch.phi = node.account.rollover()
@@ -160,21 +182,54 @@ class MicroRunner:
         radio.stop()
         return RunResult(
             scenario=scenario,
-            scheduler=self.scheduler,
+            scheduler=scheduler,
             metrics=metrics,
             node=node,
             trace=trace,
         )
 
-    def _generate_trace(self) -> ContactTrace:
-        from ..mobility.synthetic import SyntheticTraceGenerator
 
-        generator = SyntheticTraceGenerator(
-            self.scenario.profile,
-            self.scenario.trace_config,
-            streams=RandomStreams(self.scenario.seed),
+engine_factories.register("micro", MicroEngine)
+
+
+class MicroRunner:
+    """Deprecated constructor-shaped entry point for the micro engine.
+
+    Kept so downstream scripts migrate loudly instead of breaking:
+    construction emits a :class:`DeprecationWarning` pointing at the
+    engine registry.  New code should resolve the engine by name::
+
+        from repro.experiments.engine import resolve_engine
+
+        result = resolve_engine("micro").run(scenario, scheduler)
+
+    (or call :class:`MicroEngine` directly), which is the shape that
+    flows through ``RunSpec``, the executors, and the agreement grid.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        scheduler: Scheduler,
+        *,
+        trace: Optional[ContactTrace] = None,
+    ) -> None:
+        warnings.warn(
+            "MicroRunner(scenario, scheduler).run() is deprecated; use the "
+            "engine registry instead: resolve_engine('micro').run(scenario, "
+            "scheduler, trace=...) — see repro.experiments.engine",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return generator.generate()
+        self.scenario = scenario
+        self.scheduler = scheduler
+        self._trace_override = trace
+
+    def run(self) -> RunResult:
+        """Delegate to :class:`MicroEngine` (the supported path)."""
+        return MicroEngine().run(
+            self.scenario, self.scheduler, trace=self._trace_override
+        )
 
 
 # ----------------------------------------------------------------------

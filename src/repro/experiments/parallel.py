@@ -63,6 +63,13 @@ distinguishes two failure classes:
   Cells are pure, so only the shards that had not yet completed are
   re-run, and the assembled answer is identical.
 
+When per-shard work is tiny (closed-form cells, 1-epoch micro runs),
+per-task pickling dominates the fan-out; ``ParallelExecutor(jobs=...,
+batch_size="auto")`` groups consecutive shards into one pool task to
+amortize it.  Batching changes only the transport granularity — results
+are still reassembled by original shard index, so the assembled answer
+stays byte-identical for any batch size.
+
 Scheduler factories that are closures cannot cross a process boundary;
 register them by name in :mod:`repro.experiments.registry` and pass the
 name (or a :class:`~repro.experiments.registry.NamedFactory`) instead —
@@ -234,6 +241,29 @@ class _ShardOutcome:
     traceback_text: str = field(default="", repr=False)
 
 
+def _guarded_batch(
+    fn: Callable, indexed_items: Sequence[Tuple[int, Any]]
+) -> List[Tuple[int, _ShardOutcome]]:
+    """Run a batch of shards in one pool task, preserving their indices.
+
+    Batching amortizes per-task pickling and scheduling overhead when
+    individual shards are tiny (closed-form cells take microseconds;
+    shipping each one separately can cost more than running it).  Each
+    shard is still guarded individually, so the parent reassembles by
+    the original shard index — byte-identical to unbatched execution —
+    and a shard error surfaces with its own traceback.  Execution stops
+    at the first error in the batch: later shards of the batch would be
+    cancelled anyway once the parent sees the failure.
+    """
+    outcomes: List[Tuple[int, _ShardOutcome]] = []
+    for index, item in indexed_items:
+        outcome = _guarded_shard(fn, item)
+        outcomes.append((index, outcome))
+        if outcome.error is not None:
+            break
+    return outcomes
+
+
 def _guarded_shard(fn: Callable, item: Any) -> _ShardOutcome:
     """Run one shard in a worker, capturing any exception it raises.
 
@@ -276,10 +306,42 @@ class ParallelExecutor:
     once with no serial re-run of completed shards.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
-        """*jobs* = worker processes; default: the available CPU count."""
+    #: ``batch_size="auto"`` targets this many batches per worker: small
+    #: enough to amortize per-task pickling on tiny shards, large enough
+    #: to keep the pool load-balanced when shard durations vary.
+    AUTO_BATCHES_PER_WORKER = 4
+
+    def __init__(
+        self, jobs: int | None = None, *, batch_size: int | str = 1
+    ) -> None:
+        """Configure the pool fan-out.
+
+        Args:
+            jobs: worker processes; default: the available CPU count.
+            batch_size: shards grouped into one pool task.  The default
+                ``1`` ships every shard separately (the historical
+                behaviour); an integer ``k`` groups k consecutive shards
+                per task; ``"auto"`` picks a size from the workload
+                (roughly ``len(items) / (jobs *``
+                :data:`AUTO_BATCHES_PER_WORKER` ``)``) so that tiny
+                per-shard work — e.g. closed-form cells — stops being
+                dominated by pickling.  Reassembly is by original shard
+                index either way, so results are byte-identical for any
+                batch size.
+        """
         if jobs is not None and jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if isinstance(batch_size, str):
+            if batch_size != "auto":
+                raise ConfigurationError(
+                    f'batch_size must be an int >= 1 or "auto", '
+                    f"got {batch_size!r}"
+                )
+        elif batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self.batch_size = batch_size
         self.jobs = jobs if jobs is not None else available_cpus()
         #: Whether the most recent :meth:`map`/:meth:`imap` ran entirely
         #: on the pool (False after any serial fallback, including a
@@ -329,28 +391,32 @@ class ParallelExecutor:
             return
         pending: Dict[int, SpecT] = dict(enumerate(items))
         failure: Optional[_ShardOutcome] = None
+        batch = self._effective_batch_size(len(items))
+        indexed = list(enumerate(items))
+        chunks = [indexed[i : i + batch] for i in range(0, len(indexed), batch)]
         try:
             with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(items)),
+                max_workers=min(self.jobs, len(chunks)),
                 mp_context=self._context(),
                 initializer=_init_worker,
                 initargs=(list(sys.path),),
             ) as pool:
                 futures = {
-                    pool.submit(_guarded_shard, fn, item): index
-                    for index, item in pending.items()
+                    pool.submit(_guarded_batch, fn, chunk): chunk
+                    for chunk in chunks
                 }
                 try:
                     for future in as_completed(futures):
-                        outcome = future.result()
-                        if outcome.error is not None:
-                            failure = outcome
+                        for index, outcome in future.result():
+                            if outcome.error is not None:
+                                failure = outcome
+                                break
+                            del pending[index]
+                            yield index, outcome.value
+                        if failure is not None:
                             for other in futures:
                                 other.cancel()
                             break
-                        index = futures[future]
-                        del pending[index]
-                        yield index, outcome.value
                 except GeneratorExit:
                     # The consumer abandoned the stream (break, head of a
                     # pipe, ...): cancel every not-yet-started shard so
@@ -375,6 +441,18 @@ class ParallelExecutor:
         if failure is not None:
             raise self._rehydrate(failure)
         self.last_map_parallel = True
+
+    def _effective_batch_size(self, n_items: int) -> int:
+        """The shards grouped per pool task for a workload of *n_items*.
+
+        ``"auto"`` aims for :data:`AUTO_BATCHES_PER_WORKER` batches per
+        worker — enough slack for the pool to load-balance uneven shard
+        durations while still amortizing per-task pickling when the
+        grid is much larger than the worker count.
+        """
+        if self.batch_size == "auto":
+            return max(1, n_items // (self.jobs * self.AUTO_BATCHES_PER_WORKER))
+        return int(self.batch_size)
 
     @staticmethod
     def _rehydrate(failure: _ShardOutcome) -> BaseException:

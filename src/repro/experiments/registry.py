@@ -10,14 +10,18 @@ of the callable.  Workers re-resolve the name against their own copy of
 the registry (populated at import time, or inherited via fork), so the
 factory itself never needs to be picklable.
 
-Two registries exist, one per factory signature:
+Three registries exist, one per factory signature:
 
 * :data:`mechanism_factories` — ``factory(scenario) -> Scheduler``, the
   sweep/grid mechanisms (:func:`repro.experiments.runner.default_factories`
   is a view onto this registry);
 * :data:`node_factories` — ``factory(scenario, node_id) -> Scheduler``,
   the per-node schedulers used by
-  :class:`repro.network.runner.NetworkRunner` fleets.
+  :class:`repro.network.runner.NetworkRunner` fleets;
+* :data:`engine_factories` — ``factory() -> Engine``, the simulation
+  backends behind the unified run API (``"fast"``, ``"micro"``; see
+  :mod:`repro.experiments.engine`, which owns the protocol and the
+  lazy-import resolution helper).
 
 Registering a custom factory::
 
@@ -134,6 +138,14 @@ mechanism_factories = FactoryRegistry("mechanism")
 
 #: Per-node fleet factories: ``factory(scenario, node_id) -> Scheduler``.
 node_factories = FactoryRegistry("node scheduler")
+
+#: Simulation backends: ``factory() -> Engine`` (the unified run API).
+#: Built-ins register where they are defined (``"fast"`` in
+#: :mod:`repro.experiments.runner`, ``"micro"`` in
+#: :mod:`repro.experiments.micro`); resolve through
+#: :func:`repro.experiments.engine.resolve_engine`, which imports those
+#: modules lazily for workers that have not loaded them yet.
+engine_factories = FactoryRegistry("engine")
 
 #: :class:`NamedFactory` kind → registry resolved against.
 _REGISTRIES: Dict[str, FactoryRegistry] = {

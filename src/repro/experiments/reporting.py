@@ -7,9 +7,30 @@ terminal (no plotting dependencies are available offline).
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Iterable, List, Mapping, Sequence, Union
 
 Number = Union[int, float]
+
+
+def format_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as RFC-4180 CSV text (``--out`` files, bench dumps).
+
+    None cells become empty fields; everything else is written with its
+    natural ``str`` form.  Shared by
+    :meth:`~repro.experiments.sweep.GridResult.to_csv` and
+    :meth:`~repro.experiments.agreement.AgreementResult.to_csv` so the
+    benches stop hand-rolling tables.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()
 
 
 def _format_cell(value: object, width: int) -> str:

@@ -40,11 +40,30 @@ from ..radio.states import RadioState
 from ..sim.rng import RandomStreams
 from ..sim.timeline import Timeline
 from ..units import TIME_EPSILON
+from .engine import resolve_engine
 from .metrics import EpochMetrics, RunMetrics
-from .registry import PAPER_MECHANISMS, mechanism_factories
+from .registry import PAPER_MECHANISMS, engine_factories, mechanism_factories
 from .scenario import Scenario
 
 SchedulerFactory = Callable[[Scenario], Scheduler]
+
+
+def generate_trace(
+    scenario: Scenario, streams: Optional[RandomStreams] = None
+) -> ContactTrace:
+    """The deterministic contact trace for *scenario*.
+
+    Seeded by ``scenario.seed`` unless *streams* overrides the
+    generator's RNG, so every engine given the same scenario simulates
+    the identical contact process — the paired-comparison property the
+    agreement grid (:mod:`repro.experiments.agreement`) relies on.
+    """
+    generator = SyntheticTraceGenerator(
+        scenario.profile,
+        scenario.trace_config,
+        streams=streams if streams is not None else RandomStreams(scenario.seed),
+    )
+    return generator.generate()
 
 
 def default_factories() -> Dict[str, SchedulerFactory]:
@@ -83,24 +102,35 @@ class RunSpec:
             (:mod:`repro.experiments.registry`) or passing a
             :class:`~repro.experiments.registry.NamedFactory`; executors
             fall back to serial in-process execution when it is not.
+        engine: simulation backend name, resolved worker-side through
+            :data:`repro.experiments.registry.engine_factories` (the
+            unified :class:`~repro.experiments.engine.Engine` protocol);
+            default ``"fast"``, byte-identical to the historical path.
     """
 
     scenario: Scenario
     mechanism: str
     replicate: int = 0
     factory: Optional[SchedulerFactory] = None
+    engine: str = "fast"
 
 
 def execute_run_spec(spec: RunSpec) -> RunResult:
     """Run one :class:`RunSpec` to completion (the pool entry point).
 
     Module-level (hence picklable by reference) so a process pool can
-    map it over a shard list.
+    map it over a shard list.  Both the mechanism and the engine cross
+    the boundary as names and are re-resolved here, on the worker's
+    side; an unknown name raises
+    :class:`~repro.errors.ConfigurationError`, which propagates to the
+    caller exactly once as a worker-side shard error (never a serial
+    re-run of the workload).
     """
     factory = spec.factory
     if factory is None:
         factory = mechanism_factories.resolve(spec.mechanism)
-    return FastRunner(spec.scenario, factory(spec.scenario)).run()
+    engine = resolve_engine(spec.engine)
+    return engine.run(spec.scenario, factory(spec.scenario))
 
 
 @dataclass
@@ -348,9 +378,39 @@ class FastRunner:
         epoch.arrived_capacity = sum(c.length for c in arrived)
 
     def _generate_trace(self) -> ContactTrace:
-        generator = SyntheticTraceGenerator(
-            self.scenario.profile,
-            self.scenario.trace_config,
-            streams=RandomStreams(self.scenario.seed),
-        )
-        return generator.generate()
+        return generate_trace(self.scenario)
+
+
+class FastEngine:
+    """The fast contact-driven engine behind the unified run API.
+
+    The ``"fast"`` entry of
+    :data:`repro.experiments.registry.engine_factories`: a stateless
+    adapter satisfying the :class:`~repro.experiments.engine.Engine`
+    protocol by delegating to :class:`FastRunner`.  This is the default
+    engine everywhere (sweeps, grids, fleets, the CLI) and the one the
+    Fig. 7/8 reproductions run on.
+    """
+
+    name = "fast"
+
+    def run(
+        self,
+        scenario: Scenario,
+        scheduler: Scheduler,
+        *,
+        trace: Optional[ContactTrace] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> RunResult:
+        """Simulate *scenario* under *scheduler* with beacon arithmetic.
+
+        See :meth:`repro.experiments.engine.Engine.run` for the
+        parameter contract.  Byte-identical to the historical
+        ``FastRunner(scenario, scheduler).run()`` path.
+        """
+        if trace is None:
+            trace = generate_trace(scenario, streams)
+        return FastRunner(scenario, scheduler, trace=trace).run()
+
+
+engine_factories.register("fast", FastEngine)

@@ -29,12 +29,16 @@ sharding/seeding contract is documented in
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.analysis import AnalysisPoint, evaluate_schedulers
 from ..errors import ConfigurationError
+from .engine import resolve_engine
 from .parallel import Executor, SerialExecutor, replicate_seed
+from .reporting import format_csv
 from .runner import RunResult, RunSpec, SchedulerFactory, default_factories, execute_run_spec
 from .scenario import Scenario
 from .stats import IntervalEstimate, estimates_from_runs
@@ -45,6 +49,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "GridResult",
+    "GRID_EXPORT_COLUMNS",
     "ProgressCallback",
     "sweep_zeta_targets",
     "sweep_grid",
@@ -145,6 +150,27 @@ class SweepResult:
         }
 
 
+def _finite_or_none(value: Optional[float]) -> Optional[float]:
+    """*value* as a float, or None when missing or non-finite.
+
+    Serialization helper: strict JSON has no ``Infinity``/``NaN``
+    literals, and a single-replicate cell's CI half-width is infinite.
+    """
+    if value is None or not math.isfinite(value):
+        return None
+    return float(value)
+
+
+#: Column order shared by :meth:`GridResult.to_csv` and ``to_json`` cells.
+GRID_EXPORT_COLUMNS = (
+    "engine", "phi_max", "zeta_target", "mechanism", "n_replicates",
+    "zeta", "zeta_low", "zeta_high",
+    "phi", "phi_low", "phi_high",
+    "rho", "rho_low", "rho_high",
+    "predicted_zeta", "predicted_phi", "predicted_rho",
+)
+
+
 @dataclass
 class GridResult:
     """The full paper grid: one :class:`SweepResult` per Φmax budget."""
@@ -152,6 +178,8 @@ class GridResult:
     budgets: Dict[float, SweepResult]
     phi_maxes: Tuple[float, ...]
     zeta_targets: Tuple[float, ...]
+    #: The engine every cell ran on (an engine-registry name).
+    engine: str = "fast"
 
     def budget(self, phi_max: float) -> SweepResult:
         """The sweep for one Φmax budget (exact value, in seconds)."""
@@ -184,6 +212,71 @@ class GridResult:
     def __len__(self) -> int:
         """Number of Φmax budgets in the grid."""
         return len(self.phi_maxes)
+
+    def cell_rows(self) -> List[Dict[str, object]]:
+        """One flat record per (Φmax, ζtarget, mechanism) cell.
+
+        The tabular view behind :meth:`to_json` and :meth:`to_csv`
+        (column order: :data:`GRID_EXPORT_COLUMNS`).  CI bounds are
+        None when not finite (single-replicate cells); predictions are
+        None for mechanisms without a closed form.
+        """
+        rows: List[Dict[str, object]] = []
+        for phi_max, sweep in self:
+            for mechanism, column in sweep.points.items():
+                for point in column:
+                    row: Dict[str, object] = {
+                        "engine": self.engine,
+                        "phi_max": phi_max,
+                        "zeta_target": point.zeta_target,
+                        "mechanism": mechanism,
+                        "n_replicates": point.n_replicates,
+                    }
+                    for metric in ("zeta", "phi", "rho"):
+                        interval = point.interval(metric)
+                        row[metric] = _finite_or_none(interval.mean)
+                        row[f"{metric}_low"] = _finite_or_none(interval.low)
+                        row[f"{metric}_high"] = _finite_or_none(interval.high)
+                    for metric in ("zeta", "phi", "rho"):
+                        predicted = (
+                            getattr(point.predicted, metric)
+                            if point.predicted is not None
+                            else None
+                        )
+                        row[f"predicted_{metric}"] = _finite_or_none(predicted)
+                    rows.append(row)
+        return rows
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The grid as a strict-JSON document (benches stop hand-rolling).
+
+        Top level: ``engine``, ``phi_maxes``, ``zeta_targets``,
+        ``n_replicates``, and ``cells`` (the :meth:`cell_rows` records).
+        """
+        return json.dumps(
+            {
+                "engine": self.engine,
+                "phi_maxes": list(self.phi_maxes),
+                "zeta_targets": list(self.zeta_targets),
+                "n_replicates": self.n_replicates,
+                "cells": self.cell_rows(),
+            },
+            indent=indent,
+        )
+
+    def to_csv(self) -> str:
+        """The grid as CSV text, one row per cell.
+
+        Columns: :data:`GRID_EXPORT_COLUMNS`; empty cells stand for
+        None (non-finite CI bounds, missing predictions).
+        """
+        return format_csv(
+            GRID_EXPORT_COLUMNS,
+            [
+                [row[column] for column in GRID_EXPORT_COLUMNS]
+                for row in self.cell_rows()
+            ],
+        )
 
 
 def _resolve_seeds(
@@ -293,6 +386,7 @@ def sweep_grid(
     replicate_seeds: Optional[Sequence[int]] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
+    engine: str = "fast",
 ) -> GridResult:
     """Run the full mechanism × ζtarget × Φmax × replicate paper grid.
 
@@ -327,11 +421,20 @@ def sweep_grid(
             :data:`ProgressCallback`.
         executor: shard mapper; default
             :class:`~repro.experiments.parallel.SerialExecutor`.
+        engine: simulation backend for every cell, an engine-registry
+            name (``"fast"`` — the default and the historical,
+            byte-identical behaviour — or ``"micro"``; see
+            :mod:`repro.experiments.engine`).  The name rides each
+            :class:`~repro.experiments.runner.RunSpec` across process
+            boundaries; unknown names fail fast here, before any shard
+            runs.  For a paired two-engine comparison use
+            :func:`repro.experiments.agreement.agreement_grid`.
 
     Returns:
         A :class:`GridResult` holding one :class:`SweepResult` per
         budget, in *phi_maxes* order.
     """
+    resolve_engine(engine)  # unknown engines fail fast, parent-side
     phi_values = [float(phi_max) for phi_max in phi_maxes]
     if not phi_values:
         raise ConfigurationError("phi_maxes must be non-empty")
@@ -353,6 +456,7 @@ def sweep_grid(
                             mechanism=name,
                             replicate=index,
                             factory=factories[name] if factories is not None else None,
+                            engine=engine,
                         )
                     )
 
@@ -375,6 +479,7 @@ def sweep_grid(
         budgets=budgets,
         phi_maxes=tuple(phi_values),
         zeta_targets=tuple(zeta_targets),
+        engine=engine,
     )
 
 
@@ -388,6 +493,7 @@ def sweep_zeta_targets(
     replicate_seeds: Optional[Sequence[int]] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
+    engine: str = "fast",
 ) -> SweepResult:
     """Run the mechanism x ζtarget grid at the scenario's own Φmax.
 
@@ -407,5 +513,6 @@ def sweep_zeta_targets(
         replicate_seeds=replicate_seeds,
         executor=executor,
         progress=progress,
+        engine=engine,
     )
     return grid.budget(base.phi_max)

@@ -14,9 +14,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Union
 
 from ..core.schedulers.base import Scheduler
 from ..errors import ConfigurationError
+from ..experiments.engine import resolve_engine
 from ..experiments.parallel import Executor
 from ..experiments.registry import NamedFactory, node_factories
-from ..experiments.runner import FastRunner, RunResult
+from ..experiments.runner import RunResult
 from ..experiments.scenario import Scenario
 from ..mobility.contact import ContactTrace
 
@@ -28,12 +29,14 @@ def _run_node(item: tuple) -> RunResult:
 
     Module-level so a process pool can pickle it by reference; each
     node's work is a pure function of (scenario, node_id, trace,
-    factory), which makes per-node fan-out deterministic regardless of
-    worker count or completion order.
+    factory, engine name), which makes per-node fan-out deterministic
+    regardless of worker count or completion order.  The engine crosses
+    the boundary as a registry name and is re-resolved worker-side,
+    exactly like the scheduler factory.
     """
-    scenario, node_id, trace, factory = item
+    scenario, node_id, trace, factory, engine_name = item
     scheduler = factory(scenario, node_id)
-    return FastRunner(scenario, scheduler, trace=trace).run()
+    return resolve_engine(engine_name).run(scenario, scheduler, trace=trace)
 
 
 @dataclass
@@ -116,6 +119,8 @@ class NetworkRunner:
         scenario: Scenario,
         traces_by_node: Mapping[str, ContactTrace],
         scheduler_factory: Union[str, SchedulerFactory],
+        *,
+        engine: str = "fast",
     ) -> None:
         """*scheduler_factory* is a callable ``(scenario, node_id) ->
         Scheduler`` or the name of a factory registered in
@@ -124,10 +129,16 @@ class NetworkRunner:
         :class:`~repro.experiments.registry.NamedFactory`, so a named
         fleet fans out over a real process pool instead of silently
         degrading to serial (closures cannot cross the boundary).
-        Unknown names fail fast here, not in a worker.
+        *engine* selects each node's simulation backend by
+        engine-registry name (``"fast"`` default, ``"micro"`` for
+        short cycle-accurate fleets; see
+        :mod:`repro.experiments.engine`) and crosses process boundaries
+        the same way.  Unknown names — factory or engine — fail fast
+        here, not in a worker.
         """
         if not traces_by_node:
             raise ConfigurationError("need at least one node trace")
+        resolve_engine(engine)  # fail fast on unknown engine names
         if isinstance(scheduler_factory, str):
             registered = node_factories.resolve(scheduler_factory)  # fail fast
             scheduler_factory = NamedFactory(
@@ -140,6 +151,7 @@ class NetworkRunner:
         self.scenario = scenario
         self.traces_by_node = dict(traces_by_node)
         self.scheduler_factory = scheduler_factory
+        self.engine = engine
 
     def run(self, *, executor: Optional[Executor] = None) -> NetworkResult:
         """Run every node; returns the aggregated result.
@@ -154,7 +166,7 @@ class NetworkRunner:
         """
         ordered = sorted(self.traces_by_node.items())
         items = [
-            (self.scenario, node_id, trace, self.scheduler_factory)
+            (self.scenario, node_id, trace, self.scheduler_factory, self.engine)
             for node_id, trace in ordered
         ]
         if executor is None:

@@ -1,4 +1,6 @@
-"""Unit tests for the lifetime/network CLI subcommands and line plots."""
+"""Unit tests for the lifetime/network/agree CLI subcommands and plots."""
+
+import json
 
 import pytest
 
@@ -101,6 +103,111 @@ class TestGridCommand:
         out = capsys.readouterr().out
         assert "[1/3]" not in out
         assert "Simulation zeta" in out
+
+
+class TestAgreeCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["agree"])
+        assert args.budget_divisors == [1000.0, 100.0]
+        assert args.engines == ["fast", "micro"]
+        assert args.epochs == 1
+        assert args.replicates == 2
+
+    def test_streams_both_engines_and_prints_delta_tables(self, capsys):
+        code = main(
+            [
+                "agree",
+                "--targets", "16",
+                "--budget-divisors", "100",
+                "--epochs", "1",
+                "--replicates", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Streaming lines label the engine of each completed run...
+        assert "fast " in out and "micro" in out
+        # ...and the delta tables carry paired CIs plus the summary.
+        assert "Engine agreement (micro - fast)" in out
+        assert "d_zeta" in out and "d_probed/epoch" in out
+        assert "max |mean delta| across cells" in out
+
+    def test_jobs_takes_pool_path(self, capsys):
+        code = main(
+            [
+                "agree",
+                "--targets", "16",
+                "--budget-divisors", "100",
+                "--epochs", "1",
+                "--replicates", "2",
+                "--jobs", "2",
+                "--no-progress",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pool used: yes" in out
+
+    def test_out_writes_json_and_csv(self, tmp_path, capsys):
+        json_path = tmp_path / "agree.json"
+        csv_path = tmp_path / "agree.csv"
+        for path in (json_path, csv_path):
+            code = main(
+                [
+                    "agree",
+                    "--targets", "16",
+                    "--budget-divisors", "100",
+                    "--epochs", "1",
+                    "--replicates", "1",
+                    "--no-progress",
+                    "--out", str(path),
+                ]
+            )
+            assert code == 0
+            assert f"wrote {path}" in capsys.readouterr().out
+        document = json.loads(json_path.read_text())
+        assert document["candidate_engine"] == "micro"
+        assert csv_path.read_text().startswith("baseline_engine,")
+
+
+class TestGridOut:
+    def test_out_writes_csv(self, tmp_path, capsys):
+        path = tmp_path / "grid.csv"
+        code = main(
+            [
+                "grid",
+                "--targets", "16",
+                "--epochs", "1",
+                "--budget-divisors", "100",
+                "--no-progress",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("engine,phi_max,")
+        assert len(lines) == 1 + 3  # header + one row per mechanism
+
+
+class TestNetworkEngine:
+    def test_engine_flag_defaults_to_fast(self):
+        args = build_parser().parse_args(["network"])
+        assert args.engine == "fast"
+
+    def test_micro_engine_fleet_runs(self, capsys):
+        code = main(
+            [
+                "network",
+                "--nodes", "2",
+                "--commuters", "8",
+                "--days", "1",
+                "--engine", "micro",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet rho" in out
 
 
 class TestAsciiLinePlot:

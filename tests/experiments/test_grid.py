@@ -11,6 +11,7 @@ perturbing the result.
 
 from __future__ import annotations
 
+import json
 import random
 
 import pytest
@@ -18,7 +19,11 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.experiments.parallel import ParallelExecutor, SerialExecutor
 from repro.experiments.scenario import paper_roadside_scenario
-from repro.experiments.sweep import sweep_grid, sweep_zeta_targets
+from repro.experiments.sweep import (
+    GRID_EXPORT_COLUMNS,
+    sweep_grid,
+    sweep_zeta_targets,
+)
 from repro.units import DAY
 
 TARGETS = (16.0, 48.0)
@@ -182,3 +187,42 @@ class TestGridResultShape:
     def test_duplicate_phi_maxes_rejected(self, base_scenario):
         with pytest.raises(ConfigurationError):
             sweep_grid(base_scenario, TARGETS, [DAY / 100, DAY / 100])
+
+
+class TestGridSerialization:
+    """Satellite: GridResult.to_json()/to_csv() replace hand-rolled tables."""
+
+    def test_json_document_shape(self, reference_grid):
+        document = json.loads(reference_grid.to_json())
+        assert document["engine"] == "fast"
+        assert document["phi_maxes"] == list(PHI_MAXES)
+        assert document["zeta_targets"] == list(TARGETS)
+        assert document["n_replicates"] == 2
+        assert len(document["cells"]) == len(PHI_MAXES) * len(TARGETS) * 3
+        for cell in document["cells"]:
+            for column in GRID_EXPORT_COLUMNS:
+                assert column in cell
+
+    def test_json_cells_match_series(self, reference_grid):
+        document = json.loads(reference_grid.to_json())
+        for cell in document["cells"]:
+            sweep = reference_grid.budget(cell["phi_max"])
+            column = sweep.points[cell["mechanism"]]
+            point = next(
+                p for p in column if p.zeta_target == cell["zeta_target"]
+            )
+            assert cell["zeta"] == pytest.approx(point.zeta)
+            assert cell["phi"] == pytest.approx(point.phi)
+
+    def test_json_is_strict_for_single_replicate(self, base_scenario):
+        # 1 replicate => infinite CI half-widths, which strict JSON
+        # cannot carry; they must serialize as null, not Infinity.
+        grid = sweep_grid(base_scenario, (16.0,), (DAY / 100.0,))
+        document = json.loads(grid.to_json())
+        cell = document["cells"][0]
+        assert cell["zeta_low"] is None and cell["zeta_high"] is None
+
+    def test_csv_has_header_and_one_row_per_cell(self, reference_grid):
+        lines = reference_grid.to_csv().strip().splitlines()
+        assert lines[0] == ",".join(GRID_EXPORT_COLUMNS)
+        assert len(lines) == 1 + len(PHI_MAXES) * len(TARGETS) * 3

@@ -5,7 +5,7 @@ import pytest
 from repro.core.schedulers.at import SnipAtScheduler
 from repro.core.schedulers.rh import SnipRhScheduler
 from repro.core.snip_model import upsilon
-from repro.experiments.micro import MicroRunner, measure_upsilon
+from repro.experiments.micro import MicroEngine, MicroRunner, measure_upsilon
 from repro.experiments.scenario import paper_roadside_scenario
 from repro.radio.duty_cycle import DutyCycleConfig
 
@@ -18,14 +18,14 @@ def short_scenario(**kwargs):
     return paper_roadside_scenario(**kwargs)
 
 
-class TestMicroRunner:
+class TestMicroEngine:
     def test_produces_epoch_metrics(self):
         scenario = short_scenario()
         scheduler = SnipAtScheduler(
             scenario.profile, scenario.model,
             zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
         )
-        result = MicroRunner(scenario, scheduler).run()
+        result = MicroEngine().run(scenario, scheduler)
         assert result.metrics.epoch_count == 1
         assert result.mean_zeta > 0
 
@@ -34,7 +34,7 @@ class TestMicroRunner:
         scheduler = SnipRhScheduler(
             scenario.profile, scenario.model, initial_contact_length=2.0
         )
-        result = MicroRunner(scenario, scheduler).run()
+        result = MicroEngine().run(scenario, scheduler)
         for row in result.metrics.epochs:
             assert row.phi <= scenario.phi_max + scenario.model.t_on
 
@@ -44,10 +44,34 @@ class TestMicroRunner:
             scenario.profile, scenario.model,
             zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
         )
-        result = MicroRunner(scenario, scheduler).run()
+        result = MicroEngine().run(scenario, scheduler)
         # AT runs all day at d; Phi over the epoch is d * Tepoch.
         expected = scheduler.duty_cycle * 86400.0
         assert result.mean_phi == pytest.approx(expected, rel=0.02)
+
+
+class TestDeprecatedMicroRunner:
+    """Satellite bugfix: the old constructor path warns but still works."""
+
+    def make_scheduler(self, scenario):
+        return SnipAtScheduler(
+            scenario.profile, scenario.model,
+            zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
+        )
+
+    def test_constructor_emits_deprecation_pointing_at_registry(self):
+        scenario = short_scenario()
+        with pytest.deprecated_call(match="engine registry"):
+            MicroRunner(scenario, self.make_scheduler(scenario))
+
+    def test_deprecated_path_matches_engine(self):
+        scenario = short_scenario()
+        with pytest.deprecated_call():
+            legacy = MicroRunner(scenario, self.make_scheduler(scenario)).run()
+        modern = MicroEngine().run(scenario, self.make_scheduler(scenario))
+        assert legacy.mean_zeta == modern.mean_zeta
+        assert legacy.mean_phi == modern.mean_phi
+        assert legacy.metrics.total_probed == modern.metrics.total_probed
 
 
 class TestMeasureUpsilon:

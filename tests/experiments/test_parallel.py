@@ -274,6 +274,68 @@ class TestStreaming:
         assert not pool.last_map_parallel
 
 
+class TestBatching:
+    """Satellite: adaptive shard batching amortizes per-task pickling.
+
+    Batching changes only the transport granularity; reassembly is by
+    original shard index, so every result must stay byte-identical to
+    the unbatched path, including error propagation.
+    """
+
+    def test_explicit_batch_matches_serial(self):
+        pool = ParallelExecutor(jobs=4, batch_size=3)
+        assert pool.map(_square, list(range(11))) == [n * n for n in range(11)]
+        assert pool.last_map_parallel
+
+    def test_auto_batch_matches_serial(self):
+        pool = ParallelExecutor(jobs=2, batch_size="auto")
+        assert pool.map(_square, list(range(40))) == [n * n for n in range(40)]
+        assert pool.last_map_parallel
+
+    def test_imap_with_batches_covers_all_indices(self):
+        pool = ParallelExecutor(jobs=2, batch_size=4)
+        pairs = list(pool.imap(_square, list(range(10))))
+        assert sorted(pairs) == [(n, n * n) for n in range(10)]
+
+    def test_auto_heuristic_scales_with_workload(self):
+        pool = ParallelExecutor(jobs=2, batch_size="auto")
+        assert pool._effective_batch_size(1) == 1
+        assert pool._effective_batch_size(8) == 1
+        assert (
+            pool._effective_batch_size(80)
+            == 80 // (2 * ParallelExecutor.AUTO_BATCHES_PER_WORKER)
+        )
+        explicit = ParallelExecutor(jobs=2, batch_size=5)
+        assert explicit._effective_batch_size(3) == 5
+
+    def test_batched_sweep_is_byte_identical(self, base_scenario, reference_sweep):
+        sweep = sweep_zeta_targets(
+            base_scenario,
+            TARGETS,
+            n_replicates=2,
+            executor=ParallelExecutor(jobs=2, batch_size="auto"),
+        )
+        assert_identical_series(sweep, reference_sweep)
+
+    def test_batched_shard_error_propagates_without_serial_rerun(self, tmp_path):
+        log = tmp_path / "calls.log"
+        items = [(str(log), n) for n in range(6)]
+        pool = ParallelExecutor(jobs=2, batch_size=2)
+        with pytest.raises(ValueError, match="shard 3 exploded"):
+            pool.map(_record_and_maybe_raise, items)
+        lines = log.read_text().splitlines()
+        assert os.getpid() not in {int(line.split()[0]) for line in lines}
+        counts = Counter(int(line.split()[1]) for line in lines)
+        assert all(count == 1 for count in counts.values())
+        assert 3 in counts
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(batch_size="huge")
+
+
 def _node_factory(scenario, node_id):
     return default_factories()["SNIP-RH"](scenario)
 

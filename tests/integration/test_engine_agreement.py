@@ -2,26 +2,26 @@
 
 The fast runner replaces per-cycle events with beacon-train arithmetic;
 these tests pin that substitution against the micro engine on identical
-contact traces.
+contact traces — pointwise through the unified engine API, and
+statistically through the replicated agreement grid.
 """
 
 import pytest
 
 from repro.core.schedulers.at import SnipAtScheduler
 from repro.core.schedulers.rh import SnipRhScheduler
-from repro.experiments.micro import MicroRunner
-from repro.experiments.runner import FastRunner
+from repro.experiments.agreement import agreement_grid
+from repro.experiments.engine import resolve_engine
+from repro.experiments.runner import generate_trace
 from repro.experiments.scenario import paper_roadside_scenario
-from repro.mobility.synthetic import SyntheticTraceGenerator
-from repro.sim.rng import RandomStreams
+from repro.units import DAY
+
+fast_engine = resolve_engine("fast")
+micro_engine = resolve_engine("micro")
 
 
 def shared_trace(scenario):
-    generator = SyntheticTraceGenerator(
-        scenario.profile, scenario.trace_config,
-        streams=RandomStreams(scenario.seed),
-    )
-    return generator.generate()
+    return generate_trace(scenario)
 
 
 class TestSnipAtAgreement:
@@ -43,8 +43,8 @@ class TestSnipAtAgreement:
                 zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
             )
 
-        fast = FastRunner(scenario, make(), trace=trace).run()
-        micro = MicroRunner(scenario, make(), trace=trace).run()
+        fast = fast_engine.run(scenario, make(), trace=trace)
+        micro = micro_engine.run(scenario, make(), trace=trace)
         assert fast.mean_phi == pytest.approx(micro.mean_phi, rel=0.01)
         assert fast.mean_zeta == pytest.approx(micro.mean_zeta, rel=0.10)
         assert fast.metrics.total_probed == pytest.approx(
@@ -65,8 +65,8 @@ class TestSnipRhAgreement:
                 scenario.profile, scenario.model, initial_contact_length=2.0
             )
 
-        fast = FastRunner(scenario, make(), trace=trace).run()
-        micro = MicroRunner(scenario, make(), trace=trace).run()
+        fast = fast_engine.run(scenario, make(), trace=trace)
+        micro = micro_engine.run(scenario, make(), trace=trace)
         assert fast.mean_zeta == pytest.approx(micro.mean_zeta, rel=0.3)
         assert fast.mean_phi == pytest.approx(micro.mean_phi, rel=0.4)
 
@@ -82,8 +82,53 @@ class TestSnipRhAgreement:
             )
 
         for result in (
-            FastRunner(scenario, make(), trace=trace).run(),
-            MicroRunner(scenario, make(), trace=trace).run(),
+            fast_engine.run(scenario, make(), trace=trace),
+            micro_engine.run(scenario, make(), trace=trace),
         ):
             for row in result.metrics.epochs:
                 assert row.phi <= scenario.phi_max + scenario.model.t_on
+
+
+class TestGoldenAgreementGrid:
+    """Satellite golden test: the replicated grid pins the equivalence.
+
+    A 1-epoch micro-vs-fast grid with paired seeds: the per-epoch
+    probed-contact deltas (and ζ/Φ deltas) must sit within tolerance for
+    the feedback-free mechanisms, making the paper's equivalence claim a
+    statistical statement rather than a handful of spot checks.
+    """
+
+    @pytest.fixture(scope="class")
+    def agreement(self):
+        base = paper_roadside_scenario(
+            phi_max_divisor=100, zeta_target=24.0, epochs=1, seed=5
+        )
+        return agreement_grid(
+            base,
+            (24.0,),
+            (DAY / 100.0,),
+            mechanisms=("SNIP-AT", "SNIP-OPT"),
+            n_replicates=2,
+        )
+
+    def test_probed_contact_deltas_within_tolerance(self, agreement):
+        """Per-epoch probed-contact counts agree to a few contacts."""
+        for point in agreement:
+            delta = point.delta("probed_per_epoch")
+            assert abs(delta.mean) <= 6.0, (
+                f"{point.mechanism}: probed/epoch delta {delta.mean}"
+            )
+
+    def test_zeta_and_phi_deltas_within_tolerance(self, agreement):
+        for point in agreement:
+            fast_zeta = point.engine_mean("baseline", "mean_zeta")
+            assert abs(point.delta("mean_zeta").mean) <= 0.10 * fast_zeta + 1.0
+            fast_phi = point.engine_mean("baseline", "mean_phi")
+            assert abs(point.delta("mean_phi").mean) <= 0.01 * fast_phi + 0.1
+
+    def test_paired_seeds_share_traces(self, agreement):
+        """Replicate r of both engines really ran the same scenario."""
+        for point in agreement:
+            for base, cand in zip(point.baseline, point.candidate):
+                assert base.scenario.seed == cand.scenario.seed
+                assert list(base.trace) == list(cand.trace)
