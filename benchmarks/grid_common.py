@@ -1,13 +1,16 @@
-"""Shared grid-executor harness for the figure benches.
+"""Shared study harness for the figure benches.
 
-Every figure bench routes through :func:`repro.experiments.sweep.sweep_grid`
-here, so the whole benchmark suite exercises one sharded code path:
+Every figure bench routes through the declarative study layer
+(:func:`repro.experiments.spec.run_study`) here, so the whole benchmark
+suite exercises the same orchestration path as the CLI and the library:
 
-* the simulation benches (Figs. 7/8) slice their budget out of **one
-  shared two-budget** serial-vs-pool pair of ``sweep_grid`` runs
-  (asserted byte-identical per budget, pool path asserted actually
-  taken) — the grid is memoized per parameterisation, so whichever of
-  the pair runs first pays for both and the other is a cache lookup;
+* the simulation benches (Figs. 7/8) describe **one shared two-budget
+  grid** as a :class:`~repro.experiments.spec.StudySpec` (the same
+  study as the checked-in ``examples/paper_study.json``) and run it
+  serial-vs-pool (asserted byte-identical per budget, pool path
+  asserted actually taken) — the study is memoized per
+  parameterisation, so whichever of the pair runs first pays for both
+  and the other is a cache lookup;
 * the analysis benches (Figs. 5/6) shard the closed-form evaluation
   itself — one pure (budget, mechanism) cell per shard, no simulation —
   over a :class:`~repro.experiments.parallel.SerialExecutor`, keeping
@@ -23,7 +26,7 @@ from repro.core.analysis import evaluate_schedulers
 from repro.experiments.parallel import ParallelExecutor, SerialExecutor
 from repro.experiments.registry import PAPER_MECHANISMS
 from repro.experiments.scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
-from repro.experiments.sweep import sweep_grid
+from repro.experiments.spec import StudySpec, run_study
 from repro.units import DAY
 
 TARGETS = list(PAPER_ZETA_TARGETS)
@@ -42,37 +45,52 @@ PAPER_EPOCHS = 14
 _GRIDS = {}
 
 
+def paper_grid_spec(divisors, *, epochs, replicate_seeds, jobs=JOBS):
+    """The declarative study behind the Fig. 7/8 benches.
+
+    With the default parameters this is exactly the checked-in
+    ``examples/paper_study.json`` — the benches and the shipped study
+    file describe one and the same object.
+    """
+    return StudySpec(
+        name="paper-grid-fig7-fig8",
+        zeta_targets=tuple(TARGETS),
+        phi_maxes=tuple(DAY / divisor for divisor in divisors),
+        epochs=epochs,
+        seed=replicate_seeds[0],
+        mechanisms=PAPER_MECHANISMS,
+        engines=("fast",),
+        replicates=len(replicate_seeds),
+        replicate_seeds=tuple(replicate_seeds),
+        jobs=jobs,
+    )
+
+
 def run_paper_grid(divisors, *, epochs, replicate_seeds, jobs=JOBS):
-    """Run the (mechanism × ζtarget × Φmax) grid serial and pooled.
+    """Run the (mechanism × ζtarget × Φmax) study serial and pooled.
 
     Returns ``(grid, serial_seconds, parallel_seconds)`` where *grid* is
-    the pooled :class:`~repro.experiments.sweep.GridResult`.  Asserts the
-    determinism contract on every budget (pool byte-identical to serial)
-    and that the pool path was actually taken — a silent serial fallback
-    would make the reported speedup meaningless.
+    the pooled :class:`~repro.experiments.sweep.GridResult` of the
+    study.  Asserts the determinism contract on every budget (pool
+    byte-identical to serial) and that the pool path was actually
+    taken — a silent serial fallback would make the reported speedup
+    meaningless.
     """
     key = (tuple(divisors), epochs, tuple(replicate_seeds), jobs)
     if key in _GRIDS:
         return _GRIDS[key]
-    base = paper_roadside_scenario(
-        phi_max_divisor=divisors[0], epochs=epochs, seed=replicate_seeds[0]
+    spec = paper_grid_spec(
+        divisors, epochs=epochs, replicate_seeds=replicate_seeds, jobs=jobs
     )
-    phi_maxes = [DAY / divisor for divisor in divisors]
     start = time.perf_counter()
-    serial = sweep_grid(
-        base, TARGETS, phi_maxes,
-        replicate_seeds=replicate_seeds, executor=SerialExecutor(),
-    )
+    serial = run_study(spec, executor=SerialExecutor()).grid()
     serial_seconds = time.perf_counter() - start
     pool = ParallelExecutor(jobs=jobs)
     start = time.perf_counter()
-    parallel = sweep_grid(
-        base, TARGETS, phi_maxes,
-        replicate_seeds=replicate_seeds, executor=pool,
-    )
+    parallel = run_study(spec, executor=pool).grid()
     parallel_seconds = time.perf_counter() - start
     assert pool.last_map_parallel, "pool fell back to serial; timing is meaningless"
-    for phi_max in phi_maxes:
+    for phi_max in spec.phi_maxes:
         for metric in METRICS:
             assert (
                 serial.budget(phi_max).series(metric)

@@ -1,64 +1,63 @@
-"""Quickstart: probe contacts with SNIP-RH on the paper's scenario.
+"""Quickstart: one declarative study on the paper's scenario.
 
 Builds the roadside scenario from the paper's evaluation (24 h epoch,
 rush hours 07-09 and 17-19, contacts every 300 s in rush / 1800 s off-
-peak, 2 s contacts), runs one simulated week under the SNIP-RH
-scheduler, and prints the metrics the paper reports: probed contact
-capacity ζ, probing overhead Φ, and per-unit cost ρ.
+peak, 2 s contacts) as a single serializable **StudySpec** — the one
+description every experiment in this repository runs from — executes it
+with ``run_study``, and prints the metrics the paper reports: probed
+contact capacity ζ, probing overhead Φ, and per-unit cost ρ.
 
-Simulation backends are **engines** resolved by name from the engine
-registry — ``"fast"`` (contact-driven, the default) and ``"micro"``
-(cycle-accurate, ~100x slower) share one run API, so swapping the
-string below re-runs the same experiment at COOJA fidelity.
+Everything in the spec is plain data: mechanisms and engines are
+registry names (swap ``"fast"`` for ``"micro"`` to re-run the same
+study at COOJA fidelity), seeds are explicit, and the spec round-trips
+through JSON — ``spec.save("my_study.json")`` then
+``repro-snip run --spec my_study.json`` reproduces this script
+bit-for-bit from the shell (see ``examples/paper_study.json`` for the
+full Fig. 7/8 grid).
 
 Run::
 
     python examples/quickstart.py
 """
 
-from repro import SnipRhScheduler, paper_roadside_scenario, resolve_engine
+from repro import StudySpec, run_study
 
 
 def main() -> None:
-    scenario = paper_roadside_scenario(
-        phi_max_divisor=100,   # energy budget Φmax = Tepoch/100 = 864 s
-        zeta_target=24.0,      # upload 24 s of contact capacity per day
-        epochs=7,              # one simulated week
+    spec = StudySpec(
+        name="quickstart",
+        zeta_targets=(24.0,),        # upload 24 s of contact capacity per day
+        phi_maxes=(864.0,),          # energy budget Φmax = Tepoch/100 = 864 s
+        epochs=7,                    # one simulated week
         seed=42,
+        mechanisms=("SNIP-RH", "SNIP-AT"),
+        engines=("fast",),           # or ("micro",) for cycle accuracy
     )
-    scheduler = SnipRhScheduler(
-        scenario.profile,
-        scenario.model,
-        initial_contact_length=2.0,  # engineer's deployment estimate
-    )
-    engine = resolve_engine("fast")  # or "micro" for cycle accuracy
-    result = engine.run(scenario, scheduler)
+    study = run_study(spec)
+    sweep = study.grid().budget(spec.phi_maxes[0])
+    rh = sweep.points["SNIP-RH"][0]
+    at = sweep.points["SNIP-AT"][0]
 
     print("SNIP-RH on the paper's roadside scenario, one week")
     print("-" * 52)
-    print(f"probed capacity  ζ = {result.mean_zeta:6.2f} s/epoch "
-          f"(target {scenario.zeta_target:.0f})")
-    print(f"probing overhead Φ = {result.mean_phi:6.2f} s/epoch "
-          f"(budget {scenario.phi_max:.0f})")
-    print(f"per-unit cost    ρ = {result.mean_rho:6.2f}")
+    print(f"probed capacity  ζ = {rh.zeta:6.2f} s/epoch "
+          f"(target {spec.zeta_targets[0]:.0f})")
+    print(f"probing overhead Φ = {rh.phi:6.2f} s/epoch "
+          f"(budget {spec.phi_maxes[0]:.0f})")
+    print(f"per-unit cost    ρ = {rh.rho:6.2f}")
+    result = rh.simulated
     print(f"contacts probed/missed: {result.metrics.total_probed}"
           f"/{result.metrics.total_missed}")
     print(f"learned mean contact length: "
-          f"{scheduler.contact_length_ewma.value:.2f} s (true 2.0)")
+          f"{result.scheduler.contact_length_ewma.value:.2f} s (true 2.0)")
     print(f"learned data threshold:      "
-          f"{scheduler.data_threshold():.2f} s")
+          f"{result.scheduler.data_threshold():.2f} s")
 
-    # The headline: compare with running SNIP all the time.
-    from repro import SnipAtScheduler
-
-    at = SnipAtScheduler(
-        scenario.profile, scenario.model,
-        zeta_target=scenario.zeta_target, phi_max=scenario.phi_max,
-    )
-    at_result = engine.run(scenario, at)
+    # The headline: compare with running SNIP all the time — the same
+    # study already swept both mechanisms on identical contact traces.
     print()
-    print(f"SNIP-AT needs Φ = {at_result.mean_phi:.1f} s/epoch for the "
-          f"same target — {at_result.mean_phi / result.mean_phi:.1f}x "
+    print(f"SNIP-AT needs Φ = {at.phi:.1f} s/epoch for the "
+          f"same target — {at.phi / rh.phi:.1f}x "
           "more probing energy than SNIP-RH.")
 
 

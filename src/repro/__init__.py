@@ -67,12 +67,16 @@ from .experiments import (
     Scenario,
     SerialExecutor,
     ShardError,
+    StudyDocument,
+    StudyResult,
+    StudySpec,
     agreement_grid,
     engine_factories,
     mechanism_factories,
     node_factories,
     paper_roadside_scenario,
     resolve_engine,
+    run_study,
     sweep_grid,
     sweep_zeta_targets,
 )
@@ -145,12 +149,16 @@ __all__ = [
     "Scenario",
     "SerialExecutor",
     "ShardError",
+    "StudyDocument",
+    "StudyResult",
+    "StudySpec",
     "agreement_grid",
     "engine_factories",
     "mechanism_factories",
     "node_factories",
     "paper_roadside_scenario",
     "resolve_engine",
+    "run_study",
     "sweep_grid",
     "sweep_zeta_targets",
     # mobility

@@ -62,6 +62,13 @@ from .parallel import (
     replicate_seed,
 )
 from .sweep import GridResult, SweepResult, sweep_grid, sweep_zeta_targets
+from .spec import (
+    NetworkSection,
+    StudyDocument,
+    StudyResult,
+    StudySpec,
+    run_study,
+)
 from .reporting import format_table, format_series
 
 __all__ = [
@@ -104,6 +111,11 @@ __all__ = [
     "sweep_grid",
     "GridResult",
     "SweepResult",
+    "NetworkSection",
+    "StudyDocument",
+    "StudyResult",
+    "StudySpec",
+    "run_study",
     "format_table",
     "format_series",
 ]

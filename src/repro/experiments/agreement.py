@@ -13,15 +13,20 @@ deltas carry Student-t confidence intervals
 (:func:`repro.experiments.stats.estimates_from_runs` /
 :func:`~repro.experiments.stats.interval_from_samples`).
 
-The grid is flattened into pure
-:class:`~repro.experiments.runner.RunSpec` shards — the engine name is
-just one more spec field — and executed through the same
+:func:`agreement_grid` is now a thin compatibility wrapper over the
+declarative study layer: it builds a two-engine
+:class:`~repro.experiments.spec.StudySpec` and hands it to
+:func:`~repro.experiments.spec.run_study`, which flattens the grid into
+pure :class:`~repro.experiments.runner.RunSpec` shards — the engine
+name is just one more spec field — and executes it through the same
 executor/streaming machinery as :func:`repro.experiments.sweep.sweep_grid`,
 so the assembled result is byte-identical for jobs=1, jobs=N, or any
 adversarial completion order, and micro cells (orders of magnitude
 slower; keep horizons short) interleave with fast cells on the pool.
 
-CLI: ``repro-snip agree`` (also ``python -m repro agree``).
+CLI: ``repro-snip agree`` (also ``python -m repro agree``); the gate
+variant used in CI is :meth:`AgreementResult.gate_violations` /
+``repro-snip agree --gate TOL``.
 """
 
 from __future__ import annotations
@@ -31,14 +36,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from .engine import resolve_engine
 from .parallel import Executor
 from .registry import PAPER_MECHANISMS
 from .reporting import format_csv
-from .runner import RunResult, RunSpec
+from .runner import RunResult
 from .scenario import Scenario
 from .stats import IntervalEstimate, estimates_from_runs, interval_from_samples
-from .sweep import ProgressCallback, _finite_or_none, _resolve_seeds, _stream_results
+from .sweep import ProgressCallback, _finite_or_none
 
 __all__ = [
     "AGREEMENT_METRICS",
@@ -223,20 +227,57 @@ class AgreementResult:
             rows.append(row)
         return rows
 
+    def gate_violations(
+        self,
+        tolerance: float,
+        *,
+        metrics: Sequence[str] = AGREEMENT_METRICS,
+    ) -> List[str]:
+        """Cells whose paired delta CI excludes zero beyond *tolerance*.
+
+        The CI-based agreement gate (ROADMAP "agreement tolerance gates
+        in CI"): a cell violates the gate when its candidate−baseline
+        confidence interval lies **entirely** outside ``[-tolerance,
+        tolerance]`` — i.e. the data rules out both "the engines agree"
+        and "they disagree by no more than the golden tolerance".
+        Single-replicate cells have infinite half-widths and can never
+        violate; run two or more paired replicates to make the gate
+        meaningful.
+
+        Returns one human-readable line per violating (cell, metric),
+        empty when the grid passes.
+        """
+        if tolerance < 0:
+            raise ConfigurationError(
+                f"gate tolerance must be >= 0, got {tolerance}"
+            )
+        violations: List[str] = []
+        for point in self.points:
+            for metric in metrics:
+                delta = point.delta(metric)
+                if delta.low > tolerance or delta.high < -tolerance:
+                    violations.append(
+                        f"{point.mechanism} zeta_target={point.zeta_target:g} "
+                        f"Phi_max={point.phi_max:g} {metric}: delta {delta} "
+                        f"excludes 0 beyond ±{tolerance:g}"
+                    )
+        return violations
+
+    def to_dict(self) -> Dict[str, object]:
+        """The agreement grid as a JSON-clean document."""
+        return {
+            "baseline_engine": self.baseline_engine,
+            "candidate_engine": self.candidate_engine,
+            "phi_maxes": list(self.phi_maxes),
+            "zeta_targets": list(self.zeta_targets),
+            "mechanisms": list(self.mechanisms),
+            "n_replicates": self.n_replicates,
+            "cells": self.cell_rows(),
+        }
+
     def to_json(self, *, indent: int = 2) -> str:
         """The agreement grid as a strict-JSON document."""
-        return json.dumps(
-            {
-                "baseline_engine": self.baseline_engine,
-                "candidate_engine": self.candidate_engine,
-                "phi_maxes": list(self.phi_maxes),
-                "zeta_targets": list(self.zeta_targets),
-                "mechanisms": list(self.mechanisms),
-                "n_replicates": self.n_replicates,
-                "cells": self.cell_rows(),
-            },
-            indent=indent,
-        )
+        return json.dumps(self.to_dict(), indent=indent)
 
     def to_csv(self) -> str:
         """The agreement grid as CSV text, one row per cell."""
@@ -304,68 +345,30 @@ def agreement_grid(
     Returns:
         An :class:`AgreementResult` with per-cell paired delta CIs.
     """
-    baseline, candidate = engines
-    if baseline == candidate:
+    # Thin builder over the declarative study layer: a two-engine axis
+    # on a StudySpec *is* an agreement grid (run_study pairs the deltas
+    # automatically), so this wrapper only translates arguments and
+    # selects the candidate's AgreementResult out of the StudyResult.
+    from .spec import StudySpec, run_study
+
+    if len(tuple(engines)) != 2:
         raise ConfigurationError(
-            f"agreement needs two distinct engines, got {engines!r}"
+            f"agreement needs exactly two distinct engines, got {engines!r}"
         )
-    for name in engines:
-        resolve_engine(name)  # unknown engines fail fast, parent-side
-    if not zeta_targets:
-        raise ConfigurationError("zeta_targets must be non-empty")
-    phi_values = [float(phi_max) for phi_max in phi_maxes]
-    if not phi_values:
-        raise ConfigurationError("phi_maxes must be non-empty")
-    if len(set(phi_values)) != len(phi_values):
-        raise ConfigurationError(f"phi_maxes must be distinct, got {phi_values}")
     names = tuple(mechanisms) if mechanisms is not None else PAPER_MECHANISMS
-    if not names:
-        raise ConfigurationError("mechanisms must be non-empty")
-    seeds = _resolve_seeds(base.seed, n_replicates, replicate_seeds)
-
-    specs: List[RunSpec] = []
-    for phi_max in phi_values:
-        budget_base = base.with_budget(phi_max)
-        for target in zeta_targets:
-            cell_base = budget_base.with_target(target)
-            for name in names:
-                for index, seed in enumerate(seeds):
-                    for engine in engines:
-                        specs.append(
-                            RunSpec(
-                                scenario=cell_base.with_seed(seed),
-                                mechanism=name,
-                                replicate=index,
-                                engine=engine,
-                            )
-                        )
-
-    results = _stream_results(executor, specs, progress)
-
-    points: List[AgreementPoint] = []
-    cursor = 0
-    for phi_max in phi_values:
-        for target in zeta_targets:
-            for name in names:
-                baseline_runs: List[RunResult] = []
-                candidate_runs: List[RunResult] = []
-                for _ in seeds:
-                    baseline_runs.append(results[cursor])
-                    candidate_runs.append(results[cursor + 1])
-                    cursor += 2
-                points.append(
-                    AgreementPoint(
-                        mechanism=name,
-                        zeta_target=target,
-                        phi_max=phi_max,
-                        baseline=baseline_runs,
-                        candidate=candidate_runs,
-                    )
-                )
-    return AgreementResult(
-        points=points,
-        engines=(baseline, candidate),
-        phi_maxes=tuple(phi_values),
+    spec = StudySpec(
+        name="agreement-grid",
         zeta_targets=tuple(zeta_targets),
+        phi_maxes=tuple(phi_maxes),
+        epochs=base.epochs,
+        seed=base.seed,
         mechanisms=names,
+        engines=tuple(engines),
+        replicates=n_replicates,
+        replicate_seeds=(
+            tuple(replicate_seeds) if replicate_seeds is not None else None
+        ),
+        with_predictions=False,
     )
+    study = run_study(spec, base=base, executor=executor, progress=progress)
+    return study.agreements[spec.engines[1]]

@@ -4,39 +4,50 @@ Examples::
 
     repro-snip analyze --budget-divisor 1000
     repro-snip simulate --budget-divisor 100 --epochs 14 --seed 3
+    repro-snip run --spec examples/paper_study.json --jobs 4 --out grid.json
+    repro-snip run --spec study.json --set scenario.epochs=2 --set axes.engines=fast,micro
     repro-snip grid --budget-divisors 1000 100 --jobs 4 --replicates 3
-    repro-snip agree --jobs 4 --replicates 3 --epochs 1
+    repro-snip agree --jobs 4 --replicates 3 --epochs 1 --gate 6.0
     repro-snip network --jobs 2 --factory SNIP-RH --engine fast
     repro-snip gain
 
-(Equivalently ``python -m repro <subcommand>``.)  ``grid`` runs the
-paper's complete mechanism × ζtarget × Φmax evaluation (Figs. 5–8 in
-one sweep), streaming a progress line per completed cell before
-printing the per-budget tables; ``agree`` runs the replicated
-micro-vs-fast engine agreement grid (shared per-cell seeds, per-cell
-delta confidence intervals) through the same machinery.  Both accept
-``--jobs N`` to shard over a process pool — they report whether the
-pool path was actually taken (a serial fallback also emits a
+(Equivalently ``python -m repro <subcommand>``.)  The CLI is a thin
+shell over the declarative study layer
+(:mod:`repro.experiments.spec`): ``run`` executes a serializable
+:class:`~repro.experiments.spec.StudySpec` file — with dotted-path
+``--set section.key=value`` overrides — and the legacy ``grid`` /
+``agree`` / ``network`` subcommands are **spec constructors**: they
+build the equivalent spec from their flags and hand it to
+:func:`~repro.experiments.spec.run_study` (pass ``--emit-spec PATH`` to
+write that spec out instead of running it, turning any legacy
+invocation into a shareable study file).  All of them accept ``--jobs
+N`` to shard over a process pool — they report whether the pool path
+was actually taken (a serial fallback also emits a
 :class:`~repro.experiments.parallel.ParallelFallbackWarning` to
-stderr) — and ``--out PATH`` to write the result as ``.json`` or
-``.csv``.
+stderr naming the study) — and ``--out PATH`` to write the result as
+``.json`` or ``.csv``.  ``agree``/``run`` accept ``--gate TOL``, the
+CI agreement gate: exit non-zero when any paired per-cell delta CI
+excludes zero beyond the tolerance.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.analysis import evaluate_schedulers, rush_hour_gain_surface
+from ..errors import ReproError
 from ..units import DAY
-from .agreement import AGREEMENT_METRICS, agreement_grid
+from .agreement import AGREEMENT_METRICS, AgreementResult
 from .engine import PAPER_ENGINES
 from .parallel import ParallelExecutor
 from .registry import node_factories
-from .reporting import format_series, format_table
+from .reporting import format_series, format_table, write_artifact
 from .scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
-from .sweep import sweep_grid, sweep_zeta_targets
+from .spec import NetworkSection, StudySpec, run_study
+from .sweep import sweep_zeta_targets
 
 
 def _executor_from_jobs(jobs: int):
@@ -60,16 +71,63 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _write_output(path: str, result) -> None:
-    """Write *result* (anything with to_json/to_csv) to *path*.
+def _override(text: str) -> Tuple[str, object]:
+    """argparse type for ``--set path=value`` dotted-path overrides.
 
-    The extension picks the format: ``.json`` serializes with
-    ``to_json()``, anything else with ``to_csv()``.
+    The value is parsed as JSON when possible (numbers, lists, null,
+    booleans); anything unparsable stays a bare string, so
+    ``--set axes.engines=fast,micro`` and
+    ``--set 'scenario.zeta_targets=[16, 24]'`` both work.
     """
-    text = result.to_json() if path.endswith(".json") else result.to_csv()
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text)
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected path=value, got {text!r}"
+        )
+    path, raw = text.split("=", 1)
+    try:
+        value: object = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return path.strip(), value
+
+
+def _write_output(path: str, result) -> None:
+    """Write *result* (anything with to_json/to_csv) to *path*."""
+    write_artifact(path, result)
     print(f"wrote {path}")
+
+
+def _emit_spec(spec: StudySpec, path: str) -> int:
+    """Write the constructed spec to *path* instead of running it."""
+    spec.save(path)
+    print(f"wrote spec {path}")
+    return 0
+
+
+def _cell_progress(*, show_engine: bool):
+    """A streaming per-cell progress printer for grid/agreement studies."""
+
+    def report_cell(spec, result, completed, total) -> None:
+        divisor = DAY / spec.scenario.phi_max
+        width = len(str(total))
+        engine = f"{spec.engine:<5} " if show_engine else ""
+        print(
+            f"[{completed:>{width}}/{total}] {engine}"
+            f"Phi_max=Tepoch/{divisor:g} "
+            f"zeta_target={spec.scenario.zeta_target:g} {spec.mechanism} "
+            f"replicate {spec.replicate}: zeta={result.mean_zeta:.2f} "
+            f"Phi={result.mean_phi:.2f}",
+            flush=True,
+        )
+
+    return report_cell
+
+
+def _report_pool(label: str, jobs: int, executor) -> None:
+    """The pool diagnostic line (asserted by the CI smokes)."""
+    if executor is not None:
+        used = "yes" if executor.last_map_parallel else "no"
+        print(f"{label} fan-out: {jobs} jobs, pool used: {used}")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -120,6 +178,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the grid (1 = in-process)",
     )
 
+    run = sub.add_parser(
+        "run",
+        help="execute a declarative StudySpec file (grid, agreement, or fleet)",
+    )
+    run.add_argument(
+        "--spec", required=True, metavar="PATH",
+        help="StudySpec JSON file to execute",
+    )
+    run.add_argument(
+        "--set", dest="overrides", action="append", type=_override,
+        default=[], metavar="PATH=VALUE",
+        help="dotted-path spec override (repeatable), e.g. "
+             "--set scenario.epochs=2 --set axes.engines=fast,micro",
+    )
+    run.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help="shorthand for --set execution.jobs=N",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the StudyResult document (shorthand for "
+             "--set outputs.out=PATH; .json or .csv by extension)",
+    )
+    run.add_argument(
+        "--gate", type=float, default=None, metavar="TOL",
+        help="agreement gate: exit 1 if any paired delta CI excludes "
+             "zero beyond TOL (requires a study with >= 2 engines)",
+    )
+    run.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the streaming per-cell progress lines",
+    )
+    run.add_argument(
+        "--emit-spec", default=None, metavar="PATH",
+        help="write the effective (post---set) spec to PATH and exit",
+    )
+
     grid = sub.add_parser(
         "grid",
         help="the full mechanism x zeta_target x Phi_max grid (Figs. 5-8)",
@@ -149,12 +244,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the grid (1 = in-process)",
     )
     grid.add_argument(
+        "--engine", default="fast",
+        help="engine-registry name every cell runs on (default: fast)",
+    )
+    grid.add_argument(
         "--no-progress", action="store_true",
         help="suppress the streaming per-cell progress lines",
     )
     grid.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the grid to PATH (.json or .csv by extension)",
+    )
+    grid.add_argument(
+        "--emit-spec", default=None, metavar="PATH",
+        help="write the equivalent StudySpec to PATH and exit",
     )
 
     agree = sub.add_parser(
@@ -195,12 +298,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine-registry names to compare (default: fast micro)",
     )
     agree.add_argument(
+        "--gate", type=float, default=None, metavar="TOL",
+        help="exit 1 if any paired delta CI excludes zero beyond TOL",
+    )
+    agree.add_argument(
         "--no-progress", action="store_true",
         help="suppress the streaming per-cell progress lines",
     )
     agree.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the agreement grid to PATH (.json or .csv by extension)",
+    )
+    agree.add_argument(
+        "--emit-spec", default=None, metavar="PATH",
+        help="write the equivalent StudySpec to PATH and exit",
     )
 
     sub.add_parser("gain", help="the Fig. 4 rush-hour gain surface")
@@ -236,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument(
         "--engine", default="fast", choices=list(PAPER_ENGINES),
         help="registry-named per-node simulation engine",
+    )
+    network.add_argument(
+        "--emit-spec", default=None, metavar="PATH",
+        help="write the equivalent StudySpec to PATH and exit",
     )
     return parser
 
@@ -277,11 +392,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         n_replicates=args.replicates,
         executor=_executor_from_jobs(args.jobs),
     )
-    _print_budget_tables(args, args.budget_divisor, sweep)
+    _print_budget_tables(args.targets, args.epochs, args.budget_divisor, sweep)
     return 0
 
 
-def _print_budget_tables(args: argparse.Namespace, divisor: float, sweep) -> None:
+def _print_budget_tables(
+    targets: Sequence[float], epochs: int, divisor: float, sweep
+) -> None:
     """Print one budget's three metric tables (plus CIs if replicated)."""
     replicated = sweep.n_replicates > 1
     suffix = f" x {sweep.n_replicates} seeds" if replicated else ""
@@ -289,11 +406,11 @@ def _print_budget_tables(args: argparse.Namespace, divisor: float, sweep) -> Non
         print(
             format_series(
                 "zeta_target",
-                args.targets,
+                targets,
                 sweep.series(metric),
                 title=(
                     f"Simulation {label}, Phi_max = Tepoch/"
-                    f"{divisor:g}, {args.epochs} epochs{suffix}"
+                    f"{divisor:g}, {epochs} epochs{suffix}"
                 ),
             )
         )
@@ -302,7 +419,7 @@ def _print_budget_tables(args: argparse.Namespace, divisor: float, sweep) -> Non
             intervals = sweep.ci_series(metric)
             rows = [
                 [target] + [str(intervals[name][index]) for name in intervals]
-                for index, target in enumerate(args.targets)
+                for index, target in enumerate(targets)
             ]
             print(
                 format_table(
@@ -317,97 +434,18 @@ def _print_budget_tables(args: argparse.Namespace, divisor: float, sweep) -> Non
             print()
 
 
-def cmd_grid(args: argparse.Namespace) -> int:
-    """Run the full paper grid, streaming cells, then print per-budget tables."""
-    scenario = paper_roadside_scenario(
-        phi_max_divisor=args.budget_divisors[0], epochs=args.epochs, seed=args.seed
-    )
-    phi_maxes = [DAY / divisor for divisor in args.budget_divisors]
-    executor = _executor_from_jobs(args.jobs)
-
-    def report_cell(spec, result, completed, total) -> None:
-        """Streaming progress: one line per finished grid cell."""
-        if args.no_progress:
-            return
-        divisor = DAY / spec.scenario.phi_max
-        width = len(str(total))
-        print(
-            f"[{completed:>{width}}/{total}] Phi_max=Tepoch/{divisor:g} "
-            f"zeta_target={spec.scenario.zeta_target:g} {spec.mechanism} "
-            f"replicate {spec.replicate}: zeta={result.mean_zeta:.2f} "
-            f"Phi={result.mean_phi:.2f}",
-            flush=True,
-        )
-
-    grid = sweep_grid(
-        scenario,
-        args.targets,
-        phi_maxes,
-        n_replicates=args.replicates,
-        executor=executor,
-        progress=report_cell,
-    )
-    if not args.no_progress:
-        print()
-    for divisor, phi_max in zip(args.budget_divisors, phi_maxes):
-        _print_budget_tables(args, divisor, grid.budget(phi_max))
-    if args.out:
-        _write_output(args.out, grid)
-    if executor is not None:
-        used = "yes" if executor.last_map_parallel else "no"
-        print(f"grid fan-out: {args.jobs} jobs, pool used: {used}")
-    return 0
-
-
-def cmd_agree(args: argparse.Namespace) -> int:
-    """Run the replicated two-engine agreement grid and print deltas.
-
-    The headline validation of the fast engine: every cell runs both
-    engines on the same replicate seeds (identical contact traces), and
-    the per-cell candidate−baseline deltas are reported with Student-t
-    confidence intervals.
-    """
-    scenario = paper_roadside_scenario(
-        phi_max_divisor=args.budget_divisors[0], epochs=args.epochs,
-        seed=args.seed,
-    )
-    phi_maxes = [DAY / divisor for divisor in args.budget_divisors]
-    executor = _executor_from_jobs(args.jobs)
-    baseline, candidate = args.engines
-
-    def report_cell(spec, result, completed, total) -> None:
-        """Streaming progress: one line per finished engine run."""
-        if args.no_progress:
-            return
-        divisor = DAY / spec.scenario.phi_max
-        width = len(str(total))
-        print(
-            f"[{completed:>{width}}/{total}] {spec.engine:<5} "
-            f"Phi_max=Tepoch/{divisor:g} "
-            f"zeta_target={spec.scenario.zeta_target:g} {spec.mechanism} "
-            f"replicate {spec.replicate}: zeta={result.mean_zeta:.2f} "
-            f"Phi={result.mean_phi:.2f}",
-            flush=True,
-        )
-
-    agreement = agreement_grid(
-        scenario,
-        args.targets,
-        phi_maxes,
-        engines=(baseline, candidate),
-        n_replicates=args.replicates,
-        executor=executor,
-        progress=report_cell,
-    )
-    if not args.no_progress:
-        print()
+def _print_agreement_tables(agreement: AgreementResult, epochs: int) -> None:
+    """Print one candidate engine's per-budget delta tables + summary."""
+    baseline = agreement.baseline_engine
+    candidate = agreement.candidate_engine
     headers = [
         "zeta_target", "mechanism",
         f"zeta[{baseline}]", f"zeta[{candidate}]", "d_zeta",
         f"Phi[{baseline}]", f"Phi[{candidate}]", "d_Phi",
         "d_probed/epoch",
     ]
-    for divisor, phi_max in zip(args.budget_divisors, phi_maxes):
+    for phi_max in agreement.phi_maxes:
+        divisor = DAY / phi_max
         rows = [
             [
                 point.zeta_target,
@@ -428,7 +466,7 @@ def cmd_agree(args: argparse.Namespace) -> int:
                 rows,
                 title=(
                     f"Engine agreement ({candidate} - {baseline}), "
-                    f"Phi_max = Tepoch/{divisor:g}, {args.epochs} epoch(s) "
+                    f"Phi_max = Tepoch/{divisor:g}, {epochs} epoch(s) "
                     f"x {agreement.n_replicates} paired seeds"
                 ),
             )
@@ -439,11 +477,174 @@ def cmd_agree(args: argparse.Namespace) -> int:
         for metric in AGREEMENT_METRICS
     )
     print(f"max |mean delta| across cells: {summary}")
+
+
+def _print_network_tables(spec: StudySpec, network) -> None:
+    """Print the per-node fleet table and its aggregates."""
+    assert spec.network is not None
+    rows = [
+        [node_id, len(outcome.result.trace),
+         outcome.zeta, outcome.phi, outcome.delivery_ratio]
+        for node_id, outcome in sorted(network.outcomes.items())
+    ]
+    print(
+        format_table(
+            ["node", "contacts", "zeta (s)", "Phi (s)", "delivery"],
+            rows,
+            title=(
+                f"{spec.network.node_factory} fleet: "
+                f"{spec.network.commuters} commuters, "
+                f"{spec.network.nodes} nodes, {spec.epochs} days"
+            ),
+        )
+    )
+    print(f"fleet rho: {network.fleet_rho:.2f}  "
+          f"mean delivery: {network.mean_delivery_ratio:.2%}")
+
+
+def _apply_gate(agreements, tolerance: float) -> int:
+    """Check every candidate engine against the agreement gate."""
+    violations: List[str] = []
+    for agreement in agreements:
+        violations.extend(agreement.gate_violations(tolerance))
+    if violations:
+        for line in violations:
+            print(f"GATE VIOLATION: {line}")
+        print(f"agreement gate FAILED: {len(violations)} cell(s) beyond "
+              f"±{tolerance:g}")
+        return 1
+    print(f"agreement gate passed: all delta CIs within ±{tolerance:g} of 0")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute a StudySpec file: the one entry point for every study."""
+    spec = StudySpec.load(args.spec)
+    overrides = dict(args.overrides)
+    if args.jobs is not None:
+        overrides["execution.jobs"] = args.jobs
+    if args.out is not None:
+        overrides["outputs.out"] = args.out
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    if args.emit_spec:
+        return _emit_spec(spec, args.emit_spec)
+
+    # Unlike the legacy subcommands (which always batch adaptively),
+    # `run` honours the spec's whole execution section, batch_size
+    # included.
+    executor = (
+        ParallelExecutor(jobs=spec.jobs, batch_size=spec.batch_size)
+        if spec.jobs > 1
+        else None
+    )
+    show_progress = not args.no_progress and not spec.is_network
+    progress = (
+        _cell_progress(show_engine=len(spec.engines) > 1)
+        if show_progress
+        else None
+    )
+    print(f"study {spec.name!r}: {spec.total_runs} runs, "
+          f"{spec.jobs} job(s)")
+    study = run_study(spec, executor=executor, progress=progress)
+    if show_progress:
+        print()
+
+    if spec.is_network:
+        _print_network_tables(spec, study.network)
+    else:
+        if len(spec.engines) >= 2:
+            for candidate in spec.engines[1:]:
+                _print_agreement_tables(study.agreements[candidate], spec.epochs)
+                print()
+        else:
+            for divisor, phi_max in zip(spec.budget_divisors(), spec.phi_maxes):
+                _print_budget_tables(
+                    spec.zeta_targets, spec.epochs, divisor,
+                    study.grid().budget(phi_max),
+                )
+    if spec.out:
+        _write_output(spec.out, study)
+    _report_pool("study", spec.jobs, executor)
+    if args.gate is not None:
+        if not study.agreements:
+            print("--gate requires a study listing >= 2 engines")
+            return 2
+        return _apply_gate(study.agreements.values(), args.gate)
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    """Run the full paper grid, streaming cells, then print per-budget tables.
+
+    A spec constructor: the flags build a
+    :class:`~repro.experiments.spec.StudySpec` (``--emit-spec`` writes
+    it instead of running) executed through
+    :func:`~repro.experiments.spec.run_study`.
+    """
+    spec = StudySpec(
+        name="grid",
+        zeta_targets=tuple(args.targets),
+        phi_maxes=tuple(DAY / divisor for divisor in args.budget_divisors),
+        epochs=args.epochs,
+        seed=args.seed,
+        engines=(args.engine,),
+        replicates=args.replicates,
+        jobs=args.jobs,
+        out=args.out,
+    )
+    if args.emit_spec:
+        return _emit_spec(spec, args.emit_spec)
+    executor = _executor_from_jobs(args.jobs)
+    progress = None if args.no_progress else _cell_progress(show_engine=False)
+    study = run_study(spec, executor=executor, progress=progress)
+    grid = study.grid()
+    if not args.no_progress:
+        print()
+    for divisor, phi_max in zip(args.budget_divisors, spec.phi_maxes):
+        _print_budget_tables(
+            args.targets, args.epochs, divisor, grid.budget(phi_max)
+        )
+    if args.out:
+        _write_output(args.out, grid)
+    _report_pool("grid", args.jobs, executor)
+    return 0
+
+
+def cmd_agree(args: argparse.Namespace) -> int:
+    """Run the replicated two-engine agreement grid and print deltas.
+
+    The headline validation of the fast engine: every cell runs both
+    engines on the same replicate seeds (identical contact traces), and
+    the per-cell candidate−baseline deltas are reported with Student-t
+    confidence intervals.  A spec constructor, like ``grid``.
+    """
+    spec = StudySpec(
+        name="agree",
+        zeta_targets=tuple(args.targets),
+        phi_maxes=tuple(DAY / divisor for divisor in args.budget_divisors),
+        epochs=args.epochs,
+        seed=args.seed,
+        engines=tuple(args.engines),
+        replicates=args.replicates,
+        jobs=args.jobs,
+        out=args.out,
+        with_predictions=False,
+    )
+    if args.emit_spec:
+        return _emit_spec(spec, args.emit_spec)
+    executor = _executor_from_jobs(args.jobs)
+    progress = None if args.no_progress else _cell_progress(show_engine=True)
+    study = run_study(spec, executor=executor, progress=progress)
+    agreement = study.agreements[spec.engines[1]]
+    if not args.no_progress:
+        print()
+    _print_agreement_tables(agreement, args.epochs)
     if args.out:
         _write_output(args.out, agreement)
-    if executor is not None:
-        used = "yes" if executor.last_map_parallel else "no"
-        print(f"agreement fan-out: {args.jobs} jobs, pool used: {used}")
+    _report_pool("agreement", args.jobs, executor)
+    if args.gate is not None:
+        return _apply_gate([agreement], args.gate)
     return 0
 
 
@@ -470,7 +671,6 @@ def cmd_gain(_args: argparse.Namespace) -> int:
 def cmd_lifetime(args: argparse.Namespace) -> int:
     """Tabulate node lifetime for a set of probing budgets."""
     from ..radio.lifetime import Battery, LifetimeModel
-    from ..units import DAY
 
     model = LifetimeModel(battery=Battery(capacity_mah=args.capacity_mah))
     rows = []
@@ -497,54 +697,31 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
 def cmd_network(args: argparse.Namespace) -> int:
     """Run the emergent-rush-hour fleet demo and print per-node results.
 
-    The per-node scheduler comes from the named factory registry
-    (``--factory``), so ``--jobs N`` fans nodes out over a real process
-    pool — the factory crosses the boundary as a name, not a closure.
+    A spec constructor: the flags build a network
+    :class:`~repro.experiments.spec.StudySpec` (per-node fan-out rides
+    the study's executor; the registry-named ``--factory`` crosses the
+    process boundary as a name, not a closure).
     """
-    from ..network.agents import CommutePattern, Population
-    from ..network.contacts import ContactExtractor
-    from ..network.deployment import RoadDeployment
-    from ..network.runner import NetworkRunner
-
-    road = 2000.0 * (args.nodes + 1)
-    deployment = RoadDeployment.evenly_spaced(args.nodes, road)
-    population = Population(
-        args.commuters, road, seed=args.seed,
-        pattern=CommutePattern(workdays_per_week=7),
+    spec = StudySpec(
+        name="network",
+        zeta_targets=(16.0,),
+        phi_maxes=(DAY / 100.0,),
+        epochs=args.days,
+        seed=args.seed,
+        engines=(args.engine,),
+        jobs=args.jobs,
+        network=NetworkSection(
+            nodes=args.nodes,
+            commuters=args.commuters,
+            node_factory=args.factory,
+        ),
     )
-    trips = population.trips(days=args.days, epoch_length=DAY)
-    report = ContactExtractor(deployment).extract(trips)
-    scenario = paper_roadside_scenario(
-        phi_max_divisor=100, zeta_target=16.0,
-        epochs=args.days, seed=args.seed,
-    )
+    if args.emit_spec:
+        return _emit_spec(spec, args.emit_spec)
     executor = _executor_from_jobs(args.jobs)
-    network = NetworkRunner(
-        scenario,
-        report.contacts_by_node,
-        args.factory,
-        engine=args.engine,
-    ).run(executor=executor)
-    rows = [
-        [node_id, len(report.contacts_by_node[node_id]),
-         outcome.zeta, outcome.phi, outcome.delivery_ratio]
-        for node_id, outcome in sorted(network.outcomes.items())
-    ]
-    print(
-        format_table(
-            ["node", "contacts", "zeta (s)", "Phi (s)", "delivery"],
-            rows,
-            title=(
-                f"{args.factory} fleet: {args.commuters} commuters, "
-                f"{args.nodes} nodes, {args.days} days"
-            ),
-        )
-    )
-    print(f"fleet rho: {network.fleet_rho:.2f}  "
-          f"mean delivery: {network.mean_delivery_ratio:.2%}")
-    if executor is not None:
-        used = "yes" if executor.last_map_parallel else "no"
-        print(f"per-node fan-out: {args.jobs} jobs, pool used: {used}")
+    study = run_study(spec, executor=executor)
+    _print_network_tables(spec, study.network)
+    _report_pool("per-node", args.jobs, executor)
     return 0
 
 
@@ -554,13 +731,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "analyze": cmd_analyze,
         "simulate": cmd_simulate,
+        "run": cmd_run,
         "grid": cmd_grid,
         "agree": cmd_agree,
         "gain": cmd_gain,
         "lifetime": cmd_lifetime,
         "network": cmd_network,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ReproError, FileNotFoundError) as exc:
+        # User-input errors (a missing spec file, a bad --set path, an
+        # unknown registry name) are diagnostics, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

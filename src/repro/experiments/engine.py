@@ -28,9 +28,11 @@ Because engines resolve **by name**, a :class:`RunSpec` carrying
 ``engine="micro"`` crosses a process boundary as a plain string and the
 worker re-resolves it on its side — exactly the contract the mechanism
 registry already established for scheduler factories.  This is what
-lets :func:`~repro.experiments.sweep.sweep_grid` grow an engine axis
-and :func:`~repro.experiments.agreement.agreement_grid` run replicated
-micro-vs-fast comparisons through the process pool.
+lets :func:`~repro.experiments.sweep.sweep_grid` grow an engine axis,
+:func:`~repro.experiments.agreement.agreement_grid` run replicated
+micro-vs-fast comparisons through the process pool, and a
+:class:`~repro.experiments.spec.StudySpec` list any number of engines
+(two or more pair automatically into per-cell delta CIs).
 """
 
 from __future__ import annotations

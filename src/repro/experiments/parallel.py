@@ -312,7 +312,11 @@ class ParallelExecutor:
     AUTO_BATCHES_PER_WORKER = 4
 
     def __init__(
-        self, jobs: int | None = None, *, batch_size: int | str = 1
+        self,
+        jobs: int | None = None,
+        *,
+        batch_size: int | str = 1,
+        label: Optional[str] = None,
     ) -> None:
         """Configure the pool fan-out.
 
@@ -328,6 +332,11 @@ class ParallelExecutor:
                 dominated by pickling.  Reassembly is by original shard
                 index either way, so results are byte-identical for any
                 batch size.
+            label: optional workload name included in every
+                :class:`ParallelFallbackWarning` so a degraded run can be
+                traced back to the study/spec that issued it.
+                :func:`repro.experiments.spec.run_study` fills it with
+                the study name when the caller left it unset.
         """
         if jobs is not None and jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -342,6 +351,7 @@ class ParallelExecutor:
                 f"batch_size must be >= 1, got {batch_size}"
             )
         self.batch_size = batch_size
+        self.label = label
         self.jobs = jobs if jobs is not None else available_cpus()
         #: Whether the most recent :meth:`map`/:meth:`imap` ran entirely
         #: on the pool (False after any serial fallback, including a
@@ -382,12 +392,12 @@ class ParallelExecutor:
         if self.jobs <= 1 or len(items) <= 1:
             # Intentionally serial (trivial workload): not a degradation,
             # so no warning.
-            yield from SerialExecutor().imap(fn, items)
+            yield from self._serial_imap(fn, list(enumerate(items)))
             return
         problem = self._transport_problem(fn, items)
         if problem is not None:
             self._warn_fallback(problem)
-            yield from SerialExecutor().imap(fn, items)
+            yield from self._serial_imap(fn, list(enumerate(items)))
             return
         pending: Dict[int, SpecT] = dict(enumerate(items))
         failure: Optional[_ShardOutcome] = None
@@ -435,12 +445,33 @@ class ParallelExecutor:
                 f"({type(exc).__name__}: {exc}); finishing "
                 f"{len(pending)} incomplete shard(s) in-process"
             )
-            for index in sorted(pending):
-                yield index, fn(pending[index])
+            yield from self._serial_imap(
+                fn, [(index, pending[index]) for index in sorted(pending)]
+            )
             return
         if failure is not None:
             raise self._rehydrate(failure)
         self.last_map_parallel = True
+
+    def _serial_imap(
+        self, fn: Callable[[SpecT], ResultT], indexed_items: Sequence[Tuple[int, SpecT]]
+    ) -> Iterator[Tuple[int, ResultT]]:
+        """Run *indexed_items* in-process through the pool's batch path.
+
+        Every serial execution of this executor — a trivial workload, a
+        pre-flight transport problem, or a mid-run pool failure — flows
+        through here, so batching decisions (``batch_size="auto"``
+        included) and shard-error semantics live in exactly one place:
+        :meth:`_effective_batch_size` groups the shards and
+        :func:`_guarded_batch` guards each one, identically to a worker.
+        """
+        batch = self._effective_batch_size(len(indexed_items))
+        for start in range(0, len(indexed_items), batch):
+            chunk = indexed_items[start : start + batch]
+            for index, outcome in _guarded_batch(fn, chunk):
+                if outcome.error is not None:
+                    raise self._rehydrate(outcome)
+                yield index, outcome.value
 
     def _effective_batch_size(self, n_items: int) -> int:
         """The shards grouped per pool task for a workload of *n_items*.
@@ -456,11 +487,11 @@ class ParallelExecutor:
 
     @staticmethod
     def _rehydrate(failure: _ShardOutcome) -> BaseException:
-        """The worker's exception, annotated with its remote traceback."""
+        """The shard's exception, annotated with its capture-site traceback."""
         error = failure.error
         assert error is not None
         if failure.traceback_text:
-            note = "worker-side shard traceback:\n" + failure.traceback_text
+            note = "shard traceback (at the raise site):\n" + failure.traceback_text
             if hasattr(error, "add_note"):
                 error.add_note(note)
             elif error.__cause__ is None:  # Python 3.10: chain instead
@@ -469,9 +500,11 @@ class ParallelExecutor:
 
     def _warn_fallback(self, cause: str) -> None:
         """Emit the (observable) degradation diagnostic."""
+        who = f"ParallelExecutor(jobs={self.jobs})"
+        if self.label:
+            who += f" [{self.label}]"
         warnings.warn(
-            f"ParallelExecutor(jobs={self.jobs}) degraded to serial "
-            f"in-process execution: {cause}",
+            f"{who} degraded to serial in-process execution: {cause}",
             ParallelFallbackWarning,
             stacklevel=3,
         )

@@ -37,6 +37,13 @@ Registering a custom factory::
 
 The paper's three mechanisms (SNIP-AT, SNIP-OPT, SNIP-RH) are
 pre-registered in both registries at import time.
+
+The registries are also what makes the declarative study layer
+(:mod:`repro.experiments.spec`) portable: a
+:class:`~repro.experiments.spec.StudySpec` references mechanisms,
+engines, and node factories exclusively by these names, so a study
+file validated against the registries here executes identically on any
+host where the same registrations exist.
 """
 
 from __future__ import annotations

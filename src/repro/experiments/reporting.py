@@ -33,6 +33,21 @@ def format_csv(
     return buffer.getvalue()
 
 
+def write_artifact(path: str, result: object) -> None:
+    """Write *result* to *path*, picking the format by extension.
+
+    ``.json`` serializes with the result's ``to_json()``, anything else
+    with ``to_csv()`` — the one rule shared by the CLI's ``--out``, a
+    :class:`~repro.experiments.spec.StudyResult`'s ``save``, and the
+    benches, so every artifact on disk follows the same convention.
+    """
+    text = result.to_json() if path.endswith(".json") else result.to_csv()
+    if not text.endswith("\n"):
+        text += "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
 def _format_cell(value: object, width: int) -> str:
     if isinstance(value, float):
         if value == float("inf"):

@@ -88,6 +88,10 @@ class RunSpec:
     The scenario already carries the cell's derived seed, so executing a
     spec is a pure function: the same spec produces the same
     :class:`RunResult` in any process, on any worker, in any order.
+    This is the per-cell half of the declarative spec layer: a whole
+    study's worth of cells is described once by a
+    :class:`~repro.experiments.spec.StudySpec` and flattened into
+    ``RunSpec`` shards by :func:`~repro.experiments.spec.run_study`.
 
     Attributes:
         scenario: the complete configuration, seed and Φmax included.

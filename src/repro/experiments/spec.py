@@ -1,0 +1,933 @@
+"""Declarative study specifications: one description for every experiment.
+
+The paper's evaluation is one object — a grid of mechanism × ζtarget ×
+Φmax × replicate under the §VII-A scenario — but the codebase used to
+describe it three different ways: :func:`~repro.experiments.sweep.sweep_grid`,
+:func:`~repro.experiments.agreement.agreement_grid`, and
+:class:`~repro.network.runner.NetworkRunner` each took overlapping
+keyword soups, and the CLI re-plumbed every axis per subcommand.  This
+module makes the study itself **data**:
+
+* :class:`StudySpec` — a frozen, picklable, JSON-round-trippable
+  description of a whole study: scenario overrides (ζtargets, Φmax
+  values, epochs, seed), axes (mechanisms, engines, replicates),
+  execution (jobs, batch size), and outputs.  Every factory is
+  referenced by **registry name** (:mod:`repro.experiments.registry`),
+  so a spec crosses process — and, later, host — boundaries as plain
+  strings, exactly like the :class:`~repro.experiments.runner.RunSpec`
+  layer underneath it.  Shipping a study to another machine is a file
+  copy.
+* :func:`run_study` — the single entry point that subsumes
+  ``sweep_grid`` (one engine listed), ``agreement_grid`` (two or more
+  engines: per-cell deltas become paired automatically, replicate seeds
+  shared between engines), and per-node ``NetworkRunner`` fan-out (a
+  ``network`` section), streaming cells through the existing
+  :meth:`~repro.experiments.parallel.Executor.imap` contract.  The
+  historical functions remain as thin compatibility wrappers over this
+  one orchestration path, so every determinism guarantee (byte-identical
+  for jobs=1/N/shuffled) is inherited, not re-proven.
+* :class:`StudyResult` / :class:`StudyDocument` — the assembled rich
+  results (per-engine :class:`~repro.experiments.sweep.GridResult`,
+  paired :class:`~repro.experiments.agreement.AgreementResult` per
+  candidate engine, fleet :class:`~repro.network.runner.NetworkResult`)
+  and their serialized, re-loadable document form.
+
+CLI: ``repro-snip run --spec study.json [--set key=value]`` executes a
+spec file with dotted-path overrides; the legacy ``grid`` / ``agree`` /
+``network`` subcommands construct specs (``--emit-spec PATH`` prints the
+equivalent file for any invocation).
+
+Sharding/seeding semantics are unchanged from
+:mod:`repro.experiments.parallel`: the study flattens Φmax outermost,
+then ζtarget, mechanism, replicate, and engine innermost, so a
+single-engine study is shard-for-shard identical to the historical
+``sweep_grid`` and a two-engine study to ``agreement_grid``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    TYPE_CHECKING,
+    Tuple,
+    Union,
+)
+
+from ..errors import ConfigurationError
+from ..units import DAY
+from .agreement import AgreementPoint, AgreementResult
+from .engine import resolve_engine
+from .parallel import Executor, ParallelExecutor
+from .registry import PAPER_MECHANISMS, mechanism_factories, node_factories
+from .runner import RunSpec, SchedulerFactory
+from .scenario import PAPER_ZETA_TARGETS, Scenario, paper_roadside_scenario
+from .sweep import (
+    GRID_EXPORT_COLUMNS,
+    GridResult,
+    ProgressCallback,
+    SweepResult,
+    _assemble_sweep,
+    _finite_or_none,
+    _predictions_for,
+    _resolve_seeds,
+    _stream_results,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (heavy import)
+    from ..network.runner import NetworkResult
+
+__all__ = [
+    "NetworkSection",
+    "StudySpec",
+    "StudyResult",
+    "StudyDocument",
+    "run_study",
+]
+
+#: The paper's two Φmax budgets, figure order (Figs. 5/7 then 6/8).
+PAPER_PHI_MAXES: Tuple[float, ...] = (DAY / 1000.0, DAY / 100.0)
+
+
+@dataclass(frozen=True)
+class NetworkSection:
+    """The fleet fan-out portion of a :class:`StudySpec`.
+
+    When present, the study is a *network study*: a commuter population
+    is synthesized over an evenly spaced roadside deployment, each
+    sensor node's contact trace is extracted, and every node runs its
+    own scheduler instance (built by the registry-named *node_factory*)
+    through :class:`~repro.network.runner.NetworkRunner` — fanned out
+    over the study's executor.  The study's ``epochs`` are the simulated
+    days, its first ζtarget/Φmax configure each node's scenario, and its
+    first engine is each node's simulation backend.
+    """
+
+    nodes: int = 3
+    commuters: int = 60
+    node_factory: str = "SNIP-RH"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.nodes, int) or self.nodes < 1:
+            raise ConfigurationError(
+                f"network.nodes must be an int >= 1, got {self.nodes!r}"
+            )
+        if not isinstance(self.commuters, int) or self.commuters < 1:
+            raise ConfigurationError(
+                f"network.commuters must be an int >= 1, got {self.commuters!r}"
+            )
+        if not self.node_factory or not isinstance(self.node_factory, str):
+            raise ConfigurationError(
+                "network.node_factory must be a non-empty registry name"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The section as a JSON-clean dict."""
+        return {
+            "nodes": self.nodes,
+            "commuters": self.commuters,
+            "node_factory": self.node_factory,
+        }
+
+
+#: ``to_dict`` section name → StudySpec field names, in emission order.
+#: ``from_dict`` uses the same table for strict unknown-key validation,
+#: so the serialized document and the dataclass can never drift apart.
+_SECTION_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "scenario": ("zeta_targets", "phi_maxes", "epochs", "seed"),
+    "axes": ("mechanisms", "engines", "replicates", "replicate_seeds"),
+    "execution": ("jobs", "batch_size"),
+    "outputs": ("out", "with_predictions"),
+}
+
+#: StudySpec fields serialized as tuples (JSON lists).
+_TUPLE_FIELDS = ("zeta_targets", "phi_maxes", "mechanisms", "engines")
+
+
+def _as_tuple(value: Any) -> Tuple[Any, ...]:
+    """Normalize a tuple-field input: sequences pass through, scalars
+    wrap, and strings split on commas (``--set axes.engines=fast,micro``)."""
+    if isinstance(value, str):
+        return tuple(part.strip() for part in value.split(",") if part.strip())
+    if isinstance(value, (int, float)):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """One serializable description of a whole experiment study.
+
+    A spec is pure data: every mechanism, engine, and node factory is a
+    **registry name**, every seed is explicit or derivable, and the
+    §VII-A paper scenario is the template the scenario overrides apply
+    to.  ``from_dict(to_dict(spec)) == spec`` and the JSON file form is
+    byte-stable, so specs can be checked in, diffed, shipped to other
+    hosts, and executed bit-identically by :func:`run_study`.
+
+    Sections (mirrored by :meth:`to_dict` / ``--set`` dotted paths):
+
+    * **scenario** — ``zeta_targets`` (ζtarget sweep values, seconds),
+      ``phi_maxes`` (Φmax budgets, seconds; the paper uses
+      ``Tepoch/1000`` and ``Tepoch/100``), ``epochs``, ``seed``;
+    * **axes** — ``mechanisms`` (registry names), ``engines`` (registry
+      names; two or more turn the study into a paired agreement grid
+      with the first engine as baseline), ``replicates`` /
+      ``replicate_seeds`` (explicit seeds override derivation);
+    * **execution** — ``jobs`` (worker processes; 1 = in-process) and
+      ``batch_size`` (shards per pool task, or ``"auto"``);
+    * **outputs** — ``out`` (default artifact path for the CLI) and
+      ``with_predictions`` (pair cells with closed-form predictions);
+    * **network** — optional :class:`NetworkSection` for per-node fleet
+      fan-out instead of the grid.
+    """
+
+    name: str = "study"
+    # scenario overrides (applied to the paper's §VII-A template)
+    zeta_targets: Tuple[float, ...] = PAPER_ZETA_TARGETS
+    phi_maxes: Tuple[float, ...] = PAPER_PHI_MAXES
+    epochs: int = 14
+    seed: int = 1
+    # axes
+    mechanisms: Tuple[str, ...] = PAPER_MECHANISMS
+    engines: Tuple[str, ...] = ("fast",)
+    replicates: int = 1
+    replicate_seeds: Optional[Tuple[int, ...]] = None
+    # execution
+    jobs: int = 1
+    batch_size: Union[int, str] = "auto"
+    # outputs
+    out: Optional[str] = None
+    with_predictions: bool = True
+    # optional fleet fan-out
+    network: Optional[NetworkSection] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError("name must be a non-empty string")
+        try:
+            zeta_targets = tuple(float(t) for t in _as_tuple(self.zeta_targets))
+            phi_maxes = tuple(float(p) for p in _as_tuple(self.phi_maxes))
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"zeta_targets/phi_maxes must be numbers: {exc}"
+            ) from exc
+        object.__setattr__(self, "zeta_targets", zeta_targets)
+        object.__setattr__(self, "phi_maxes", phi_maxes)
+        object.__setattr__(self, "mechanisms", _as_tuple(self.mechanisms))
+        object.__setattr__(self, "engines", _as_tuple(self.engines))
+        if self.replicate_seeds is not None:
+            object.__setattr__(
+                self,
+                "replicate_seeds",
+                tuple(int(seed) for seed in self.replicate_seeds),
+            )
+        if not self.zeta_targets:
+            raise ConfigurationError("zeta_targets must be non-empty")
+        if any(target <= 0 for target in self.zeta_targets):
+            raise ConfigurationError(
+                f"zeta_targets must be positive, got {list(self.zeta_targets)}"
+            )
+        if not self.phi_maxes:
+            raise ConfigurationError("phi_maxes must be non-empty")
+        if any(phi_max <= 0 for phi_max in self.phi_maxes):
+            raise ConfigurationError(
+                f"phi_maxes must be positive, got {list(self.phi_maxes)}"
+            )
+        if len(set(self.phi_maxes)) != len(self.phi_maxes):
+            raise ConfigurationError(
+                f"phi_maxes must be distinct, got {list(self.phi_maxes)}"
+            )
+        if not isinstance(self.epochs, int) or self.epochs < 1:
+            raise ConfigurationError(
+                f"epochs must be an int >= 1, got {self.epochs!r}"
+            )
+        if not isinstance(self.seed, int):
+            raise ConfigurationError(f"seed must be an int, got {self.seed!r}")
+        if not self.mechanisms:
+            raise ConfigurationError("mechanisms must be non-empty")
+        if not all(isinstance(name, str) and name for name in self.mechanisms):
+            raise ConfigurationError(
+                f"mechanisms must be registry names, got {list(self.mechanisms)}"
+            )
+        if not self.engines:
+            raise ConfigurationError("engines must be non-empty")
+        if not all(isinstance(name, str) and name for name in self.engines):
+            raise ConfigurationError(
+                f"engines must be registry names, got {list(self.engines)}"
+            )
+        if len(set(self.engines)) != len(self.engines):
+            raise ConfigurationError(
+                f"engines must be distinct, got {list(self.engines)}"
+            )
+        if not isinstance(self.replicates, int) or self.replicates < 1:
+            raise ConfigurationError(
+                f"replicates must be an int >= 1, got {self.replicates!r}"
+            )
+        if self.replicate_seeds is not None:
+            if not self.replicate_seeds:
+                raise ConfigurationError("replicate_seeds must be non-empty")
+            if self.replicates not in (1, len(self.replicate_seeds)):
+                raise ConfigurationError(
+                    f"replicates={self.replicates} conflicts with "
+                    f"{len(self.replicate_seeds)} explicit replicate_seeds"
+                )
+        if not isinstance(self.jobs, int) or self.jobs < 1:
+            raise ConfigurationError(f"jobs must be an int >= 1, got {self.jobs!r}")
+        if isinstance(self.batch_size, str):
+            if self.batch_size != "auto":
+                raise ConfigurationError(
+                    f'batch_size must be an int >= 1 or "auto", '
+                    f"got {self.batch_size!r}"
+                )
+        elif not isinstance(self.batch_size, int) or self.batch_size < 1:
+            raise ConfigurationError(
+                f'batch_size must be an int >= 1 or "auto", '
+                f"got {self.batch_size!r}"
+            )
+        if self.out is not None and (
+            not isinstance(self.out, str) or not self.out
+        ):
+            raise ConfigurationError(
+                f"out must be a non-empty path or null, got {self.out!r}"
+            )
+        if not isinstance(self.with_predictions, bool):
+            raise ConfigurationError(
+                f"with_predictions must be a bool, got {self.with_predictions!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def is_network(self) -> bool:
+        """True when the study fans out per-node instead of per-cell."""
+        return self.network is not None
+
+    @property
+    def n_replicates(self) -> int:
+        """Seed replicates per cell (explicit seeds take precedence)."""
+        if self.replicate_seeds is not None:
+            return len(self.replicate_seeds)
+        return self.replicates
+
+    @property
+    def total_runs(self) -> int:
+        """Simulation runs the study will execute."""
+        if self.network is not None:
+            return self.network.nodes
+        return (
+            len(self.phi_maxes)
+            * len(self.zeta_targets)
+            * len(self.mechanisms)
+            * self.n_replicates
+            * len(self.engines)
+        )
+
+    def resolved_seeds(self) -> List[int]:
+        """The per-replicate scenario seeds this study will use."""
+        return _resolve_seeds(self.seed, self.replicates, self.replicate_seeds)
+
+    def base_scenario(self) -> Scenario:
+        """The §VII-A scenario template with this spec's overrides applied.
+
+        The grid path re-budgets/re-targets it per cell; the network
+        path runs every node on it directly (first ζtarget, first Φmax).
+        """
+        scenario = paper_roadside_scenario(epochs=self.epochs, seed=self.seed)
+        return scenario.with_budget(self.phi_maxes[0]).with_target(
+            self.zeta_targets[0]
+        )
+
+    def budget_divisors(self) -> Tuple[float, ...]:
+        """Each Φmax as the paper's ``Tepoch/divisor`` form (display).
+
+        Rounded to 9 decimals so ``DAY / (DAY / 1000)`` reads back as
+        the 1000 a human wrote, not 999.9999999999999.
+        """
+        return tuple(round(DAY / phi_max, 9) for phi_max in self.phi_maxes)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a nested JSON-clean dict (the file format).
+
+        Key order is fixed (name, scenario, axes, execution, outputs,
+        network), so :meth:`to_json` output is byte-stable across
+        round-trips.
+        """
+        document: Dict[str, Any] = {"name": self.name}
+        for section, field_names in _SECTION_FIELDS.items():
+            body: Dict[str, Any] = {}
+            for field_name in field_names:
+                value = getattr(self, field_name)
+                if field_name in _TUPLE_FIELDS:
+                    value = list(value)
+                elif field_name == "replicate_seeds" and value is not None:
+                    value = list(value)
+                body[field_name] = value
+            document[section] = body
+        document["network"] = (
+            self.network.to_dict() if self.network is not None else None
+        )
+        return document
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        """Build a spec from its dict form, strictly.
+
+        Unknown keys — top-level or inside any section — raise
+        :class:`~repro.errors.ConfigurationError` naming the offending
+        dotted path; registry names (mechanisms, engines, the network
+        node factory) are resolved eagerly so a bad name fails here, at
+        load time, not inside a worker.  Missing keys take the dataclass
+        defaults, so a minimal ``{"name": ...}`` document is valid.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"StudySpec document must be a mapping, got {type(data).__name__}"
+            )
+        known_top = ("name",) + tuple(_SECTION_FIELDS) + ("network",)
+        for key in data:
+            if key not in known_top:
+                raise ConfigurationError(
+                    f"unknown StudySpec key {key!r}; known: {sorted(known_top)}"
+                )
+        kwargs: Dict[str, Any] = {}
+        if "name" in data:
+            kwargs["name"] = data["name"]
+        for section, field_names in _SECTION_FIELDS.items():
+            body = data.get(section)
+            if body is None:
+                continue
+            if not isinstance(body, Mapping):
+                raise ConfigurationError(
+                    f"StudySpec section {section!r} must be a mapping, "
+                    f"got {type(body).__name__}"
+                )
+            for key in body:
+                if key not in field_names:
+                    raise ConfigurationError(
+                        f"unknown StudySpec key {section + '.' + key!r}; "
+                        f"known: {sorted(section + '.' + name for name in field_names)}"
+                    )
+            for field_name in field_names:
+                if field_name in body:
+                    value = body[field_name]
+                    if field_name in _TUPLE_FIELDS and isinstance(
+                        value, (list, tuple)
+                    ):
+                        value = tuple(value)
+                    elif field_name == "replicate_seeds" and isinstance(
+                        value, (list, tuple)
+                    ):
+                        value = tuple(value)
+                    kwargs[field_name] = value
+        network = data.get("network")
+        if network is not None:
+            if not isinstance(network, Mapping):
+                raise ConfigurationError(
+                    f"StudySpec section 'network' must be a mapping or null, "
+                    f"got {type(network).__name__}"
+                )
+            known_network = ("nodes", "commuters", "node_factory")
+            for key in network:
+                if key not in known_network:
+                    raise ConfigurationError(
+                        f"unknown StudySpec key {'network.' + key!r}; known: "
+                        f"{sorted('network.' + name for name in known_network)}"
+                    )
+            kwargs["network"] = NetworkSection(**dict(network))
+        spec = cls(**kwargs)
+        spec.validate_registry_names()
+        return spec
+
+    def validate_registry_names(self) -> None:
+        """Resolve every registry name the spec references, failing fast.
+
+        Mechanisms resolve against
+        :data:`~repro.experiments.registry.mechanism_factories`, engines
+        through :func:`~repro.experiments.engine.resolve_engine`, and
+        the network node factory against
+        :data:`~repro.experiments.registry.node_factories` — the same
+        resolution the workers will perform, so a spec that validates
+        here executes anywhere the same registrations exist.
+        """
+        for name in self.mechanisms:
+            mechanism_factories.resolve(name)
+        for name in self.engines:
+            resolve_engine(name)
+        if self.network is not None:
+            node_factories.resolve(self.network.node_factory)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The spec as canonical JSON text (trailing newline included)."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudySpec":
+        """Parse a spec from JSON text (see :meth:`from_dict`)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid StudySpec JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        """Write the spec to *path* as canonical JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "StudySpec":
+        """Read a spec from a JSON file written by :meth:`save` (or hand)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "StudySpec":
+        """A copy with dotted-path *overrides* applied (CLI ``--set``).
+
+        Paths address the :meth:`to_dict` document: ``name``,
+        ``scenario.epochs``, ``axes.engines``, ``execution.jobs``,
+        ``network.nodes``, ...  Setting a ``network.*`` key on a
+        grid-only spec materializes the network section with defaults;
+        setting ``network`` itself to ``None`` removes it.  Unknown
+        paths raise :class:`~repro.errors.ConfigurationError` naming the
+        path; the result is re-validated from scratch.
+        """
+        document = self.to_dict()
+        for path, value in overrides.items():
+            parts = path.split(".")
+            if len(parts) == 1:
+                key = parts[0]
+                if key not in document:
+                    raise ConfigurationError(
+                        f"unknown StudySpec key {path!r}; known: "
+                        f"{sorted(document)}"
+                    )
+                document[key] = value
+            elif len(parts) == 2:
+                section, key = parts
+                if section not in document:
+                    raise ConfigurationError(
+                        f"unknown StudySpec key {path!r}; known sections: "
+                        f"{sorted(k for k in document if k != 'name')}"
+                    )
+                if section == "network" and document[section] is None:
+                    document[section] = NetworkSection().to_dict()
+                body = document[section]
+                if not isinstance(body, dict) or key not in body:
+                    raise ConfigurationError(
+                        f"unknown StudySpec key {path!r}"
+                    )
+                body[key] = value
+            else:
+                raise ConfigurationError(
+                    f"StudySpec override paths have at most two segments, "
+                    f"got {path!r}"
+                )
+        return type(self).from_dict(document)
+
+
+@dataclass
+class StudyResult:
+    """Everything one executed study produced.
+
+    *grids* holds one :class:`~repro.experiments.sweep.GridResult` per
+    listed engine (empty for network studies); *agreements* pairs every
+    non-baseline engine against the baseline (the first listed engine)
+    as an :class:`~repro.experiments.agreement.AgreementResult`;
+    *network* is the fleet result for network studies.
+    """
+
+    spec: StudySpec
+    grids: Dict[str, GridResult] = field(default_factory=dict)
+    agreements: Dict[str, AgreementResult] = field(default_factory=dict)
+    network: Optional["NetworkResult"] = None
+
+    def grid(self, engine: Optional[str] = None) -> GridResult:
+        """The grid for *engine* (default: the spec's first engine)."""
+        if not self.grids:
+            raise ConfigurationError(
+                "this study has no grid results (network study?)"
+            )
+        key = engine if engine is not None else self.spec.engines[0]
+        if key not in self.grids:
+            raise ConfigurationError(
+                f"no grid for engine {key!r}; have {sorted(self.grids)}"
+            )
+        return self.grids[key]
+
+    @property
+    def agreement(self) -> Optional[AgreementResult]:
+        """The paired comparison, when the study listed exactly two engines."""
+        if not self.agreements:
+            return None
+        if len(self.agreements) > 1:
+            raise ConfigurationError(
+                f"study compared {sorted(self.agreements)} against "
+                f"{self.spec.engines[0]!r}; pick one via .agreements[name]"
+            )
+        return next(iter(self.agreements.values()))
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole study as one JSON-clean document.
+
+        Top level: ``study`` (the spec's :meth:`StudySpec.to_dict`),
+        ``grids`` (engine → grid document), ``agreements`` (candidate
+        engine → agreement document), ``network`` (fleet document or
+        None).  :meth:`StudyDocument.load` reads this format back.
+        """
+        return {
+            "study": self.spec.to_dict(),
+            "grids": {
+                engine: grid.to_dict() for engine, grid in self.grids.items()
+            },
+            "agreements": {
+                candidate: agreement.to_dict()
+                for candidate, agreement in self.agreements.items()
+            },
+            "network": self.network.to_dict() if self.network else None,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The study document as strict JSON text."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    def to_csv(self) -> str:
+        """The study's cells as CSV.
+
+        Grid studies concatenate every engine's cell rows (the
+        ``engine`` column disambiguates); network studies emit one row
+        per node.
+        """
+        from .reporting import format_csv
+
+        if self.network is not None:
+            headers = ("node", "contacts", "zeta", "phi", "rho", "delivery_ratio")
+            rows = [
+                [
+                    node_id,
+                    len(outcome.result.trace),
+                    outcome.zeta,
+                    outcome.phi,
+                    _finite_or_none(outcome.rho),
+                    outcome.delivery_ratio,
+                ]
+                for node_id, outcome in sorted(self.network.outcomes.items())
+            ]
+            return format_csv(headers, rows)
+        rows = []
+        for engine in self.spec.engines:
+            if engine in self.grids:
+                rows.extend(
+                    [row[column] for column in GRID_EXPORT_COLUMNS]
+                    for row in self.grids[engine].cell_rows()
+                )
+        return format_csv(GRID_EXPORT_COLUMNS, rows)
+
+    def save(self, path: str) -> None:
+        """Write the study to *path*: ``.json`` document or CSV cells."""
+        from .reporting import write_artifact
+
+        write_artifact(path, self)
+
+
+@dataclass
+class StudyDocument:
+    """A re-loaded study artifact (the serialized half of a result).
+
+    Loading a :meth:`StudyResult.to_json` file recovers the full
+    :class:`StudySpec` plus the tabular cell data; the rich in-memory
+    objects (schedulers, traces, run metrics) intentionally do not
+    round-trip — the spec does, and re-running it regenerates them
+    bit-identically.
+    """
+
+    spec: StudySpec
+    grids: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    agreements: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    network: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudyDocument":
+        """Parse a study document, validating its spec strictly."""
+        if not isinstance(data, Mapping) or "study" not in data:
+            raise ConfigurationError(
+                "not a study document: missing the 'study' spec section"
+            )
+        return cls(
+            spec=StudySpec.from_dict(data["study"]),
+            grids=dict(data.get("grids") or {}),
+            agreements=dict(data.get("agreements") or {}),
+            network=data.get("network"),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "StudyDocument":
+        """Read a study document from a ``.json`` artifact file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"invalid study document JSON in {path}: {exc}"
+                ) from exc
+        return cls.from_dict(data)
+
+    def cells(self, engine: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The loaded grid cell rows for *engine* (default: baseline)."""
+        if not self.grids:
+            return []
+        key = engine if engine is not None else self.spec.engines[0]
+        if key not in self.grids:
+            raise ConfigurationError(
+                f"no grid for engine {key!r}; have {sorted(self.grids)}"
+            )
+        return list(self.grids[key].get("cells", []))
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+class _StudyExecutor:
+    """Context manager resolving the executor a study runs on.
+
+    An explicit *executor* wins; otherwise the spec's execution section
+    decides (jobs=1 → in-process, else a pool with the spec's batch
+    size).  Either way a :class:`ParallelExecutor` without a label is
+    tagged with the study name for the duration of the run, so any
+    :class:`~repro.experiments.parallel.ParallelFallbackWarning` it
+    emits names the study that degraded — and a caller-provided pool
+    gets its (unset) label restored afterwards, so reusing one executor
+    across studies never misattributes a later study's warnings.
+    """
+
+    def __init__(self, spec: StudySpec, executor: Optional[Executor]) -> None:
+        self.spec = spec
+        self.executor = executor
+        self._labelled = False
+
+    def __enter__(self) -> Optional[Executor]:
+        executor = self.executor
+        if executor is None:
+            if self.spec.jobs <= 1:
+                return None
+            executor = ParallelExecutor(
+                jobs=self.spec.jobs, batch_size=self.spec.batch_size
+            )
+        if isinstance(executor, ParallelExecutor) and executor.label is None:
+            executor.label = self.spec.name
+            self._labelled = True
+        self.executor = executor
+        return executor
+
+    def __exit__(self, *exc_info) -> None:
+        if self._labelled:
+            self.executor.label = None
+
+
+def _run_network_study(
+    spec: StudySpec, executor: Optional[Executor]
+) -> StudyResult:
+    """Per-node fleet fan-out: one scheduler per node, shared scenario."""
+    from ..network.runner import NetworkRunner, commuter_fleet_traces
+
+    assert spec.network is not None
+    traces = commuter_fleet_traces(
+        nodes=spec.network.nodes,
+        commuters=spec.network.commuters,
+        days=spec.epochs,
+        seed=spec.seed,
+    )
+    runner = NetworkRunner(
+        spec.base_scenario(),
+        traces,
+        spec.network.node_factory,
+        engine=spec.engines[0],
+    )
+    return StudyResult(spec=spec, network=runner.run(executor=executor))
+
+
+def run_study(
+    spec: StudySpec,
+    *,
+    executor: Optional[Executor] = None,
+    progress: Optional[ProgressCallback] = None,
+    factories: Optional[Mapping[str, SchedulerFactory]] = None,
+    base: Optional[Scenario] = None,
+) -> StudyResult:
+    """Execute one :class:`StudySpec` end to end.
+
+    The single orchestration path behind
+    :func:`~repro.experiments.sweep.sweep_grid` (one engine),
+    :func:`~repro.experiments.agreement.agreement_grid` (two engines),
+    and the fleet demo (a ``network`` section): the study flattens into
+    pure :class:`~repro.experiments.runner.RunSpec` shards (Φmax
+    outermost, then ζtarget, mechanism, replicate, engine innermost) on
+    the seeding contract of :mod:`repro.experiments.parallel`, streams
+    them through the executor's
+    :meth:`~repro.experiments.parallel.Executor.imap`, and reassembles
+    by shard index — byte-identical for any worker count or completion
+    order.  Replicate seeds are shared across engines, so multi-engine
+    studies are *paired*: per-cell candidate−baseline deltas (computed
+    automatically into ``result.agreements``) measure the engines, not
+    the traces.
+
+    Args:
+        spec: the study description.  Registry names are resolved before
+            any shard runs; unknown names raise
+            :class:`~repro.errors.ConfigurationError` parent-side.
+        executor: overrides the spec's execution section (e.g. a
+            pre-built pool, or a test's shuffled executor).  When None
+            the spec decides: ``jobs`` ≤ 1 runs in-process, otherwise a
+            :class:`~repro.experiments.parallel.ParallelExecutor` with
+            the spec's batch size.  Pool fallback warnings are labelled
+            with the study name either way.
+        progress: optional streaming observer
+            (:data:`~repro.experiments.sweep.ProgressCallback`), fired
+            once per completed run.
+        factories: **in-process escape hatch** — mechanism name →
+            scheduler factory overriding registry resolution, for
+            callers holding factories that are not registered (closures,
+            test doubles).  Such a study is no longer serializable as
+            pure data; prefer registering by name.
+        base: **in-process escape hatch** — a full
+            :class:`~repro.experiments.scenario.Scenario` template
+            replacing the spec-derived paper scenario (its seed/epochs
+            win over the spec's), for callers sweeping custom scenarios.
+
+    Returns:
+        A :class:`StudyResult` with one grid per engine, paired
+        agreements for every non-baseline engine, or the fleet result
+        for network studies.
+    """
+    if spec.network is not None:
+        node_factories.resolve(spec.network.node_factory)
+        resolve_engine(spec.engines[0])
+        with _StudyExecutor(spec, executor) as resolved:
+            return _run_network_study(spec, resolved)
+
+    for engine_name in spec.engines:
+        resolve_engine(engine_name)  # unknown engines fail fast, parent-side
+    if factories is not None:
+        factories = dict(factories)
+        unknown = [name for name in spec.mechanisms if name not in factories]
+        if unknown:
+            raise ConfigurationError(
+                f"spec mechanisms {unknown} missing from the factories override"
+            )
+    else:
+        for name in spec.mechanisms:
+            mechanism_factories.resolve(name)  # fail fast, parent-side
+
+    scenario_base = base if base is not None else spec.base_scenario()
+    seeds = _resolve_seeds(scenario_base.seed, spec.replicates, spec.replicate_seeds)
+    names = list(spec.mechanisms)
+    engines = spec.engines
+    targets = spec.zeta_targets
+
+    shards: List[RunSpec] = []
+    for phi_max in spec.phi_maxes:
+        budget_base = scenario_base.with_budget(phi_max)
+        for target in targets:
+            cell_base = budget_base.with_target(target)
+            for name in names:
+                for index, seed in enumerate(seeds):
+                    seeded = cell_base.with_seed(seed)
+                    for engine_name in engines:
+                        shards.append(
+                            RunSpec(
+                                scenario=seeded,
+                                mechanism=name,
+                                replicate=index,
+                                factory=(
+                                    factories[name] if factories is not None else None
+                                ),
+                                engine=engine_name,
+                            )
+                        )
+
+    with _StudyExecutor(spec, executor) as resolved:
+        results = _stream_results(resolved, shards, progress)
+
+    # One GridResult per engine: the shard list interleaves engines
+    # innermost, so engine e's runs are results[e::n_engines] in exactly
+    # the historical sweep_grid flattening (Φmax, ζtarget, mechanism,
+    # replicate).  Closed-form predictions depend only on the budget, so
+    # they are computed once per Φmax and shared across engines.
+    n_engines = len(engines)
+    block = len(targets) * len(names) * len(seeds)
+    predictions_by_budget: Dict[float, Mapping[str, list]] = {}
+    grids: Dict[str, GridResult] = {}
+    for engine_index, engine_name in enumerate(engines):
+        engine_results = results[engine_index::n_engines]
+        budgets: Dict[float, SweepResult] = {}
+        for budget_index, phi_max in enumerate(spec.phi_maxes):
+            if spec.with_predictions:
+                if phi_max not in predictions_by_budget:
+                    predictions_by_budget[phi_max] = _predictions_for(
+                        scenario_base.with_budget(phi_max), names, targets
+                    )
+                predictions = predictions_by_budget[phi_max]
+            else:
+                predictions = {}
+            block_results = engine_results[
+                budget_index * block : (budget_index + 1) * block
+            ]
+            budgets[phi_max] = _assemble_sweep(
+                names, targets, len(seeds), block_results, predictions
+            )
+        grids[engine_name] = GridResult(
+            budgets=budgets,
+            phi_maxes=spec.phi_maxes,
+            zeta_targets=targets,
+            engine=engine_name,
+        )
+
+    # Two or more engines: deltas become paired automatically.  Engine
+    # runs of one replicate share that replicate's seed (the shards were
+    # built from one `seeded` scenario), so every candidate−baseline
+    # comparison is paired on an identical contact process.
+    agreements: Dict[str, AgreementResult] = {}
+    if n_engines >= 2:
+        baseline_name = engines[0]
+        for candidate_offset, candidate_name in enumerate(engines[1:], start=1):
+            points: List[AgreementPoint] = []
+            cursor = 0
+            for phi_max in spec.phi_maxes:
+                for target in targets:
+                    for name in names:
+                        baseline_runs = []
+                        candidate_runs = []
+                        for _ in seeds:
+                            baseline_runs.append(results[cursor])
+                            candidate_runs.append(results[cursor + candidate_offset])
+                            cursor += n_engines
+                        points.append(
+                            AgreementPoint(
+                                mechanism=name,
+                                zeta_target=target,
+                                phi_max=phi_max,
+                                baseline=baseline_runs,
+                                candidate=candidate_runs,
+                            )
+                        )
+            agreements[candidate_name] = AgreementResult(
+                points=points,
+                engines=(baseline_name, candidate_name),
+                phi_maxes=spec.phi_maxes,
+                zeta_targets=targets,
+                mechanisms=tuple(names),
+            )
+
+    return StudyResult(spec=spec, grids=grids, agreements=agreements)

@@ -5,7 +5,9 @@ module runs that grid on the fast simulator and pairs each simulated
 point with its closed-form prediction so benches can print both (the
 paper presents them as separate analysis and simulation figures).
 
-Two entry points share one sharded code path:
+Two entry points share one sharded code path (both are thin
+compatibility wrappers over :func:`repro.experiments.spec.run_study`,
+the declarative study executor):
 
 * :func:`sweep_zeta_targets` — one Φmax budget, the historical API
   (Figs. 5/7 or 6/8 individually);
@@ -247,22 +249,25 @@ class GridResult:
                     rows.append(row)
         return rows
 
-    def to_json(self, *, indent: int = 2) -> str:
-        """The grid as a strict-JSON document (benches stop hand-rolling).
+    def to_dict(self) -> Dict[str, object]:
+        """The grid as a JSON-clean document (plain lists/dicts/None).
 
         Top level: ``engine``, ``phi_maxes``, ``zeta_targets``,
         ``n_replicates``, and ``cells`` (the :meth:`cell_rows` records).
+        Shared by :meth:`to_json` and
+        :meth:`repro.experiments.spec.StudyResult.to_dict`.
         """
-        return json.dumps(
-            {
-                "engine": self.engine,
-                "phi_maxes": list(self.phi_maxes),
-                "zeta_targets": list(self.zeta_targets),
-                "n_replicates": self.n_replicates,
-                "cells": self.cell_rows(),
-            },
-            indent=indent,
-        )
+        return {
+            "engine": self.engine,
+            "phi_maxes": list(self.phi_maxes),
+            "zeta_targets": list(self.zeta_targets),
+            "n_replicates": self.n_replicates,
+            "cells": self.cell_rows(),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The grid as a strict-JSON document (benches stop hand-rolling)."""
+        return json.dumps(self.to_dict(), indent=indent)
 
     def to_csv(self) -> str:
         """The grid as CSV text, one row per cell.
@@ -434,53 +439,34 @@ def sweep_grid(
         A :class:`GridResult` holding one :class:`SweepResult` per
         budget, in *phi_maxes* order.
     """
+    # Thin builder over the declarative study layer: describe the grid
+    # as a StudySpec (every axis is data; custom factories ride as the
+    # documented in-process escape hatch) and run it through the single
+    # orchestration path.  `base` overrides the spec-derived scenario so
+    # arbitrary Scenario templates keep working byte-identically.
+    from .spec import StudySpec, run_study
+
     resolve_engine(engine)  # unknown engines fail fast, parent-side
-    phi_values = [float(phi_max) for phi_max in phi_maxes]
-    if not phi_values:
-        raise ConfigurationError("phi_maxes must be non-empty")
-    if len(set(phi_values)) != len(phi_values):
-        raise ConfigurationError(f"phi_maxes must be distinct, got {phi_values}")
     factories = dict(factories) if factories is not None else None
-    names = list(factories) if factories is not None else list(default_factories())
-    seeds = _resolve_seeds(base.seed, n_replicates, replicate_seeds)
-
-    specs: List[RunSpec] = []
-    for phi_max in phi_values:
-        budget_base = base.with_budget(phi_max)
-        for target in zeta_targets:
-            for name in names:
-                for index, seed in enumerate(seeds):
-                    specs.append(
-                        RunSpec(
-                            scenario=budget_base.with_target(target).with_seed(seed),
-                            mechanism=name,
-                            replicate=index,
-                            factory=factories[name] if factories is not None else None,
-                            engine=engine,
-                        )
-                    )
-
-    results = _stream_results(executor, specs, progress)
-
-    budgets: Dict[float, SweepResult] = {}
-    block = len(zeta_targets) * len(names) * len(seeds)
-    for budget_index, phi_max in enumerate(phi_values):
-        budget_base = base.with_budget(phi_max)
-        predictions = (
-            _predictions_for(budget_base, names, zeta_targets)
-            if with_predictions
-            else {}
-        )
-        block_results = results[budget_index * block : (budget_index + 1) * block]
-        budgets[phi_max] = _assemble_sweep(
-            names, zeta_targets, len(seeds), block_results, predictions
-        )
-    return GridResult(
-        budgets=budgets,
-        phi_maxes=tuple(phi_values),
+    names = tuple(factories) if factories is not None else tuple(default_factories())
+    spec = StudySpec(
+        name="sweep-grid",
         zeta_targets=tuple(zeta_targets),
-        engine=engine,
+        phi_maxes=tuple(phi_maxes),
+        epochs=base.epochs,
+        seed=base.seed,
+        mechanisms=names,
+        engines=(engine,),
+        replicates=n_replicates,
+        replicate_seeds=(
+            tuple(replicate_seeds) if replicate_seeds is not None else None
+        ),
+        with_predictions=with_predictions,
     )
+    study = run_study(
+        spec, base=base, executor=executor, progress=progress, factories=factories
+    )
+    return study.grid(engine)
 
 
 def sweep_zeta_targets(

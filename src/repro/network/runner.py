@@ -9,8 +9,9 @@ different places and their contacts ... may follow different patterns".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Union
+from typing import Callable, Dict, Mapping, Optional, Union
 
 from ..core.schedulers.base import Scheduler
 from ..errors import ConfigurationError
@@ -22,6 +23,41 @@ from ..experiments.scenario import Scenario
 from ..mobility.contact import ContactTrace
 
 SchedulerFactory = Callable[[Scenario, str], Scheduler]
+
+
+def commuter_fleet_traces(
+    *,
+    nodes: int,
+    commuters: int,
+    days: int,
+    seed: int,
+    node_spacing: float = 2000.0,
+    workdays_per_week: int = 7,
+) -> Dict[str, ContactTrace]:
+    """Per-node contact traces from a synthetic commuter population.
+
+    The emergent-rush-hour demo scenario behind the ``network`` CLI
+    subcommand and network :class:`~repro.experiments.spec.StudySpec`
+    sections: *nodes* roadside sensors are evenly spaced along a road
+    sized to *node_spacing* metres per gap, *commuters* agents make
+    their daily trips for *days* days, and each node's contacts are
+    extracted from the trips that pass it.  Pure function of its
+    arguments (the population is seeded), so a study that names these
+    numbers reproduces the same fleet anywhere.
+    """
+    from ..units import DAY
+    from .agents import CommutePattern, Population
+    from .contacts import ContactExtractor
+    from .deployment import RoadDeployment
+
+    road = node_spacing * (nodes + 1)
+    deployment = RoadDeployment.evenly_spaced(nodes, road)
+    population = Population(
+        commuters, road, seed=seed,
+        pattern=CommutePattern(workdays_per_week=workdays_per_week),
+    )
+    trips = population.trips(days=days, epoch_length=DAY)
+    return ContactExtractor(deployment).extract(trips).contacts_by_node
 
 
 def _run_node(item: tuple) -> RunResult:
@@ -109,6 +145,36 @@ class NetworkResult:
         if not self.outcomes:
             return None
         return min(self.outcomes.values(), key=lambda o: o.delivery_ratio)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The fleet result as a JSON-clean document.
+
+        One record per node (sorted by id) plus the fleet aggregates;
+        non-finite values (an all-miss fleet's ρ) serialize as None so
+        the document stays strict JSON.  Consumed by
+        :meth:`repro.experiments.spec.StudyResult.to_dict`.
+        """
+        def clean(value: float) -> Optional[float]:
+            return float(value) if math.isfinite(value) else None
+
+        return {
+            "nodes": {
+                node_id: {
+                    "contacts": len(outcome.result.trace),
+                    "zeta": clean(outcome.zeta),
+                    "phi": clean(outcome.phi),
+                    "rho": clean(outcome.rho),
+                    "delivery_ratio": clean(outcome.delivery_ratio),
+                }
+                for node_id, outcome in sorted(self.outcomes.items())
+            },
+            "fleet": {
+                "zeta": clean(self.fleet_zeta),
+                "phi": clean(self.fleet_phi),
+                "rho": clean(self.fleet_rho),
+                "mean_delivery_ratio": clean(self.mean_delivery_ratio),
+            },
+        }
 
 
 class NetworkRunner:
