@@ -1,0 +1,123 @@
+"""Transport benchmark: serial vs pool vs file-queue on the paper grid.
+
+Runs the Fig. 7/8 study (the same `StudySpec` as
+``examples/paper_study.json``) once per registered built-in transport,
+asserts the results are byte-identical — the whole point of the
+transport contract — and emits ``BENCH_transport.json`` with the
+wall-clock per transport plus the speedup over serial.  This seeds the
+benchmark trajectory for the execution layer: future transports (or
+regressions in the existing ones) land on the same measurement.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/transport_bench.py            # full grid
+    PYTHONPATH=src python benchmarks/transport_bench.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/transport_bench.py --jobs 8 --out BENCH.json
+
+The file-queue run spawns ``--jobs`` local worker subprocesses against
+a private temporary queue, so its timing includes worker startup and
+ticket/result (un)pickling — the honest cost of the multi-host path on
+one host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from grid_common import PAPER_DIVISORS, PAPER_EPOCHS, SEEDS, paper_grid_spec  # noqa: E402
+
+from repro.experiments.parallel import available_cpus  # noqa: E402
+from repro.experiments.spec import run_study  # noqa: E402
+from repro.experiments.transport import resolve_transport  # noqa: E402
+
+
+def bench_transports(spec, jobs):
+    """Time one run of *spec* per transport; assert identical results."""
+    timings = {}
+    reference_rows = None
+    for name in ("serial", "pool", "file-queue"):
+        executor = resolve_transport(name, jobs=jobs, batch_size="auto")
+        start = time.perf_counter()
+        study = run_study(spec, executor=executor)
+        timings[name] = time.perf_counter() - start
+        rows = study.grid().cell_rows()
+        if reference_rows is None:
+            reference_rows = rows
+        else:
+            assert rows == reference_rows, (
+                f"transport {name!r} changed the assembled grid"
+            )
+        distributed = getattr(executor, "last_map_parallel", None)
+        print(
+            f"{name:>10}: {timings[name]:7.2f}s"
+            + ("" if distributed is None else f"  (distributed: {distributed})")
+        )
+    return timings
+
+
+def main(argv=None) -> int:
+    """Run the bench and write the BENCH_transport.json artifact."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="workers per distributed transport (default: 4)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized grid (2 targets, 2 epochs, 2 seeds) instead of "
+             "the full Fig. 7/8 grid",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_transport.json",
+        help="artifact path (default: BENCH_transport.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        spec = paper_grid_spec(
+            PAPER_DIVISORS, epochs=2, replicate_seeds=(1, 2), jobs=args.jobs
+        ).with_overrides({"scenario.zeta_targets": [16.0, 24.0]})
+    else:
+        spec = paper_grid_spec(
+            PAPER_DIVISORS, epochs=PAPER_EPOCHS, replicate_seeds=SEEDS,
+            jobs=args.jobs,
+        )
+    print(
+        f"transport bench: {spec.total_runs} runs, jobs={args.jobs}, "
+        f"cpus={available_cpus()}"
+    )
+    timings = bench_transports(spec, args.jobs)
+    serial = timings["serial"]
+    artifact = {
+        "study": spec.name,
+        "total_runs": spec.total_runs,
+        "epochs": spec.epochs,
+        "jobs": args.jobs,
+        "available_cpus": available_cpus(),
+        "quick": args.quick,
+        "seconds": {name: round(value, 4) for name, value in timings.items()},
+        "speedup_vs_serial": {
+            name: round(serial / value, 3) if value > 0 else None
+            for name, value in timings.items()
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    for name in ("pool", "file-queue"):
+        print(
+            f"{name} speedup over serial: "
+            f"{artifact['speedup_vs_serial'][name]}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

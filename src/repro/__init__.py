@@ -53,6 +53,7 @@ from .experiments import (
     Engine,
     FastEngine,
     FastRunner,
+    FileQueueTransport,
     GridResult,
     MicroEngine,
     MicroRunner,
@@ -70,15 +71,18 @@ from .experiments import (
     StudyDocument,
     StudyResult,
     StudySpec,
+    Transport,
     agreement_grid,
     engine_factories,
     mechanism_factories,
     node_factories,
     paper_roadside_scenario,
     resolve_engine,
+    resolve_transport,
     run_study,
     sweep_grid,
     sweep_zeta_targets,
+    transport_factories,
 )
 from .mobility import (
     Contact,
@@ -135,6 +139,7 @@ __all__ = [
     "Engine",
     "FastEngine",
     "FastRunner",
+    "FileQueueTransport",
     "GridResult",
     "MicroEngine",
     "MicroRunner",
@@ -152,15 +157,18 @@ __all__ = [
     "StudyDocument",
     "StudyResult",
     "StudySpec",
+    "Transport",
     "agreement_grid",
     "engine_factories",
     "mechanism_factories",
     "node_factories",
     "paper_roadside_scenario",
     "resolve_engine",
+    "resolve_transport",
     "run_study",
     "sweep_grid",
     "sweep_zeta_targets",
+    "transport_factories",
     # mobility
     "Contact",
     "ContactTrace",

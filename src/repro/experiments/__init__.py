@@ -20,8 +20,14 @@
 * :mod:`~repro.experiments.parallel` — deterministic process-pool
   orchestration of grid shards, blocking or streaming, with optional
   shard batching;
-* :mod:`~repro.experiments.registry` — named scheduler factories and
-  engines that resolve across process boundaries;
+* :mod:`~repro.experiments.transport` — the pluggable
+  :class:`~repro.experiments.transport.Transport` protocol and named
+  execution backends (``"serial"``, ``"pool"``, ``"file-queue"``),
+  including the directory-backed multi-host work queue;
+* :mod:`~repro.experiments.worker` — the ``python -m repro worker``
+  loop that serves file-queue tickets from any host;
+* :mod:`~repro.experiments.registry` — named scheduler factories,
+  engines, and transports that resolve across process boundaries;
 * :mod:`~repro.experiments.reporting` — plain-text tables, series, CSV.
 """
 
@@ -33,6 +39,7 @@ from .registry import (
     engine_factories,
     mechanism_factories,
     node_factories,
+    transport_factories,
 )
 from .engine import Engine, PAPER_ENGINES, engine_names, resolve_engine
 from .runner import (
@@ -60,6 +67,16 @@ from .parallel import (
     StreamingExecutor,
     cell_seed,
     replicate_seed,
+)
+from .transport import (
+    BUILTIN_TRANSPORTS,
+    FileQueueTransport,
+    PoolTransport,
+    SerialTransport,
+    Transport,
+    resolve_transport,
+    transport_names,
+    validate_transport,
 )
 from .sweep import GridResult, SweepResult, sweep_grid, sweep_zeta_targets
 from .spec import (
@@ -105,6 +122,15 @@ __all__ = [
     "SerialExecutor",
     "ShardError",
     "StreamingExecutor",
+    "BUILTIN_TRANSPORTS",
+    "FileQueueTransport",
+    "PoolTransport",
+    "SerialTransport",
+    "Transport",
+    "resolve_transport",
+    "transport_factories",
+    "transport_names",
+    "validate_transport",
     "cell_seed",
     "replicate_seed",
     "sweep_zeta_targets",

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .parallel import Executor
@@ -309,6 +309,9 @@ def agreement_grid(
     replicate_seeds: Optional[Sequence[int]] = None,
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
+    transport: Optional[str] = None,
+    transport_options: Optional[Mapping[str, object]] = None,
+    jobs: int = 1,
 ) -> AgreementResult:
     """Run a replicated paired two-engine grid through the executor.
 
@@ -338,9 +341,16 @@ def agreement_grid(
             the delta CIs finite).
         replicate_seeds: explicit per-replicate seeds overriding the
             derivation.
-        executor: shard mapper; default serial in-process.
+        executor: shard mapper; default serial in-process.  An explicit
+            executor wins over *transport*.
         progress: optional streaming observer (specs carry ``.engine``,
             so a CLI can label each completed cell).
+        transport: execution backend by transport-registry name
+            (``"serial"``, ``"pool"``, ``"file-queue"``, ...), resolved
+            with *jobs* and *transport_options* exactly like a study
+            file's execution section.
+        transport_options: strict per-transport options dict.
+        jobs: worker processes when resolving by name.
 
     Returns:
         An :class:`AgreementResult` with per-cell paired delta CIs.
@@ -368,6 +378,9 @@ def agreement_grid(
         replicate_seeds=(
             tuple(replicate_seeds) if replicate_seeds is not None else None
         ),
+        jobs=jobs,
+        transport=transport,
+        transport_options=dict(transport_options or {}),
         with_predictions=False,
     )
     study = run_study(spec, base=base, executor=executor, progress=progress)

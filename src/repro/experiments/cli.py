@@ -6,6 +6,8 @@ Examples::
     repro-snip simulate --budget-divisor 100 --epochs 14 --seed 3
     repro-snip run --spec examples/paper_study.json --jobs 4 --out grid.json
     repro-snip run --spec study.json --set scenario.epochs=2 --set axes.engines=fast,micro
+    repro-snip run --spec study.json --transport file-queue
+    repro-snip worker --queue /shared/queue   # serve file-queue tickets
     repro-snip grid --budget-divisors 1000 100 --jobs 4 --replicates 3
     repro-snip agree --jobs 4 --replicates 3 --epochs 1 --gate 6.0
     repro-snip network --jobs 2 --factory SNIP-RH --engine fast
@@ -21,11 +23,14 @@ build the equivalent spec from their flags and hand it to
 :func:`~repro.experiments.spec.run_study` (pass ``--emit-spec PATH`` to
 write that spec out instead of running it, turning any legacy
 invocation into a shareable study file).  All of them accept ``--jobs
-N`` to shard over a process pool — they report whether the pool path
-was actually taken (a serial fallback also emits a
+N`` to shard over a process pool and ``--transport NAME`` to pick any
+registered execution backend (``serial``, ``pool``, ``file-queue``;
+:mod:`repro.experiments.transport`) — they report whether the
+distributed path was actually taken (a serial fallback also emits a
 :class:`~repro.experiments.parallel.ParallelFallbackWarning` to
 stderr naming the study) — and ``--out PATH`` to write the result as
-``.json`` or ``.csv``.  ``agree``/``run`` accept ``--gate TOL``, the
+``.json`` or ``.csv``.  ``worker`` serves a file-queue directory from
+this or any other host.  ``agree``/``run`` accept ``--gate TOL``, the
 CI agreement gate: exit non-zero when any paired per-cell delta CI
 excludes zero beyond the tolerance.
 """
@@ -42,7 +47,6 @@ from ..errors import ReproError
 from ..units import DAY
 from .agreement import AGREEMENT_METRICS, AgreementResult
 from .engine import PAPER_ENGINES
-from .parallel import ParallelExecutor
 from .registry import node_factories
 from .reporting import format_series, format_table, write_artifact
 from .scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
@@ -50,17 +54,15 @@ from .spec import NetworkSection, StudySpec, run_study
 from .sweep import sweep_zeta_targets
 
 
-def _executor_from_jobs(jobs: int):
-    """None for in-process execution, a ParallelExecutor above 1 job.
+def _study_transport(spec: StudySpec):
+    """The executor a spec's execution section names (None = in-process).
 
-    The pool batches shards adaptively (``batch_size="auto"``): CLI
-    grids are often many tiny cells, where per-task pickling would
-    otherwise dominate.  Batching never changes results — reassembly
-    stays by shard index.
+    Thin alias over :meth:`~repro.experiments.spec.StudySpec.build_transport`
+    (the single derivation `run_study` itself uses); the CLI only needs
+    the instance back for :func:`_report_pool`, and None — the plain
+    serial derivation — is its signal to stay quiet.
     """
-    if jobs <= 1:
-        return None
-    return ParallelExecutor(jobs=jobs, batch_size="auto")
+    return spec.build_transport()
 
 
 def _positive_int(text: str) -> int:
@@ -123,11 +125,35 @@ def _cell_progress(*, show_engine: bool):
     return report_cell
 
 
+def _node_progress():
+    """A streaming per-node progress printer for network studies."""
+
+    def report_node(node_id, result, completed, total) -> None:
+        width = len(str(total))
+        print(
+            f"[{completed:>{width}}/{total}] node {node_id}: "
+            f"zeta={result.mean_zeta:.2f} Phi={result.mean_phi:.2f}",
+            flush=True,
+        )
+
+    return report_node
+
+
 def _report_pool(label: str, jobs: int, executor) -> None:
-    """The pool diagnostic line (asserted by the CI smokes)."""
+    """The transport diagnostic line (asserted by the CI smokes).
+
+    ``pool used`` means the distributed path was actually taken — for
+    the pool transport that the shards ran on worker processes, for the
+    file queue that at least one ticket was completed by another
+    process (a spawned or external worker).
+    """
     if executor is not None:
-        used = "yes" if executor.last_map_parallel else "no"
-        print(f"{label} fan-out: {jobs} jobs, pool used: {used}")
+        used = "yes" if getattr(executor, "last_map_parallel", False) else "no"
+        name = getattr(executor, "transport_name", type(executor).__name__)
+        print(
+            f"{label} fan-out: {jobs} jobs via {name!r} transport, "
+            f"pool used: {used}"
+        )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -197,6 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="shorthand for --set execution.jobs=N",
     )
     run.add_argument(
+        "--transport", default=None, metavar="NAME",
+        help="shorthand for --set execution.transport=NAME "
+             "(serial, pool, file-queue, or any registered transport)",
+    )
+    run.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the StudyResult document (shorthand for "
              "--set outputs.out=PATH; .json or .csv by extension)",
@@ -206,9 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="agreement gate: exit 1 if any paired delta CI excludes "
              "zero beyond TOL (requires a study with >= 2 engines)",
     )
-    run.add_argument(
+    run_progress = run.add_mutually_exclusive_group()
+    run_progress.add_argument(
         "--no-progress", action="store_true",
         help="suppress the streaming per-cell progress lines",
+    )
+    run_progress.add_argument(
+        "--progress", action="store_true",
+        help="force streaming progress lines even for study kinds that "
+             "default to quiet (per-node lines for network studies); "
+             "streams through imap on any transport",
     )
     run.add_argument(
         "--emit-spec", default=None, metavar="PATH",
@@ -246,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument(
         "--engine", default="fast",
         help="engine-registry name every cell runs on (default: fast)",
+    )
+    grid.add_argument(
+        "--transport", default=None, metavar="NAME",
+        help="transport-registry name the grid executes on "
+             "(default: pool when --jobs > 1, else serial)",
     )
     grid.add_argument(
         "--no-progress", action="store_true",
@@ -296,6 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--engines", nargs=2, default=list(PAPER_ENGINES),
         metavar=("BASELINE", "CANDIDATE"),
         help="engine-registry names to compare (default: fast micro)",
+    )
+    agree.add_argument(
+        "--transport", default=None, metavar="NAME",
+        help="transport-registry name the grid executes on "
+             "(default: pool when --jobs > 1, else serial)",
     )
     agree.add_argument(
         "--gate", type=float, default=None, metavar="TOL",
@@ -349,8 +397,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="registry-named per-node simulation engine",
     )
     network.add_argument(
+        "--transport", default=None, metavar="NAME",
+        help="transport-registry name the fleet fans out on "
+             "(default: pool when --jobs > 1, else serial)",
+    )
+    network.add_argument(
         "--emit-spec", default=None, metavar="PATH",
         help="write the equivalent StudySpec to PATH and exit",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="file-queue worker: claim and execute shard tickets from a "
+             "queue directory (the serve side of transport=file-queue)",
+    )
+    worker.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="the shared queue directory (created if missing)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECS",
+        help="seconds between queue scans when idle (default: 0.2)",
+    )
+    worker.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECS",
+        help="exit after this many consecutive idle seconds "
+             "(default: serve until stopped)",
+    )
+    worker.add_argument(
+        "--once", action="store_true",
+        help="drain the queue once and exit instead of serving forever",
     )
     return parser
 
@@ -390,7 +466,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         scenario,
         args.targets,
         n_replicates=args.replicates,
-        executor=_executor_from_jobs(args.jobs),
+        jobs=args.jobs,
     )
     _print_budget_tables(args.targets, args.epochs, args.budget_divisor, sweep)
     return 0
@@ -523,6 +599,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     overrides = dict(args.overrides)
     if args.jobs is not None:
         overrides["execution.jobs"] = args.jobs
+    if args.transport is not None:
+        overrides["execution.transport"] = args.transport
     if args.out is not None:
         overrides["outputs.out"] = args.out
     if overrides:
@@ -530,22 +608,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.emit_spec:
         return _emit_spec(spec, args.emit_spec)
 
-    # Unlike the legacy subcommands (which always batch adaptively),
-    # `run` honours the spec's whole execution section, batch_size
-    # included.
-    executor = (
-        ParallelExecutor(jobs=spec.jobs, batch_size=spec.batch_size)
-        if spec.jobs > 1
-        else None
-    )
-    show_progress = not args.no_progress and not spec.is_network
-    progress = (
-        _cell_progress(show_engine=len(spec.engines) > 1)
-        if show_progress
-        else None
-    )
+    # `run` honours the spec's whole execution section: the transport
+    # name (explicit or derived from jobs), batch size, and options all
+    # resolve through the registry.
+    executor = _study_transport(spec)
+    if spec.is_network:
+        # Fleets default to quiet; --progress opts into per-node lines.
+        show_progress = args.progress
+        progress = _node_progress() if show_progress else None
+    else:
+        show_progress = not args.no_progress
+        progress = (
+            _cell_progress(show_engine=len(spec.engines) > 1)
+            if show_progress
+            else None
+        )
     print(f"study {spec.name!r}: {spec.total_runs} runs, "
-          f"{spec.jobs} job(s)")
+          f"{spec.jobs} job(s), transport {spec.resolved_transport!r}")
     study = run_study(spec, executor=executor, progress=progress)
     if show_progress:
         print()
@@ -591,11 +670,12 @@ def cmd_grid(args: argparse.Namespace) -> int:
         engines=(args.engine,),
         replicates=args.replicates,
         jobs=args.jobs,
+        transport=args.transport,
         out=args.out,
     )
     if args.emit_spec:
         return _emit_spec(spec, args.emit_spec)
-    executor = _executor_from_jobs(args.jobs)
+    executor = _study_transport(spec)
     progress = None if args.no_progress else _cell_progress(show_engine=False)
     study = run_study(spec, executor=executor, progress=progress)
     grid = study.grid()
@@ -628,12 +708,13 @@ def cmd_agree(args: argparse.Namespace) -> int:
         engines=tuple(args.engines),
         replicates=args.replicates,
         jobs=args.jobs,
+        transport=args.transport,
         out=args.out,
         with_predictions=False,
     )
     if args.emit_spec:
         return _emit_spec(spec, args.emit_spec)
-    executor = _executor_from_jobs(args.jobs)
+    executor = _study_transport(spec)
     progress = None if args.no_progress else _cell_progress(show_engine=True)
     study = run_study(spec, executor=executor, progress=progress)
     agreement = study.agreements[spec.engines[1]]
@@ -710,6 +791,7 @@ def cmd_network(args: argparse.Namespace) -> int:
         seed=args.seed,
         engines=(args.engine,),
         jobs=args.jobs,
+        transport=args.transport,
         network=NetworkSection(
             nodes=args.nodes,
             commuters=args.commuters,
@@ -718,10 +800,30 @@ def cmd_network(args: argparse.Namespace) -> int:
     )
     if args.emit_spec:
         return _emit_spec(spec, args.emit_spec)
-    executor = _executor_from_jobs(args.jobs)
+    executor = _study_transport(spec)
     study = run_study(spec, executor=executor)
     _print_network_tables(spec, study.network)
     _report_pool("per-node", args.jobs, executor)
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Serve a file-queue directory: the worker half of the transport.
+
+    Claims shard tickets (atomic rename), executes them with pool-worker
+    semantics — mechanisms/engines re-resolve by registry name on this
+    side — and publishes outcome pickles for the coordinator.  Exits on
+    ``--once``, ``--max-idle``, or a ``stop`` file in the queue.
+    """
+    from .worker import worker_loop
+
+    processed = worker_loop(
+        args.queue,
+        poll_interval=args.poll,
+        max_idle=args.max_idle,
+        once=args.once,
+    )
+    print(f"worker processed {processed} ticket(s)")
     return 0
 
 
@@ -737,6 +839,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "gain": cmd_gain,
         "lifetime": cmd_lifetime,
         "network": cmd_network,
+        "worker": cmd_worker,
     }
     try:
         return handlers[args.command](args)

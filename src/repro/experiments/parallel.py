@@ -74,6 +74,13 @@ Scheduler factories that are closures cannot cross a process boundary;
 register them by name in :mod:`repro.experiments.registry` and pass the
 name (or a :class:`~repro.experiments.registry.NamedFactory`) instead —
 workers re-resolve the name on their side of the boundary.
+
+Both executors are also registered **transports**
+(:mod:`repro.experiments.transport`): ``"serial"`` and ``"pool"`` in
+:data:`repro.experiments.registry.transport_factories`, next to the
+directory-backed ``"file-queue"`` backend — so a
+:class:`~repro.experiments.spec.StudySpec` selects its execution
+backend by name exactly like it selects mechanisms and engines.
 """
 
 from __future__ import annotations
@@ -148,6 +155,26 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def _validate_batch_size(batch_size: int | str) -> None:
+    """Reject anything that is not an int >= 1 or the string ``"auto"``.
+
+    Shared by every transport that batches shards
+    (:class:`ParallelExecutor` here, ``FileQueueTransport`` in
+    :mod:`repro.experiments.transport`), so the accepted ``batch_size``
+    vocabulary cannot drift between backends.
+    """
+    if isinstance(batch_size, str):
+        if batch_size != "auto":
+            raise ConfigurationError(
+                f'batch_size must be an int >= 1 or "auto", '
+                f"got {batch_size!r}"
+            )
+    elif not isinstance(batch_size, int) or batch_size < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+
+
 def replicate_seed(base_seed: int, replicate: int) -> int:
     """The scenario seed for replicate *replicate* of a replicated run.
 
@@ -215,6 +242,10 @@ class SerialExecutor:
 
     jobs = 1
 
+    #: The transport-registry name this executor answers to
+    #: (:mod:`repro.experiments.transport`).
+    transport_name = "serial"
+
     def map(
         self, fn: Callable[[SpecT], ResultT], items: Sequence[SpecT]
     ) -> List[ResultT]:
@@ -264,6 +295,27 @@ def _guarded_batch(
     return outcomes
 
 
+def _rehydrate(failure: _ShardOutcome) -> BaseException:
+    """The shard's exception, annotated with its capture-site traceback.
+
+    Module-level (not a :class:`ParallelExecutor` detail) because every
+    transport that ships :class:`_ShardOutcome` records across a
+    process boundary — the pool here, the file queue in
+    :mod:`repro.experiments.transport` — re-raises failures through the
+    same path, keeping worker-side error semantics identical across
+    backends.
+    """
+    error = failure.error
+    assert error is not None
+    if failure.traceback_text:
+        note = "shard traceback (at the raise site):\n" + failure.traceback_text
+        if hasattr(error, "add_note"):
+            error.add_note(note)
+        elif error.__cause__ is None:  # Python 3.10: chain instead
+            error.__cause__ = ShardError(note)
+    return error
+
+
 def _guarded_shard(fn: Callable, item: Any) -> _ShardOutcome:
     """Run one shard in a worker, capturing any exception it raises.
 
@@ -311,6 +363,10 @@ class ParallelExecutor:
     #: to keep the pool load-balanced when shard durations vary.
     AUTO_BATCHES_PER_WORKER = 4
 
+    #: The transport-registry name this executor answers to
+    #: (:mod:`repro.experiments.transport`).
+    transport_name = "pool"
+
     def __init__(
         self,
         jobs: int | None = None,
@@ -340,16 +396,7 @@ class ParallelExecutor:
         """
         if jobs is not None and jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-        if isinstance(batch_size, str):
-            if batch_size != "auto":
-                raise ConfigurationError(
-                    f'batch_size must be an int >= 1 or "auto", '
-                    f"got {batch_size!r}"
-                )
-        elif batch_size < 1:
-            raise ConfigurationError(
-                f"batch_size must be >= 1, got {batch_size}"
-            )
+        _validate_batch_size(batch_size)
         self.batch_size = batch_size
         self.label = label
         self.jobs = jobs if jobs is not None else available_cpus()
@@ -450,7 +497,7 @@ class ParallelExecutor:
             )
             return
         if failure is not None:
-            raise self._rehydrate(failure)
+            raise _rehydrate(failure)
         self.last_map_parallel = True
 
     def _serial_imap(
@@ -470,7 +517,7 @@ class ParallelExecutor:
             chunk = indexed_items[start : start + batch]
             for index, outcome in _guarded_batch(fn, chunk):
                 if outcome.error is not None:
-                    raise self._rehydrate(outcome)
+                    raise _rehydrate(outcome)
                 yield index, outcome.value
 
     def _effective_batch_size(self, n_items: int) -> int:
@@ -484,19 +531,6 @@ class ParallelExecutor:
         if self.batch_size == "auto":
             return max(1, n_items // (self.jobs * self.AUTO_BATCHES_PER_WORKER))
         return int(self.batch_size)
-
-    @staticmethod
-    def _rehydrate(failure: _ShardOutcome) -> BaseException:
-        """The shard's exception, annotated with its capture-site traceback."""
-        error = failure.error
-        assert error is not None
-        if failure.traceback_text:
-            note = "shard traceback (at the raise site):\n" + failure.traceback_text
-            if hasattr(error, "add_note"):
-                error.add_note(note)
-            elif error.__cause__ is None:  # Python 3.10: chain instead
-                error.__cause__ = ShardError(note)
-        return error
 
     def _warn_fallback(self, cause: str) -> None:
         """Emit the (observable) degradation diagnostic."""

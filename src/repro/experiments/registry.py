@@ -10,7 +10,7 @@ of the callable.  Workers re-resolve the name against their own copy of
 the registry (populated at import time, or inherited via fork), so the
 factory itself never needs to be picklable.
 
-Three registries exist, one per factory signature:
+Four registries exist, one per factory signature:
 
 * :data:`mechanism_factories` — ``factory(scenario) -> Scheduler``, the
   sweep/grid mechanisms (:func:`repro.experiments.runner.default_factories`
@@ -21,7 +21,12 @@ Three registries exist, one per factory signature:
 * :data:`engine_factories` — ``factory() -> Engine``, the simulation
   backends behind the unified run API (``"fast"``, ``"micro"``; see
   :mod:`repro.experiments.engine`, which owns the protocol and the
-  lazy-import resolution helper).
+  lazy-import resolution helper);
+* :data:`transport_factories` — ``factory(jobs=..., batch_size=...,
+  label=..., **options) -> Transport``, the execution backends shards
+  run on (``"serial"``, ``"pool"``, ``"file-queue"``; see
+  :mod:`repro.experiments.transport`, which owns the protocol, the
+  built-in registrations, and strict option validation).
 
 Registering a custom factory::
 
@@ -153,6 +158,14 @@ node_factories = FactoryRegistry("node scheduler")
 #: :func:`repro.experiments.engine.resolve_engine`, which imports those
 #: modules lazily for workers that have not loaded them yet.
 engine_factories = FactoryRegistry("engine")
+
+#: Execution backends: ``factory(jobs=..., batch_size=..., label=...,
+#: **options) -> Transport``.  Built-ins (``"serial"``, ``"pool"``,
+#: ``"file-queue"``) register in :mod:`repro.experiments.transport`;
+#: resolve through
+#: :func:`repro.experiments.transport.resolve_transport`, which
+#: validates the per-transport options strictly before construction.
+transport_factories = FactoryRegistry("transport")
 
 #: :class:`NamedFactory` kind → registry resolved against.
 _REGISTRIES: Dict[str, FactoryRegistry] = {

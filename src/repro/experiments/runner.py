@@ -120,12 +120,14 @@ class RunSpec:
 
 
 def execute_run_spec(spec: RunSpec) -> RunResult:
-    """Run one :class:`RunSpec` to completion (the pool entry point).
+    """Run one :class:`RunSpec` to completion (the worker entry point).
 
-    Module-level (hence picklable by reference) so a process pool can
-    map it over a shard list.  Both the mechanism and the engine cross
-    the boundary as names and are re-resolved here, on the worker's
-    side; an unknown name raises
+    Module-level (hence picklable by reference) so any transport can
+    ship it across a process — or host — boundary: a pool task and a
+    file-queue ticket (:mod:`repro.experiments.transport`) both carry
+    exactly this function plus a shard list.  Both the mechanism and
+    the engine cross the boundary as names and are re-resolved here, on
+    the worker's side; an unknown name raises
     :class:`~repro.errors.ConfigurationError`, which propagates to the
     caller exactly once as a worker-side shard error (never a serial
     re-run of the workload).

@@ -65,6 +65,7 @@ from .agreement import AgreementPoint, AgreementResult
 from .engine import resolve_engine
 from .parallel import Executor, ParallelExecutor
 from .registry import PAPER_MECHANISMS, mechanism_factories, node_factories
+from .transport import resolve_transport, validate_transport
 from .runner import RunSpec, SchedulerFactory
 from .scenario import PAPER_ZETA_TARGETS, Scenario, paper_roadside_scenario
 from .sweep import (
@@ -141,7 +142,7 @@ class NetworkSection:
 _SECTION_FIELDS: Dict[str, Tuple[str, ...]] = {
     "scenario": ("zeta_targets", "phi_maxes", "epochs", "seed"),
     "axes": ("mechanisms", "engines", "replicates", "replicate_seeds"),
-    "execution": ("jobs", "batch_size"),
+    "execution": ("jobs", "batch_size", "transport", "transport_options"),
     "outputs": ("out", "with_predictions"),
 }
 
@@ -179,8 +180,13 @@ class StudySpec:
       names; two or more turn the study into a paired agreement grid
       with the first engine as baseline), ``replicates`` /
       ``replicate_seeds`` (explicit seeds override derivation);
-    * **execution** — ``jobs`` (worker processes; 1 = in-process) and
-      ``batch_size`` (shards per pool task, or ``"auto"``);
+    * **execution** — ``jobs`` (worker processes; 1 = in-process),
+      ``batch_size`` (shards per pool task, or ``"auto"``),
+      ``transport`` (a transport-registry name — ``"serial"``,
+      ``"pool"``, ``"file-queue"``, or any runtime registration; null
+      derives ``"pool"`` when ``jobs > 1``, else ``"serial"``), and
+      ``transport_options`` (a strict per-transport options dict, e.g.
+      the file queue's ``queue_dir``/``workers``);
     * **outputs** — ``out`` (default artifact path for the CLI) and
       ``with_predictions`` (pair cells with closed-form predictions);
     * **network** — optional :class:`NetworkSection` for per-node fleet
@@ -201,6 +207,8 @@ class StudySpec:
     # execution
     jobs: int = 1
     batch_size: Union[int, str] = "auto"
+    transport: Optional[str] = None
+    transport_options: Mapping[str, Any] = field(default_factory=dict)
     # outputs
     out: Optional[str] = None
     with_predictions: bool = True
@@ -290,6 +298,32 @@ class StudySpec:
                 f'batch_size must be an int >= 1 or "auto", '
                 f"got {self.batch_size!r}"
             )
+        if self.transport is not None and (
+            not isinstance(self.transport, str) or not self.transport
+        ):
+            raise ConfigurationError(
+                f"transport must be a transport-registry name or null, "
+                f"got {self.transport!r}"
+            )
+        if not isinstance(self.transport_options, Mapping):
+            raise ConfigurationError(
+                f"transport_options must be a mapping, "
+                f"got {self.transport_options!r}"
+            )
+        if not all(
+            isinstance(key, str) and key for key in self.transport_options
+        ):
+            raise ConfigurationError(
+                f"transport_options keys must be non-empty strings, "
+                f"got {sorted(map(repr, self.transport_options))}"
+            )
+        # Normalize to a sorted plain dict so to_json stays byte-stable
+        # regardless of the insertion order a caller used.
+        object.__setattr__(
+            self,
+            "transport_options",
+            {key: self.transport_options[key] for key in sorted(self.transport_options)},
+        )
         if self.out is not None and (
             not isinstance(self.out, str) or not self.out
         ):
@@ -317,6 +351,19 @@ class StudySpec:
         return self.replicates
 
     @property
+    def resolved_transport(self) -> str:
+        """The transport name this study executes on.
+
+        An explicit ``transport`` wins; otherwise the historical
+        derivation applies — ``"pool"`` when ``jobs > 1``, else
+        ``"serial"`` — so specs written before transports existed keep
+        their exact execution behaviour.
+        """
+        if self.transport is not None:
+            return self.transport
+        return "pool" if self.jobs > 1 else "serial"
+
+    @property
     def total_runs(self) -> int:
         """Simulation runs the study will execute."""
         if self.network is not None:
@@ -332,6 +379,25 @@ class StudySpec:
     def resolved_seeds(self) -> List[int]:
         """The per-replicate scenario seeds this study will use."""
         return _resolve_seeds(self.seed, self.replicates, self.replicate_seeds)
+
+    def build_transport(self) -> Optional[Executor]:
+        """The executor this spec's execution section describes.
+
+        The single derivation shared by :func:`run_study` and the CLI:
+        the plain ``"serial"`` case (no explicit options) returns None —
+        the historical in-process path — and anything else resolves the
+        transport name with the spec's jobs, batch size, and options
+        through :func:`~repro.experiments.transport.resolve_transport`.
+        """
+        name = self.resolved_transport
+        if name == "serial" and not self.transport_options:
+            return None
+        return resolve_transport(
+            name,
+            jobs=self.jobs,
+            batch_size=self.batch_size,
+            options=self.transport_options,
+        )
 
     def base_scenario(self) -> Scenario:
         """The §VII-A scenario template with this spec's overrides applied.
@@ -371,6 +437,8 @@ class StudySpec:
                     value = list(value)
                 elif field_name == "replicate_seeds" and value is not None:
                     value = list(value)
+                elif field_name == "transport_options":
+                    value = dict(value)  # already key-sorted (post-init)
                 body[field_name] = value
             document[section] = body
         document["network"] = (
@@ -463,6 +531,7 @@ class StudySpec:
             mechanism_factories.resolve(name)
         for name in self.engines:
             resolve_engine(name)
+        validate_transport(self.resolved_transport, self.transport_options)
         if self.network is not None:
             node_factories.resolve(self.network.node_factory)
 
@@ -700,15 +769,21 @@ class StudyDocument:
 # execution
 # ----------------------------------------------------------------------
 class _StudyExecutor:
-    """Context manager resolving the executor a study runs on.
+    """Context manager resolving the transport a study runs on.
 
     An explicit *executor* wins; otherwise the spec's execution section
-    decides (jobs=1 → in-process, else a pool with the spec's batch
-    size).  Either way a :class:`ParallelExecutor` without a label is
-    tagged with the study name for the duration of the run, so any
+    is resolved **by name** through
+    :func:`repro.experiments.transport.resolve_transport` — the plain
+    ``"serial"`` derivation keeps the historical in-process path (no
+    object constructed at all), anything else builds the named backend
+    from the spec's jobs/batch size/options.  Either way a transport
+    carrying an unset ``label`` is tagged with the study name for the
+    duration of the run, so any
     :class:`~repro.experiments.parallel.ParallelFallbackWarning` it
-    emits names the study that degraded — and a caller-provided pool
-    gets its (unset) label restored afterwards, so reusing one executor
+    emits names the study that degraded.  Only an *unset* label is ever
+    overwritten (an explicit label always wins), and the overwrite is
+    undone on exit via the with-statement's try/finally — including
+    when ``run_study`` raises mid-flight — so reusing one executor
     across studies never misattributes a later study's warnings.
     """
 
@@ -720,12 +795,10 @@ class _StudyExecutor:
     def __enter__(self) -> Optional[Executor]:
         executor = self.executor
         if executor is None:
-            if self.spec.jobs <= 1:
-                return None
-            executor = ParallelExecutor(
-                jobs=self.spec.jobs, batch_size=self.spec.batch_size
-            )
-        if isinstance(executor, ParallelExecutor) and executor.label is None:
+            executor = self.spec.build_transport()
+            if executor is None:
+                return None  # the historical in-process path
+        if getattr(executor, "label", False) is None:
             executor.label = self.spec.name
             self._labelled = True
         self.executor = executor
@@ -733,13 +806,26 @@ class _StudyExecutor:
 
     def __exit__(self, *exc_info) -> None:
         if self._labelled:
-            self.executor.label = None
+            try:
+                # Back to unset — the only prior state this branch sees.
+                self.executor.label = None
+            finally:
+                self._labelled = False
 
 
 def _run_network_study(
-    spec: StudySpec, executor: Optional[Executor]
+    spec: StudySpec,
+    executor: Optional[Executor],
+    progress: Optional[Any] = None,
 ) -> StudyResult:
-    """Per-node fleet fan-out: one scheduler per node, shared scenario."""
+    """Per-node fleet fan-out: one scheduler per node, shared scenario.
+
+    *progress* (when given) is a node-level observer
+    ``progress(node_id, result, completed, total)`` — the network
+    analogue of the grid path's
+    :data:`~repro.experiments.sweep.ProgressCallback`, streamed through
+    the same ``imap`` contract.
+    """
     from ..network.runner import NetworkRunner, commuter_fleet_traces
 
     assert spec.network is not None
@@ -755,7 +841,9 @@ def _run_network_study(
         spec.network.node_factory,
         engine=spec.engines[0],
     )
-    return StudyResult(spec=spec, network=runner.run(executor=executor))
+    return StudyResult(
+        spec=spec, network=runner.run(executor=executor, progress=progress)
+    )
 
 
 def run_study(
@@ -789,13 +877,18 @@ def run_study(
             :class:`~repro.errors.ConfigurationError` parent-side.
         executor: overrides the spec's execution section (e.g. a
             pre-built pool, or a test's shuffled executor).  When None
-            the spec decides: ``jobs`` ≤ 1 runs in-process, otherwise a
-            :class:`~repro.experiments.parallel.ParallelExecutor` with
-            the spec's batch size.  Pool fallback warnings are labelled
-            with the study name either way.
+            the spec decides: its ``transport`` name is resolved
+            through :func:`~repro.experiments.transport.resolve_transport`
+            with the spec's jobs, batch size, and ``transport_options``
+            (the null-transport derivation — ``"pool"`` above one job,
+            ``"serial"`` otherwise — reproduces the historical
+            behaviour exactly).  Fallback warnings are labelled with
+            the study name either way.
         progress: optional streaming observer
             (:data:`~repro.experiments.sweep.ProgressCallback`), fired
-            once per completed run.
+            once per completed run.  For network studies the observer
+            instead receives ``(node_id, result, completed, total)``,
+            one call per finished node.
         factories: **in-process escape hatch** — mechanism name →
             scheduler factory overriding registry resolution, for
             callers holding factories that are not registered (closures,
@@ -815,7 +908,7 @@ def run_study(
         node_factories.resolve(spec.network.node_factory)
         resolve_engine(spec.engines[0])
         with _StudyExecutor(spec, executor) as resolved:
-            return _run_network_study(spec, resolved)
+            return _run_network_study(spec, resolved, progress)
 
     for engine_name in spec.engines:
         resolve_engine(engine_name)  # unknown engines fail fast, parent-side

@@ -392,6 +392,9 @@ def sweep_grid(
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
     engine: str = "fast",
+    transport: Optional[str] = None,
+    transport_options: Optional[Mapping[str, object]] = None,
+    jobs: int = 1,
 ) -> GridResult:
     """Run the full mechanism × ζtarget × Φmax × replicate paper grid.
 
@@ -425,7 +428,18 @@ def sweep_grid(
         progress: optional streaming observer; see
             :data:`ProgressCallback`.
         executor: shard mapper; default
-            :class:`~repro.experiments.parallel.SerialExecutor`.
+            :class:`~repro.experiments.parallel.SerialExecutor`.  An
+            explicit executor wins over *transport*.
+        transport: execution backend by transport-registry name
+            (``"serial"``, ``"pool"``, ``"file-queue"``, ...); resolved
+            with *jobs* and *transport_options* by
+            :func:`~repro.experiments.spec.run_study` exactly like a
+            study file's execution section.  Default: derived from
+            *jobs* (``"pool"`` above 1, else ``"serial"``).
+        transport_options: strict per-transport options dict (e.g. the
+            file queue's ``queue_dir``); unknown keys fail fast.
+        jobs: worker processes when resolving by name (ignored when
+            *executor* is given).
         engine: simulation backend for every cell, an engine-registry
             name (``"fast"`` — the default and the historical,
             byte-identical behaviour — or ``"micro"``; see
@@ -461,6 +475,9 @@ def sweep_grid(
         replicate_seeds=(
             tuple(replicate_seeds) if replicate_seeds is not None else None
         ),
+        jobs=jobs,
+        transport=transport,
+        transport_options=dict(transport_options or {}),
         with_predictions=with_predictions,
     )
     study = run_study(
@@ -480,6 +497,9 @@ def sweep_zeta_targets(
     executor: Optional[Executor] = None,
     progress: Optional[ProgressCallback] = None,
     engine: str = "fast",
+    transport: Optional[str] = None,
+    transport_options: Optional[Mapping[str, object]] = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run the mechanism x ζtarget grid at the scenario's own Φmax.
 
@@ -500,5 +520,8 @@ def sweep_zeta_targets(
         executor=executor,
         progress=progress,
         engine=engine,
+        transport=transport,
+        transport_options=transport_options,
+        jobs=jobs,
     )
     return grid.budget(base.phi_max)

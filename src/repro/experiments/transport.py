@@ -1,0 +1,914 @@
+"""Pluggable execution transports: every backend resolves by name.
+
+Execution used to be the one axis of the system that could not be
+named: mechanisms, engines, and node factories all resolve through
+:mod:`repro.experiments.registry`, but picking *how* shards run meant
+constructing a concrete :class:`~repro.experiments.parallel.SerialExecutor`
+or :class:`~repro.experiments.parallel.ParallelExecutor` in code, so a
+third backend could not exist without editing ``run_study``, the CLI,
+and ``NetworkRunner`` in lockstep.  This module closes that gap:
+
+* :class:`Transport` — the protocol every backend satisfies: the
+  ``map``/``imap`` index-reassembly contract of
+  :mod:`repro.experiments.parallel` (shards are pure, results are
+  slotted by shard index, never by completion order), so the assembled
+  answer is byte-identical no matter which backend ran it.
+* :data:`~repro.experiments.registry.transport_factories` — the named
+  registry.  Built-ins, registered here at import time: ``"serial"``
+  (in-process reference semantics), ``"pool"`` (the process-pool
+  executor), and ``"file-queue"`` (:class:`FileQueueTransport`, a
+  directory-backed work queue that scales past one host).
+* :func:`resolve_transport` — name plus picklable config → a live
+  transport; :func:`validate_transport` checks a name and an options
+  dict strictly, so a bad ``transport_options`` key fails at spec-load
+  time, not mid-run on a worker.
+
+A :class:`~repro.experiments.spec.StudySpec` names its transport in the
+``execution`` section (``transport`` / ``transport_options``), so::
+
+    repro-snip run --spec study.json --set execution.transport=file-queue
+
+switches the whole study onto another backend with zero code changes.
+
+File-queue layout
+=================
+
+One directory, shared over any filesystem both sides can reach (a
+local disk, NFS, a bind mount)::
+
+    queue/
+    ├── enqueue/  run-<id>-00007.json   shard-range tickets (JSON)
+    ├── claim/    run-<id>-00007.json   claimed via atomic rename
+    ├── done/     run-<id>-00007.pkl    (index, outcome) result pickles
+    └── payload/  run-<id>-00007.pkl    pickled (fn, shards) per ticket
+
+Workers (``python -m repro worker --queue DIR``; see
+:mod:`repro.experiments.worker`) claim a ticket by renaming it from
+``enqueue/`` into ``claim/`` — rename is atomic on a single filesystem,
+so exactly one claimant wins — unpickle the payload, re-resolve
+mechanisms and engines by registry name on their own side (exactly like
+pool workers: the payload's shards are plain
+:class:`~repro.experiments.runner.RunSpec` records), and write the
+guarded outcomes into ``done/`` via temp-file-plus-rename.  The
+coordinator streams ``done/`` files back into the ordinary ``imap``
+contract, *helps out* by claiming tickets itself while it waits (so a
+run terminates even with zero workers), and reclaims tickets whose
+claimant died.  Because cells are pure, a ticket processed twice — a
+slow worker finishing after the coordinator reclaimed it — yields the
+identical result and the duplicate is simply ignored.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import pickle
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+import warnings
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..errors import ConfigurationError
+from .parallel import (
+    ParallelExecutor,
+    ParallelFallbackWarning,
+    SerialExecutor,
+    _ShardOutcome,
+    _guarded_batch,
+    _rehydrate,
+    _validate_batch_size,
+)
+from .registry import transport_factories
+
+__all__ = [
+    "BUILTIN_TRANSPORTS",
+    "FileQueueTransport",
+    "PoolTransport",
+    "SerialTransport",
+    "Transport",
+    "resolve_transport",
+    "transport_names",
+    "transport_option_names",
+    "validate_transport",
+]
+
+#: The built-in transport names, cheapest first.
+BUILTIN_TRANSPORTS = ("serial", "pool", "file-queue")
+
+#: The classes behind ``"serial"`` and ``"pool"`` under their transport
+#: names.  The implementations live in (and keep their historical names
+#: in) :mod:`repro.experiments.parallel` — ``SerialExecutor`` and
+#: ``ParallelExecutor`` are the same objects, byte-identical behaviour
+#: included — these aliases are the registry-era spelling.
+SerialTransport = SerialExecutor
+PoolTransport = ParallelExecutor
+
+#: Config keys every transport factory accepts (fed from a StudySpec's
+#: execution section); anything beyond these is a per-transport option.
+_COMMON_CONFIG = ("jobs", "batch_size", "label")
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """One execution backend: the contract every transport satisfies.
+
+    This is exactly the ``map``/``imap`` index-reassembly contract that
+    :class:`~repro.experiments.parallel.SerialExecutor` and
+    :class:`~repro.experiments.parallel.ParallelExecutor` established:
+    shards are pure, so a transport may run them anywhere in any order,
+    but results must be attributable to their input index — the
+    blocking path returns them input-aligned, the streaming path yields
+    ``(index, result)`` pairs — so every consumer reassembles
+    deterministically.  Transports register by name in
+    :data:`repro.experiments.registry.transport_factories` and are
+    constructed from picklable configuration only, so the *description*
+    of how to execute a study travels inside the study file itself.
+    """
+
+    #: The registry name this transport answers to.
+    transport_name: str
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        """Apply *fn* to every item; results align with input order."""
+        ...
+
+    def imap(self, fn: Callable, items: Sequence) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(shard index, result)`` pairs as shards complete."""
+        ...
+
+
+@transport_factories.register("serial")
+def serial_transport(*, jobs: int = 1, batch_size=1, label=None) -> SerialExecutor:
+    """The in-process reference backend (ignores jobs/batch/label).
+
+    Byte-identical to every other transport by the sharding contract;
+    the semantics all of them are tested against.
+    """
+    return SerialExecutor()
+
+
+@transport_factories.register("pool")
+def pool_transport(
+    *, jobs: Optional[int] = None, batch_size="auto", label=None
+) -> ParallelExecutor:
+    """The process-pool backend (the historical ``--jobs N`` path)."""
+    return ParallelExecutor(jobs=jobs, batch_size=batch_size, label=label)
+
+
+def transport_names() -> List[str]:
+    """All registered transport names (built-ins register at import)."""
+    return transport_factories.names()
+
+
+def transport_option_names(name: str) -> Optional[Tuple[str, ...]]:
+    """The per-transport option keys *name* accepts, from its signature.
+
+    Everything a factory accepts beyond the common execution config
+    (``jobs``, ``batch_size``, ``label``) is an option settable through
+    a spec's ``execution.transport_options`` dict; deriving the set
+    from the factory signature means registered third-party transports
+    get strict validation for free.  A factory with a ``**kwargs``
+    catch-all opts out of strictness: this returns None and
+    :func:`validate_transport` accepts any key for it.
+    """
+    factory = transport_factories.resolve(name)
+    parameters = inspect.signature(factory).parameters
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        return None
+    return tuple(
+        parameter
+        for parameter in parameters
+        if parameter not in _COMMON_CONFIG
+    )
+
+
+def validate_transport(
+    name: str,
+    options: Optional[Mapping[str, Any]] = None,
+    *,
+    where: str = "execution.transport_options",
+) -> None:
+    """Fail fast on an unknown transport name or a bad options key.
+
+    The load-time half of the transport contract: a
+    :class:`~repro.experiments.spec.StudySpec` naming a transport is
+    validated here (unknown names raise with the known ones listed;
+    unknown option keys raise naming the offending *where* path) so a
+    bad spec fails before any shard — or any worker host — is touched.
+    """
+    transport_factories.resolve(name)  # unknown names raise, listing known
+    if options:
+        allowed = transport_option_names(name)
+        if allowed is None:
+            return  # the factory takes **kwargs: any key is its business
+        unknown = sorted(set(options) - set(allowed))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {where} key(s) {unknown} for transport {name!r}; "
+                f"known: {sorted(allowed) if allowed else '(none)'}"
+            )
+
+
+def resolve_transport(
+    name: str,
+    *,
+    jobs: int = 1,
+    batch_size="auto",
+    label: Optional[str] = None,
+    options: Optional[Mapping[str, Any]] = None,
+) -> Transport:
+    """Build the transport registered under *name* from picklable config.
+
+    *jobs*, *batch_size*, and *label* are the common execution config
+    (a spec's ``execution`` section); *options* is the per-transport
+    ``transport_options`` dict, validated strictly against the
+    factory's signature before construction.  This is the single
+    resolution path behind :func:`~repro.experiments.spec.run_study`,
+    the legacy sweep/agreement wrappers, ``NetworkRunner``, and the
+    CLI.
+    """
+    validate_transport(name, options)
+    factory = transport_factories.resolve(name)
+    extra = dict(options) if options else {}
+    return factory(jobs=jobs, batch_size=batch_size, label=label, **extra)
+
+
+# ----------------------------------------------------------------------
+# file-queue protocol helpers (shared with repro.experiments.worker)
+# ----------------------------------------------------------------------
+#: Subdirectories of a queue directory, in lifecycle order.
+QUEUE_SUBDIRS = ("enqueue", "claim", "done", "payload")
+
+
+def ensure_queue_layout(queue_dir: str) -> None:
+    """Create the queue's subdirectories (idempotent).
+
+    Both sides call this on startup, so workers may be pointed at a
+    directory before any coordinator has enqueued work.
+    """
+    for subdir in QUEUE_SUBDIRS:
+        os.makedirs(os.path.join(queue_dir, subdir), exist_ok=True)
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write *data* to *path* via a same-directory temp file + rename.
+
+    Readers polling the directory can therefore never observe a
+    half-written ticket or result — the rename publishes it whole.
+    """
+    handle, tmp_path = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=".tmp-", suffix=".part"
+    )
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def claim_next_ticket(
+    queue_dir: str, *, run: Optional[str] = None
+) -> Optional[str]:
+    """Atomically claim one enqueued ticket; None when the queue is empty.
+
+    Claiming renames ``enqueue/<name>.json`` to ``claim/<name>.json`` —
+    atomic on one filesystem, so exactly one claimant wins a ticket; a
+    lost race (the source vanished first) just moves on to the next
+    candidate.  *run* restricts claiming to one coordinator's tickets
+    (used by the coordinator itself; workers serve every run).  Returns
+    the path of the claimed file under ``claim/``.
+    """
+    enqueue_dir = os.path.join(queue_dir, "enqueue")
+    try:
+        names = sorted(os.listdir(enqueue_dir))
+    except FileNotFoundError:
+        return None
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        if run is not None and not name.startswith(run + "-"):
+            continue
+        source = os.path.join(enqueue_dir, name)
+        target = os.path.join(queue_dir, "claim", name)
+        try:
+            os.rename(source, target)
+        except (FileNotFoundError, PermissionError):
+            continue  # lost the claim race; try the next ticket
+        return target
+    return None
+
+
+def process_claimed_ticket(
+    queue_dir: str, claim_path: str, *, worker_id: str
+) -> bool:
+    """Execute one claimed ticket and publish its outcomes to ``done/``.
+
+    Reads the ticket JSON, unpickles its ``(fn, shards)`` payload, runs
+    the shards through the same
+    :func:`~repro.experiments.parallel._guarded_batch` guard as pool
+    workers (stop at the first shard error; errors are captured, never
+    raised here), and atomically writes the pickled outcome record.
+    Returns False when the ticket's payload is already gone — the
+    coordinator cleaned up a finished or abandoned run — in which case
+    the stale claim file is removed and no result is produced.
+    """
+    try:
+        with open(claim_path, "r", encoding="utf-8") as handle:
+            ticket = json.load(handle)
+        payload_path = os.path.join(queue_dir, ticket["payload"])
+        with open(payload_path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, ValueError, KeyError, pickle.UnpicklingError):
+        try:
+            os.remove(claim_path)
+        except OSError:
+            pass
+        return False
+    outcomes = _guarded_batch(payload["fn"], [tuple(pair) for pair in payload["items"]])
+    record = {
+        "run": ticket["run"],
+        "ticket": ticket["ticket"],
+        "worker": worker_id,
+        "outcomes": outcomes,
+    }
+    done_name = os.path.splitext(os.path.basename(claim_path))[0] + ".pkl"
+    _atomic_write(
+        os.path.join(queue_dir, "done", done_name),
+        pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+    for stale in (claim_path, payload_path):
+        try:
+            os.remove(stale)
+        except OSError:
+            pass
+    return True
+
+
+def local_worker_id() -> str:
+    """This process's claimant identity (``host-pid``) for done records."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class FileQueueTransport:
+    """A directory-backed work queue: the first multi-host transport.
+
+    The coordinator (this class) groups shards into tickets, enqueues
+    them under a queue directory (layout in the module docstring), and
+    streams results back as ``done/`` pickles appear.  Any number of
+    workers — ``python -m repro worker --queue DIR`` on this host or on
+    any host sharing the directory — claim tickets via atomic rename
+    and execute them with the exact worker-side semantics of the
+    process pool: shards are pure
+    :class:`~repro.experiments.runner.RunSpec` records, mechanisms and
+    engines re-resolve by registry name, and shard errors are captured
+    per shard and re-raised in the coordinator exactly once.
+
+    Determinism is inherited from the sharding contract: reassembly is
+    by shard index, so the assembled study is byte-identical to the
+    serial and pool transports for any worker count, host count, or
+    completion order.
+
+    Liveness does not depend on workers existing: while waiting, the
+    coordinator claims tickets itself (``self_process``) and reclaims
+    tickets whose claimant died (``reclaim_after``), so a run always
+    terminates — with zero workers it simply degrades to in-process
+    speed.  Transport-level failures (an unwritable queue directory, an
+    unpicklable shard function) degrade to serial in-process execution
+    with a :class:`~repro.experiments.parallel.ParallelFallbackWarning`
+    naming the cause, matching the pool's observable-fallback policy.
+    """
+
+    #: The transport-registry name this backend answers to.
+    transport_name = "file-queue"
+
+    AUTO_BATCHES_PER_WORKER = ParallelExecutor.AUTO_BATCHES_PER_WORKER
+
+    def __init__(
+        self,
+        *,
+        queue_dir: Optional[str] = None,
+        jobs: int = 1,
+        batch_size: int | str = "auto",
+        label: Optional[str] = None,
+        workers: Optional[int] = None,
+        poll_interval: float = 0.05,
+        reclaim_after: float = 60.0,
+        self_process: bool = True,
+        max_wait: Optional[float] = None,
+    ) -> None:
+        """Configure the queue coordinator.
+
+        Args:
+            queue_dir: the shared queue directory.  None (default)
+                creates a private temporary queue per ``map``/``imap``
+                call and removes it afterwards — the single-host
+                convenience mode; point it at a shared filesystem path
+                to fan out across hosts.
+            jobs: parallelism hint: sizes ``batch_size="auto"`` tickets
+                and is the default local *workers* count.
+            batch_size: shards per ticket (``"auto"`` or an int >= 1),
+                same vocabulary and reassembly guarantee as
+                :class:`~repro.experiments.parallel.ParallelExecutor`.
+            label: optional workload name for fallback warnings
+                (:func:`~repro.experiments.spec.run_study` fills in the
+                study name when unset).
+            workers: local worker subprocesses to spawn for the
+                duration of each map (terminated afterwards).  Default
+                (None) spawns *jobs* workers; pass 0 when external
+                workers — other processes, other hosts — serve the
+                queue.
+            poll_interval: seconds between ``done/`` scans.
+            reclaim_after: seconds after which a claimed-but-unfinished
+                ticket is presumed orphaned (its claimant died) and
+                re-executed by the coordinator; duplicates are ignored
+                by construction.
+            self_process: whether the coordinator claims tickets itself
+                while idle.  Leave True unless measuring pure external
+                worker throughput — False plus zero live workers means
+                the run waits for someone to serve it (bounded only by
+                *max_wait*).
+            max_wait: seconds without any completed ticket before the
+                coordinator gives up on the queue and finishes the
+                remaining shards in-process (with a
+                :class:`~repro.experiments.parallel.ParallelFallbackWarning`).
+                None waits indefinitely; mostly useful with
+                ``self_process=False``.
+        """
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        _validate_batch_size(batch_size)
+        if workers is not None and workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if poll_interval <= 0:
+            raise ConfigurationError(
+                f"poll_interval must be > 0, got {poll_interval}"
+            )
+        if reclaim_after <= 0:
+            raise ConfigurationError(
+                f"reclaim_after must be > 0, got {reclaim_after}"
+            )
+        if max_wait is not None and max_wait <= 0:
+            raise ConfigurationError(
+                f"max_wait must be > 0 or None, got {max_wait}"
+            )
+        self.max_wait = max_wait
+        self.queue_dir = queue_dir
+        self.jobs = jobs
+        self.batch_size = batch_size
+        self.label = label
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self.reclaim_after = reclaim_after
+        self.self_process = self_process
+        #: Whether the most recent map/imap had at least one ticket
+        #: completed by another process (a spawned or external worker) —
+        #: the multi-host analogue of ``ParallelExecutor``'s pool
+        #: diagnostic.  Results are identical either way.
+        self.last_map_parallel = False
+
+    # ------------------------------------------------------------------
+    # the Transport contract
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable, items: Sequence) -> List:
+        """Map *fn* over *items* through the queue; input-order results."""
+        items = list(items)
+        results: List[Any] = [None] * len(items)
+        for index, result in self.imap(fn, items):
+            results[index] = result
+        return results
+
+    def imap(self, fn: Callable, items: Sequence) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(shard index, result)`` pairs as tickets complete.
+
+        Failure semantics match the pool: a shard's own exception is
+        re-raised here exactly once (remaining tickets are abandoned
+        and cleaned up; completed shards are never re-run), while
+        queue/transport failures finish the incomplete shards
+        in-process under a
+        :class:`~repro.experiments.parallel.ParallelFallbackWarning`.
+        """
+        items = list(items)
+        self.last_map_parallel = False
+        if not items:
+            return
+        problem = ParallelExecutor._transport_problem(fn, items)
+        if problem is not None:
+            self._fallback(problem)
+            yield from self._serial(fn, list(enumerate(items)))
+            return
+        try:
+            session = _QueueSession.open(self)
+        except OSError as exc:
+            self._fallback(f"could not set up the queue directory ({exc})")
+            yield from self._serial(fn, list(enumerate(items)))
+            return
+        yielded: set = set()
+        try:
+            try:
+                pending = session.enqueue(fn, items, self._ticket_size(len(items)))
+                for index, value in self._collect(session, fn, pending):
+                    yielded.add(index)
+                    yield index, value
+            except _ShardFailure as exc:
+                # A shard's own exception: propagate exactly once, no
+                # serial re-run — and never let it be mistaken for a
+                # queue failure below, whatever its type.
+                raise _rehydrate(exc.outcome)
+            except _QUEUE_FAILURES as exc:
+                # Recover from the yielded set, not the pending dict: a
+                # failure *inside* enqueue() leaves pending unassigned,
+                # and every un-yielded shard must still be finished.
+                remaining = [
+                    (index, item)
+                    for index, item in enumerate(items)
+                    if index not in yielded
+                ]
+                self._fallback(
+                    f"the file queue failed mid-run "
+                    f"({type(exc).__name__}: {exc}); finishing "
+                    f"{len(remaining)} incomplete shard(s) in-process"
+                )
+                yield from self._serial(fn, remaining)
+        finally:
+            session.close()
+
+    # ------------------------------------------------------------------
+    # coordinator internals
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        session: "_QueueSession",
+        fn: Callable,
+        pending: Dict[int, List[Tuple[int, Any]]],
+    ) -> Iterator[Tuple[int, Any]]:
+        """Stream completed tickets, helping out and reclaiming strays.
+
+        Shard errors surface as :class:`_ShardFailure` (so the caller
+        can tell them apart from queue failures regardless of the
+        underlying exception type); queue trouble propagates as the
+        raw OS/pickle error for :meth:`imap`'s fallback handler.
+        """
+        external_done = 0
+        last_progress = time.monotonic()
+        while pending:
+            progressed = False
+            for ticket, record in session.drain_done(pending):
+                pending.pop(ticket)
+                progressed = True
+                if record["worker"] != session.worker_id:
+                    external_done += 1
+                for index, outcome in record["outcomes"]:
+                    if outcome.error is not None:
+                        raise _ShardFailure(outcome)
+                    yield index, outcome.value
+            if not pending:
+                break
+            if progressed:
+                last_progress = time.monotonic()
+                continue
+            if self.self_process and session.help_one():
+                continue
+            if (
+                self.max_wait is not None
+                and time.monotonic() - last_progress >= self.max_wait
+            ):
+                raise TimeoutError(
+                    f"no ticket completed within max_wait={self.max_wait}s"
+                )
+            time.sleep(self.poll_interval)
+            reclaimed = session.reclaim_stale(pending, self.reclaim_after)
+            for ticket in reclaimed:
+                chunk = pending.pop(ticket)
+                for index, outcome in _guarded_batch(fn, chunk):
+                    if outcome.error is not None:
+                        raise _ShardFailure(outcome)
+                    yield index, outcome.value
+            if reclaimed:
+                # Reclaims are progress too: max_wait measures time
+                # without any completed ticket, however it completed.
+                last_progress = time.monotonic()
+        self.last_map_parallel = external_done > 0
+
+    def _serial(
+        self, fn: Callable, indexed_items: Sequence[Tuple[int, Any]]
+    ) -> Iterator[Tuple[int, Any]]:
+        """In-process fallback: the guarded-batch path, no queue."""
+        for index, outcome in _guarded_batch(fn, indexed_items):
+            if outcome.error is not None:
+                raise _rehydrate(outcome)
+            yield index, outcome.value
+
+    def _ticket_size(self, n_items: int) -> int:
+        """Shards per ticket (same ``"auto"`` policy as the pool)."""
+        if self.batch_size == "auto":
+            return max(1, n_items // (self.jobs * self.AUTO_BATCHES_PER_WORKER))
+        return int(self.batch_size)
+
+    def _spawn_count(self) -> int:
+        """Local worker subprocesses to start per map."""
+        return self.workers if self.workers is not None else self.jobs
+
+    def _fallback(self, cause: str) -> None:
+        """Emit the observable serial-degradation diagnostic."""
+        who = f"FileQueueTransport(queue_dir={self.queue_dir!r})"
+        if self.label:
+            who += f" [{self.label}]"
+        warnings.warn(
+            f"{who} degraded to serial in-process execution: {cause}",
+            ParallelFallbackWarning,
+            stacklevel=3,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FileQueueTransport(queue_dir={self.queue_dir!r}, "
+            f"jobs={self.jobs}, workers={self._spawn_count()})"
+        )
+
+
+#: Exceptions treated as *queue* failures (never the shard function's
+#: own errors, which are captured worker-side by the guarded batch and
+#: surfaced as :class:`_ShardFailure` instead).
+_QUEUE_FAILURES = (OSError, pickle.PickleError, ValueError, KeyError, EOFError)
+
+
+class _ShardFailure(Exception):
+    """Internal wrapper carrying a worker-side shard error outcome.
+
+    Exists so a shard exception whose *type* overlaps with
+    :data:`_QUEUE_FAILURES` (a shard raising ``OSError``, say) can
+    never be mistaken for queue trouble and silently retried — the
+    coordinator unwraps it and re-raises the original exactly once.
+    """
+
+    def __init__(self, outcome: _ShardOutcome) -> None:
+        super().__init__("worker-side shard error")
+        self.outcome = outcome
+
+
+class _QueueSession:
+    """One map's worth of queue state: run id, directories, workers."""
+
+    def __init__(
+        self, transport: FileQueueTransport, queue_dir: str, owns_dir: bool
+    ) -> None:
+        self.transport = transport
+        self.queue_dir = queue_dir
+        self.owns_dir = owns_dir
+        self.run = f"run-{uuid.uuid4().hex[:12]}"
+        self.worker_id = local_worker_id()
+        self.procs: List[subprocess.Popen] = []
+        self._claim_seen: Dict[str, float] = {}
+
+    @classmethod
+    def open(cls, transport: FileQueueTransport) -> "_QueueSession":
+        """Create (or adopt) the queue directory and start local workers."""
+        owns_dir = transport.queue_dir is None
+        queue_dir = (
+            tempfile.mkdtemp(prefix="repro-queue-")
+            if owns_dir
+            else transport.queue_dir
+        )
+        ensure_queue_layout(queue_dir)
+        session = cls(transport, queue_dir, owns_dir)
+        return session
+
+    # -- enqueue -------------------------------------------------------
+    def enqueue(
+        self, fn: Callable, items: Sequence, ticket_size: int
+    ) -> Dict[int, List[Tuple[int, Any]]]:
+        """Publish every shard as tickets; returns {ticket: chunk}."""
+        indexed = list(enumerate(items))
+        chunks = [
+            indexed[start : start + ticket_size]
+            for start in range(0, len(indexed), ticket_size)
+        ]
+        pending: Dict[int, List[Tuple[int, Any]]] = {}
+        for number, chunk in enumerate(chunks):
+            stem = f"{self.run}-{number:05d}"
+            payload_rel = os.path.join("payload", stem + ".pkl")
+            _atomic_write(
+                os.path.join(self.queue_dir, payload_rel),
+                pickle.dumps(
+                    {"fn": fn, "items": chunk},
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ),
+            )
+            ticket = {
+                "run": self.run,
+                "ticket": number,
+                "indices": [index for index, _ in chunk],
+                "payload": payload_rel,
+            }
+            _atomic_write(
+                os.path.join(self.queue_dir, "enqueue", stem + ".json"),
+                (json.dumps(ticket, indent=None) + "\n").encode("utf-8"),
+            )
+            pending[number] = chunk
+        self._start_workers()
+        return pending
+
+    def _start_workers(self) -> None:
+        """Spawn the transport's local worker subprocesses, if any."""
+        count = self.transport._spawn_count()
+        if count <= 0:
+            return
+        env = dict(os.environ)
+        parent_paths = [entry for entry in sys.path if entry]
+        existing = env.get("PYTHONPATH", "")
+        merged = parent_paths + (
+            [p for p in existing.split(os.pathsep) if p and p not in parent_paths]
+        )
+        env["PYTHONPATH"] = os.pathsep.join(merged)
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--queue",
+            self.queue_dir,
+            "--poll",
+            str(min(self.transport.poll_interval, 0.2)),
+            # Orphan backstop: if the coordinator is hard-killed and
+            # never terminates us, exit once the queue stays idle.
+            "--max-idle",
+            str(max(60.0, 2 * self.transport.reclaim_after)),
+        ]
+        for _ in range(count):
+            self.procs.append(
+                subprocess.Popen(
+                    command, env=env, stdout=subprocess.DEVNULL
+                )
+            )
+
+    # -- collection ----------------------------------------------------
+    def drain_done(
+        self, pending: Mapping[int, Any]
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Collect this run's finished tickets from ``done/``.
+
+        Files belonging to other runs (or to tickets already satisfied
+        by a reclaim) are skipped; corrupt files are deleted so a stray
+        can never wedge the poll loop — the ticket stays pending and is
+        eventually reclaimed.
+        """
+        done_dir = os.path.join(self.queue_dir, "done")
+        collected: List[Tuple[int, Dict[str, Any]]] = []
+        for name in sorted(os.listdir(done_dir)):
+            if not (name.startswith(self.run + "-") and name.endswith(".pkl")):
+                continue
+            path = os.path.join(done_dir, name)
+            try:
+                with open(path, "rb") as handle:
+                    record = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            ticket = record.get("ticket")
+            if ticket in pending:
+                collected.append((ticket, record))
+        return collected
+
+    def help_one(self) -> bool:
+        """Claim and execute one of this run's tickets in-process."""
+        claimed = claim_next_ticket(self.queue_dir, run=self.run)
+        if claimed is None:
+            return False
+        return process_claimed_ticket(
+            self.queue_dir, claimed, worker_id=self.worker_id
+        )
+
+    def reclaim_stale(
+        self, pending: Mapping[int, Any], reclaim_after: float
+    ) -> List[int]:
+        """Tickets claimed so long ago their claimant is presumed dead.
+
+        The first sighting of each claim file starts its clock (claim
+        mtimes may come from another host's clock, so wall-clock deltas
+        are measured locally).  Returned tickets are removed from the
+        claim directory; the coordinator re-executes them from its
+        in-memory copy of the shards.
+        """
+        now = time.monotonic()
+        stale: List[int] = []
+        claim_dir = os.path.join(self.queue_dir, "claim")
+        try:
+            names = os.listdir(claim_dir)
+        except FileNotFoundError:
+            return stale
+        live = set()
+        for name in names:
+            if not (name.startswith(self.run + "-") and name.endswith(".json")):
+                continue
+            live.add(name)
+            first_seen = self._claim_seen.setdefault(name, now)
+            if now - first_seen < reclaim_after:
+                continue
+            try:
+                number = int(name[len(self.run) + 1 : -len(".json")])
+            except ValueError:
+                continue
+            if number not in pending:
+                continue
+            try:
+                os.remove(os.path.join(claim_dir, name))
+            except OSError:
+                pass
+            stale.append(number)
+        self._claim_seen = {
+            name: seen for name, seen in self._claim_seen.items() if name in live
+        }
+        return stale
+
+    # -- teardown ------------------------------------------------------
+    def close(self) -> None:
+        """Terminate spawned workers and remove this run's queue files."""
+        for proc in self.procs:
+            proc.terminate()
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+        if self.owns_dir:
+            shutil.rmtree(self.queue_dir, ignore_errors=True)
+            return
+        for subdir in QUEUE_SUBDIRS:
+            directory = os.path.join(self.queue_dir, subdir)
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if name.startswith(self.run + "-"):
+                    try:
+                        os.remove(os.path.join(directory, name))
+                    except OSError:
+                        pass
+
+
+@transport_factories.register("file-queue")
+def file_queue_transport(
+    *,
+    jobs: int = 1,
+    batch_size="auto",
+    label=None,
+    queue_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    poll_interval: float = 0.05,
+    reclaim_after: float = 60.0,
+    self_process: bool = True,
+    max_wait: Optional[float] = None,
+) -> FileQueueTransport:
+    """The directory-backed multi-host backend (see the class docs).
+
+    Everything beyond the common execution config is a
+    ``transport_options`` key: ``queue_dir``, ``workers``,
+    ``poll_interval``, ``reclaim_after``, ``self_process``,
+    ``max_wait``.
+    """
+    return FileQueueTransport(
+        queue_dir=queue_dir,
+        jobs=jobs,
+        batch_size=batch_size,
+        label=label,
+        workers=workers,
+        poll_interval=poll_interval,
+        reclaim_after=reclaim_after,
+        self_process=self_process,
+        max_wait=max_wait,
+    )

@@ -1,0 +1,89 @@
+"""The file-queue worker loop behind ``python -m repro worker``.
+
+A worker is the serve-side half of the ``"file-queue"`` transport
+(:mod:`repro.experiments.transport`): point any number of them — on
+this host or on any host sharing the queue directory — at a queue and
+they claim shard tickets via atomic rename, execute them with the exact
+semantics of process-pool workers (shards are pure
+:class:`~repro.experiments.runner.RunSpec` records whose mechanisms and
+engines re-resolve by registry name on this side of the boundary), and
+publish guarded outcomes for the coordinator to reassemble by shard
+index.
+
+Usage::
+
+    python -m repro worker --queue /shared/queue            # serve forever
+    python -m repro worker --queue /shared/queue --max-idle 30
+    python -m repro worker --queue /shared/queue --once     # drain and exit
+
+A worker serves *every* run that enqueues into its directory, so one
+long-lived worker fleet can serve many sequential studies.  Exit
+conditions: ``--once`` returns after the queue is first seen empty,
+``--max-idle SECONDS`` returns after that long without a claimable
+ticket, and a ``stop`` file in the queue directory asks all workers to
+exit as soon as they are idle (``touch QUEUE/stop`` from anywhere that
+shares the filesystem).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from .transport import (
+    claim_next_ticket,
+    ensure_queue_layout,
+    local_worker_id,
+    process_claimed_ticket,
+)
+
+__all__ = ["worker_loop"]
+
+
+def worker_loop(
+    queue_dir: str,
+    *,
+    poll_interval: float = 0.2,
+    max_idle: Optional[float] = None,
+    once: bool = False,
+    worker_id: Optional[str] = None,
+) -> int:
+    """Claim and execute tickets from *queue_dir* until told to stop.
+
+    Args:
+        queue_dir: the shared queue directory (its layout is created if
+            missing, so workers may start before any coordinator).
+        poll_interval: seconds to sleep when no ticket is claimable.
+        max_idle: exit after this many consecutive idle seconds (None:
+            never exit on idleness alone).
+        once: exit the first time the queue is seen empty (after
+            processing everything claimable on arrival).
+        worker_id: claimant identity recorded in done files; default
+            ``host-pid``.
+
+    Returns:
+        The number of tickets this worker processed.
+    """
+    ensure_queue_layout(queue_dir)
+    identity = worker_id if worker_id is not None else local_worker_id()
+    stop_file = os.path.join(queue_dir, "stop")
+    processed = 0
+    idle_since = time.monotonic()
+    while True:
+        claimed = claim_next_ticket(queue_dir)
+        if claimed is not None:
+            if process_claimed_ticket(queue_dir, claimed, worker_id=identity):
+                processed += 1
+            idle_since = time.monotonic()
+            continue
+        if once:
+            return processed
+        if os.path.exists(stop_file):
+            return processed
+        if (
+            max_idle is not None
+            and time.monotonic() - idle_since >= max_idle
+        ):
+            return processed
+        time.sleep(poll_interval)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Union
 
 from ..core.schedulers.base import Scheduler
 from ..errors import ConfigurationError
@@ -20,9 +20,16 @@ from ..experiments.parallel import Executor
 from ..experiments.registry import NamedFactory, node_factories
 from ..experiments.runner import RunResult
 from ..experiments.scenario import Scenario
+from ..experiments.transport import resolve_transport
 from ..mobility.contact import ContactTrace
 
 SchedulerFactory = Callable[[Scenario, str], Scheduler]
+
+#: Streaming observer for fleet runs: ``progress(node_id, result,
+#: completed, total)`` fires once per finished node, in completion
+#: order — the per-node analogue of
+#: :data:`repro.experiments.sweep.ProgressCallback`.
+NodeProgressCallback = Callable[[str, RunResult, int, int], None]
 
 
 def commuter_fleet_traces(
@@ -219,27 +226,63 @@ class NetworkRunner:
         self.scheduler_factory = scheduler_factory
         self.engine = engine
 
-    def run(self, *, executor: Optional[Executor] = None) -> NetworkResult:
+    def run(
+        self,
+        *,
+        executor: Optional[Executor] = None,
+        transport: Optional[str] = None,
+        transport_options: Optional[Mapping[str, Any]] = None,
+        jobs: int = 1,
+        progress: Optional[NodeProgressCallback] = None,
+    ) -> NetworkResult:
         """Run every node; returns the aggregated result.
 
-        Pass an :class:`~repro.experiments.parallel.ParallelExecutor`
-        to simulate nodes on worker processes.  Nodes are independent
-        (each owns its trace and scheduler), so the aggregate is
-        identical for any worker count.  Scheduler factories that
-        cannot be pickled (e.g. lambdas) run serially with a
+        Execution resolves like everywhere else in the system: pass a
+        pre-built *executor*, or name a *transport* from
+        :data:`repro.experiments.registry.transport_factories`
+        (``"pool"`` with *jobs* workers, ``"file-queue"`` against a
+        shared directory, ...) and it is resolved through
+        :func:`~repro.experiments.transport.resolve_transport` with
+        *transport_options*.  Nodes are independent (each owns its
+        trace and scheduler) and results are reassembled by node index,
+        so the aggregate is identical for any backend, worker count, or
+        completion order.  Scheduler factories that cannot be pickled
+        (e.g. lambdas) run serially with a
         :class:`~repro.experiments.parallel.ParallelFallbackWarning`;
         registry-named factories (see ``__init__``) avoid the fallback.
+
+        *progress* (a :data:`NodeProgressCallback`) streams finished
+        nodes through the executor's ``imap`` path as they complete,
+        exactly like grid cells stream through
+        :func:`~repro.experiments.spec.run_study`.
         """
+        if executor is None and transport is not None:
+            executor = resolve_transport(
+                transport, jobs=jobs, options=transport_options
+            )
         ordered = sorted(self.traces_by_node.items())
         items = [
             (self.scenario, node_id, trace, self.scheduler_factory, self.engine)
             for node_id, trace in ordered
         ]
         if executor is None:
-            results = [_run_node(item) for item in items]
+            pairs = ((index, _run_node(item)) for index, item in enumerate(items))
         else:
-            results = executor.map(_run_node, items)
+            imap = getattr(executor, "imap", None)
+            if imap is not None:
+                pairs = imap(_run_node, items)
+            else:
+                pairs = enumerate(executor.map(_run_node, items))
+        results: Dict[int, RunResult] = {}
+        completed = 0
+        for index, result in pairs:
+            results[index] = result
+            completed += 1
+            if progress is not None:
+                progress(ordered[index][0], result, completed, len(items))
         network = NetworkResult()
-        for (node_id, _trace), result in zip(ordered, results):
-            network.outcomes[node_id] = NodeOutcome(node_id=node_id, result=result)
+        for index, (node_id, _trace) in enumerate(ordered):
+            network.outcomes[node_id] = NodeOutcome(
+                node_id=node_id, result=results[index]
+            )
         return network
