@@ -240,9 +240,15 @@ class AgreementResult:
         confidence interval lies **entirely** outside ``[-tolerance,
         tolerance]`` — i.e. the data rules out both "the engines agree"
         and "they disagree by no more than the golden tolerance".
-        Single-replicate cells have infinite half-widths and can never
-        violate; run two or more paired replicates to make the gate
-        meaningful.
+
+        A single-replicate cell has an infinite half-width, so its CI
+        can never exclude the tolerance band: such a gate would pass
+        *vacuously*, certifying nothing.  Rather than silently bless the
+        grid, the gate refuses to run — any gated cell whose delta has
+        fewer than two replications raises
+        :class:`~repro.errors.ConfigurationError` (under the CLI's
+        ``--gate`` this surfaces as a nonzero exit).  Run two or more
+        paired replicates to make the gate meaningful.
 
         Returns one human-readable line per violating (cell, metric),
         empty when the grid passes.
@@ -250,6 +256,22 @@ class AgreementResult:
         if tolerance < 0:
             raise ConfigurationError(
                 f"gate tolerance must be >= 0, got {tolerance}"
+            )
+        under_replicated = [
+            f"{point.mechanism} zeta_target={point.zeta_target:g} "
+            f"Phi_max={point.phi_max:g} "
+            f"(replications={min(point.delta(metric).replications for metric in metrics)})"
+            for point in self.points
+            if any(
+                point.delta(metric).replications < 2 for metric in metrics
+            )
+        ]
+        if under_replicated:
+            raise ConfigurationError(
+                "agreement gate is vacuous below 2 paired replicates (an "
+                "infinite delta CI can never exclude the tolerance band); "
+                "re-run with replicates >= 2. Offending cell(s): "
+                + "; ".join(under_replicated)
             )
         violations: List[str] = []
         for point in self.points:

@@ -48,7 +48,12 @@ from ..units import DAY
 from .agreement import AGREEMENT_METRICS, AgreementResult
 from .engine import PAPER_ENGINES
 from .registry import node_factories
-from .reporting import format_series, format_table, write_artifact
+from .reporting import (
+    format_estimate,
+    format_series,
+    format_table,
+    write_artifact,
+)
 from .scenario import PAPER_ZETA_TARGETS, paper_roadside_scenario
 from .spec import NetworkSection, StudySpec, run_study
 from .sweep import sweep_zeta_targets
@@ -393,7 +398,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="registry-named per-node scheduler factory",
     )
     network.add_argument(
-        "--engine", default="fast", choices=list(PAPER_ENGINES),
+        "--engine", default="fast",
+        choices=sorted({*PAPER_ENGINES, "vector"}),
         help="registry-named per-node simulation engine",
     )
     network.add_argument(
@@ -494,7 +500,8 @@ def _print_budget_tables(
         if replicated:
             intervals = sweep.ci_series(metric)
             rows = [
-                [target] + [str(intervals[name][index]) for name in intervals]
+                [target]
+                + [format_estimate(intervals[name][index]) for name in intervals]
                 for index, target in enumerate(targets)
             ]
             print(
@@ -528,11 +535,11 @@ def _print_agreement_tables(agreement: AgreementResult, epochs: int) -> None:
                 point.mechanism,
                 point.engine_mean("baseline", "mean_zeta"),
                 point.engine_mean("candidate", "mean_zeta"),
-                str(point.delta("mean_zeta")),
+                format_estimate(point.delta("mean_zeta")),
                 point.engine_mean("baseline", "mean_phi"),
                 point.engine_mean("candidate", "mean_phi"),
-                str(point.delta("mean_phi")),
-                str(point.delta("probed_per_epoch")),
+                format_estimate(point.delta("mean_phi")),
+                format_estimate(point.delta("probed_per_epoch")),
             ]
             for point in agreement.budget(phi_max)
         ]

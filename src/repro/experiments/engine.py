@@ -21,6 +21,10 @@ names:
 * ``"micro"`` — :class:`~repro.experiments.micro.MicroEngine`, the
   cycle-accurate COOJA-fidelity substitute (2–3 orders of magnitude
   slower; use short horizons);
+* ``"vector"`` — :class:`~repro.experiments.vector.VectorEngine`, a
+  numpy batch evaluator resolving the fast runner's inner loops as
+  array kernels (optional numba acceleration; statistically equivalent
+  to ``"fast"`` under the agreement gate);
 * a ``"fleet"`` adapter wrapping per-node
   :class:`~repro.network.runner.NetworkRunner` execution is planned.
 
@@ -60,6 +64,7 @@ PAPER_ENGINES = ("fast", "micro")
 _ENGINE_MODULES = {
     "fast": "repro.experiments.runner",
     "micro": "repro.experiments.micro",
+    "vector": "repro.experiments.vector",
 }
 
 

@@ -48,6 +48,24 @@ def write_artifact(path: str, result: object) -> None:
         handle.write(text)
 
 
+def format_estimate(estimate: object) -> str:
+    """Render an interval estimate for a report table.
+
+    A well-replicated :class:`~repro.experiments.stats.IntervalEstimate`
+    renders as its usual ``mean ± half_width``; a vacuous one (single
+    replicate, infinite half-width) is marked explicitly as
+    ``mean [n=1, no CI]`` instead of printing a meaningless ``± inf`` —
+    the table analogue of the CSV path's ``_finite_or_none`` rule, so a
+    reader can't mistake an unconstrained estimate for a tight one.
+    """
+    if getattr(estimate, "is_vacuous", False):
+        return (
+            f"{estimate.mean:.3f} "
+            f"[n={estimate.replications}, no CI]"
+        )
+    return str(estimate)
+
+
 def _format_cell(value: object, width: int) -> str:
     if isinstance(value, float):
         if value == float("inf"):

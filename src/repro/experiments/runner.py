@@ -139,6 +139,37 @@ def execute_run_spec(spec: RunSpec) -> RunResult:
     return engine.run(spec.scenario, factory(spec.scenario))
 
 
+def execute_run_specs(specs: List[RunSpec]) -> List[RunResult]:
+    """Run a shard of :class:`RunSpec` s, batching where the engine can.
+
+    The batch-aware worker entry point: maximal runs of consecutive
+    specs naming the same engine are handed to that engine's
+    ``run_batch`` when it has one (the ``"vector"`` engine amortizes
+    trace generation and kernel setup across the whole group); engines
+    without a batch form fall back to :func:`execute_run_spec` per spec.
+    Results are returned in spec order either way, and each result is
+    identical to what the per-spec path would have produced, so
+    transports may freely choose either entry point per shard.
+    """
+    results: List[RunResult] = []
+    index = 0
+    while index < len(specs):
+        group_end = index + 1
+        engine_name = specs[index].engine
+        while group_end < len(specs) and specs[group_end].engine == engine_name:
+            group_end += 1
+        engine = resolve_engine(engine_name)
+        run_batch = getattr(engine, "run_batch", None)
+        if run_batch is not None:
+            results.extend(run_batch(specs[index:group_end]))
+        else:
+            results.extend(
+                execute_run_spec(spec) for spec in specs[index:group_end]
+            )
+        index = group_end
+    return results
+
+
 @dataclass
 class RunResult:
     """Everything a benchmark or example needs from one run."""

@@ -46,6 +46,19 @@ class IntervalEstimate:
         """True when *value* lies inside the interval."""
         return self.low <= value <= self.high
 
+    @property
+    def is_vacuous(self) -> bool:
+        """True when the interval constrains nothing.
+
+        A single replication (or an otherwise infinite half-width)
+        yields ``low = -inf`` / ``high = +inf``: :meth:`contains` is
+        then True for *every* value, so any check built on the interval
+        passes trivially.  Consumers that certify results — the
+        agreement gate, report tables — must treat vacuous estimates
+        specially rather than letting them masquerade as evidence.
+        """
+        return self.replications < 2 or math.isinf(self.half_width)
+
     def __str__(self) -> str:
         return f"{self.mean:.3f} ± {self.half_width:.3f}"
 

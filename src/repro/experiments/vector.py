@@ -1,0 +1,759 @@
+"""The ``"vector"`` engine: numpy batch evaluation of the fast runner.
+
+The fast engine (:mod:`repro.experiments.runner`) spends nearly all of
+its time in per-interval Python work: two weeks of 60-second decision
+intervals is ~20k iterations of ``scheduler.decide`` + buffer arithmetic
++ :class:`~repro.radio.beacon.BeaconSchedule` construction per run, and
+the checked-in ``BENCH_transport.json`` shows that cell cost — not the
+orchestration — is the bottleneck of the paper grid.  This module
+resolves the same semantics as whole-array kernels:
+
+* **SNIP-AT / SNIP-OPT** are open-loop (their decisions depend only on
+  the slot clock and the energy budget), so the full activation
+  timeline — per-interval duty-cycle, budget-crossing clip, beacon-train
+  anchors — is computed vectorized over all ``epochs x intervals`` at
+  once, and every contact is resolved against it with O(rounds) numpy
+  passes (a contact straddles at most ``length / period`` intervals).
+* **SNIP-RH** is feedback-driven, but its state changes *only at probed
+  contacts* and it can only activate inside rush-hour slots; the engine
+  walks just the rush intervals (a ~6x smaller loop with no per-interval
+  object allocation), calls the real scheduler's EWMA hooks at probes,
+  and resolves everything outside rush hours in bulk.
+* Any other scheduler type falls back — loudly — to the exact
+  :class:`~repro.experiments.runner.FastRunner`.
+
+Unprobed contacts, arrivals, per-epoch Φ, and buffer levels are
+aggregated as array reductions.  The per-contact probe search also has
+an optional `numba <https://numba.pydata.org/>`_ ``@njit(parallel=True)``
+kernel behind a **soft dependency**: when numba is not importable the
+pure-numpy path runs (and is what CI exercises); ``VectorEngine`` never
+requires it unless constructed with ``numba=True``.
+
+Equivalence with ``"fast"`` is statistical, not asserted: the paired
+fast-vs-vector agreement grid (``repro-snip run --spec
+examples/vector_gate.json --gate TOL``) must pass the CI gate with two
+or more replicates.  The engine reproduces the fast runner's arithmetic
+(same ``TIME_EPSILON`` comparisons, same anchor/clip rules) so the
+per-cell deltas are dominated by float association order and sit many
+orders of magnitude below the gate tolerance.
+
+Batch evaluation: :meth:`VectorEngine.run_batch` takes a whole shard of
+:class:`~repro.experiments.runner.RunSpec` s and shares the expensive
+deterministic trace generation between specs that differ only in
+mechanism, ζtarget or Φmax (the contact process depends only on the
+profile, the trace config and the seed).  The module-level entry point
+for that is :func:`repro.experiments.runner.execute_run_specs`.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.schedulers.at import SnipAtScheduler
+from ..core.schedulers.base import Scheduler
+from ..core.schedulers.opt import SnipOptScheduler
+from ..core.schedulers.rh import SnipRhScheduler
+from ..errors import ConfigurationError
+from ..mobility.contact import ContactTrace
+from ..node.buffer import DataBuffer
+from ..node.sensor import ProbingAccount, SensorNode
+from ..radio.link import LinkModel
+from ..radio.states import RadioState
+from ..sim.rng import RandomStreams
+from ..units import TIME_EPSILON
+from .metrics import EpochMetrics, RunMetrics
+from .registry import engine_factories, mechanism_factories
+from .runner import FastRunner, RunResult, RunSpec, generate_trace
+from .scenario import Scenario
+
+__all__ = ["VectorEngine", "numba_available"]
+
+#: Budget-exhaustion tolerance, mirroring
+#: :attr:`repro.node.sensor.ProbingAccount.exhausted`.
+_EXHAUSTED_EPSILON = 1e-12
+
+
+# ----------------------------------------------------------------------
+# soft numba dependency
+# ----------------------------------------------------------------------
+def _import_numba():
+    """The numba module, or None when it is not importable.
+
+    Resolved at call time (not import time) so tests can monkeypatch
+    ``sys.modules`` and engines constructed afterwards see the change.
+    """
+    try:
+        import numba  # noqa: PLC0415 - soft dependency, resolved lazily
+    except Exception:
+        return None
+    return numba
+
+
+def numba_available() -> bool:
+    """True when the optional numba accelerator can be imported."""
+    return _import_numba() is not None
+
+
+#: Compiled probe-search kernels, one per (fake or real) numba module.
+_KERNEL_CACHE: Dict[int, object] = {}
+
+
+def _numba_probe_search(numba_mod):
+    """Compile (once per numba module) the scalar probe-search kernel."""
+    key = id(numba_mod)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        njit = numba_mod.njit
+        prange = numba_mod.prange
+        eps = TIME_EPSILON
+
+        @njit(parallel=True, cache=False)
+        def kernel(starts, ends, k0, active, active_until, anchor, cycle, t1):
+            n = starts.shape[0]
+            n_intervals = t1.shape[0]
+            probe_k = np.full(n, -1, np.int64)
+            probe_b = np.full(n, np.nan)
+            for j in prange(n):
+                k = k0[j]
+                query = starts[j]
+                while k < n_intervals:
+                    window = starts[j] if starts[j] > query else query
+                    if active[k]:
+                        phase = anchor[k] % cycle[k]
+                        if window <= phase:
+                            beacon = phase
+                        else:
+                            index = np.ceil((window - phase - eps) / cycle[k])
+                            if index < 0.0:
+                                index = 0.0
+                            beacon = phase + index * cycle[k]
+                        if beacon < ends[j] and beacon < active_until[k]:
+                            probe_k[j] = k
+                            probe_b[j] = beacon
+                            break
+                    if ends[j] <= t1[k] + eps:
+                        break
+                    query = t1[k]
+                    k += 1
+            return probe_k, probe_b
+
+        _KERNEL_CACHE[key] = kernel
+        kernel = _KERNEL_CACHE[key]
+    return kernel
+
+
+def _probe_search_numpy(starts, ends, k0, active, active_until, anchor, cycle, t1):
+    """Vectorized probe search: rounds of simultaneous interval steps.
+
+    Returns ``(probe_k, probe_b)``: per contact, the resolving interval
+    index and beacon time of its probe, or ``(-1, nan)`` when the
+    contact goes unprobed.  Semantics mirror the fast runner's
+    ``_resolve_one`` exactly: within each interval the contact is probed
+    by the first beacon of the interval's anchored train inside
+    ``[max(start, query), end)`` that precedes ``active_until``;
+    otherwise it defers to the next interval iff it outlives this one,
+    else it resolves as a miss.
+    """
+    n = starts.shape[0]
+    n_intervals = t1.shape[0]
+    probe_k = np.full(n, -1, np.int64)
+    probe_b = np.full(n, np.nan)
+    k = k0.astype(np.int64).copy()
+    query = starts.copy()
+    alive = k < n_intervals
+    while alive.any():
+        idxs = np.nonzero(alive)[0]
+        ka = k[idxs]
+        window = np.maximum(starts[idxs], query[idxs])
+        act = active[ka]
+        cyc = cycle[ka]
+        phase = np.mod(anchor[ka], cyc)
+        index = np.maximum(np.ceil((window - phase - TIME_EPSILON) / cyc), 0.0)
+        beacon = np.where(window <= phase, phase, phase + index * cyc)
+        probed = act & (beacon < ends[idxs]) & (beacon < active_until[ka])
+        missed = ~probed & (ends[idxs] <= t1[ka] + TIME_EPSILON)
+        deferred = ~probed & ~missed
+        hits = idxs[probed]
+        probe_k[hits] = ka[probed]
+        probe_b[hits] = beacon[probed]
+        cont = idxs[deferred]
+        query[cont] = t1[ka[deferred]]
+        k[cont] = ka[deferred] + 1
+        alive[idxs[probed]] = False
+        alive[idxs[missed]] = False
+        alive[cont] = k[cont] < n_intervals
+    return probe_k, probe_b
+
+
+# ----------------------------------------------------------------------
+# shared per-run bookkeeping
+# ----------------------------------------------------------------------
+class _ProbeBook:
+    """Sequential FIFO buffer/latency bookkeeping over probed contacts.
+
+    Probes must be applied in resolution order (ascending contact index:
+    contacts never overlap, and a deferred straddler always resolves
+    before any later contact) so the fluid FIFO buffer drains exactly as
+    in the fast runner.
+    """
+
+    def __init__(self, scenario: Scenario, link: LinkModel, epochs: int) -> None:
+        self.rate = scenario.data_rate
+        self.link = link
+        self.uploaded_cumulative = 0.0
+        self.zeta = np.zeros(epochs)
+        self.uploaded = np.zeros(epochs)
+        self.probed_n = np.zeros(epochs, dtype=np.int64)
+        self.delay_weight = np.zeros(epochs)
+        self.max_delay = np.zeros(epochs)
+
+    def probe(
+        self, end: float, beacon: float, interval_end: float, epoch: int
+    ) -> Tuple[float, float]:
+        """Apply one probe; returns ``(probed_seconds, uploaded)``."""
+        probed_seconds = end - beacon
+        window = self.link.usable_window(probed_seconds)
+        level = max(0.0, self.rate * interval_end - self.uploaded_cumulative)
+        uploaded = window if window < level else level
+        self.zeta[epoch] += probed_seconds
+        self.uploaded[epoch] += uploaded
+        self.probed_n[epoch] += 1
+        if uploaded > 0:
+            oldest_creation = self.uploaded_cumulative / self.rate
+            mean_creation = (
+                self.uploaded_cumulative + uploaded / 2.0
+            ) / self.rate
+            self.delay_weight[epoch] += uploaded * max(0.0, end - mean_creation)
+            self.max_delay[epoch] = max(
+                self.max_delay[epoch], end - oldest_creation
+            )
+        self.uploaded_cumulative += uploaded
+        return probed_seconds, uploaded
+
+
+# ----------------------------------------------------------------------
+# trace memoization (per process)
+# ----------------------------------------------------------------------
+_TRACE_MEMO: "OrderedDict[Tuple[object, object, int], ContactTrace]" = OrderedDict()
+_TRACE_MEMO_LIMIT = 8
+
+
+def _memoized_trace(scenario: Scenario) -> ContactTrace:
+    """The deterministic trace for *scenario*, cached per process.
+
+    The contact process depends only on the profile, the trace config
+    and the seed — not on ζtarget, Φmax or the mechanism — so a grid
+    shard reuses one generation across all cells that share a replicate
+    seed.  Traces are treated as immutable by every engine, so sharing
+    one instance across :class:`RunResult` s is safe.
+    """
+    key = (scenario.profile, scenario.trace_config, scenario.seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = generate_trace(scenario)
+        _TRACE_MEMO[key] = trace
+        while len(_TRACE_MEMO) > _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.popitem(last=False)
+    else:
+        _TRACE_MEMO.move_to_end(key)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class VectorEngine:
+    """Vectorized batch evaluator behind the ``"vector"`` registry name.
+
+    Args:
+        numba: ``None`` (default) auto-detects the optional numba
+            accelerator and uses it when importable; ``True`` requires
+            it (:class:`~repro.errors.ConfigurationError` when absent);
+            ``False`` forces the pure-numpy probe-search path.
+
+    Any other keyword raises :class:`~repro.errors.ConfigurationError`
+    (engines resolve by name from study files, so silent typos in the
+    options dict must fail fast).
+    """
+
+    name = "vector"
+
+    def __init__(self, numba: Optional[bool] = None, **options: object) -> None:
+        if options:
+            raise ConfigurationError(
+                f"unknown vector engine option(s) {sorted(options)}; "
+                "known: ['numba']"
+            )
+        if numba not in (None, True, False):
+            raise ConfigurationError(
+                f"numba option must be True, False or None, got {numba!r}"
+            )
+        module = None
+        if numba is not False:
+            module = _import_numba()
+            if numba is True and module is None:
+                raise ConfigurationError(
+                    "vector engine was constructed with numba=True but "
+                    "numba is not importable; install numba or pass "
+                    "numba=None for the pure-numpy fallback"
+                )
+        self._numba = module
+
+    @property
+    def numba_enabled(self) -> bool:
+        """True when the compiled probe-search kernel is in use."""
+        return self._numba is not None
+
+    # ------------------------------------------------------------------
+    # Engine protocol
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        scenario: Scenario,
+        scheduler: Scheduler,
+        *,
+        trace: Optional[ContactTrace] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> RunResult:
+        """Simulate *scenario* under *scheduler* with array kernels.
+
+        See :meth:`repro.experiments.engine.Engine.run` for the
+        parameter contract.  Scheduler types without a vectorized kernel
+        fall back to the exact :class:`FastRunner` with a
+        ``RuntimeWarning``.
+        """
+        if trace is None:
+            if streams is not None:
+                trace = generate_trace(scenario, streams)
+            else:
+                trace = _memoized_trace(scenario)
+        if type(scheduler) in (SnipAtScheduler, SnipOptScheduler):
+            return self._run_static(scenario, scheduler, trace)
+        if type(scheduler) is SnipRhScheduler:
+            return self._run_adaptive(scenario, scheduler, trace)
+        warnings.warn(
+            "vector engine has no vectorized kernel for scheduler type "
+            f"{type(scheduler).__name__}; falling back to the exact fast "
+            "runner for this run",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return FastRunner(scenario, scheduler, trace=trace).run()
+
+    def run_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Evaluate a whole shard of :class:`RunSpec` s.
+
+        The batch form of the engine: deterministic trace generation is
+        shared between specs whose contact processes coincide (same
+        profile, trace config and seed), which is every cell of a grid
+        shard that varies only mechanism, ζtarget or Φmax.  Results are
+        returned in spec order, each identical to what
+        :func:`~repro.experiments.runner.execute_run_spec` would produce
+        for the same spec.
+        """
+        results: List[RunResult] = []
+        for spec in specs:
+            factory = spec.factory
+            if factory is None:
+                factory = mechanism_factories.resolve(spec.mechanism)
+            results.append(
+                self.run(spec.scenario, factory(spec.scenario))
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # interval grid
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _interval_grid(scenario: Scenario):
+        """Per-interval start/end times over all epochs, plus shape."""
+        epoch_length = scenario.profile.epoch_length
+        period = scenario.decision_period
+        epochs = scenario.epochs
+        per_epoch = int(math.ceil((epoch_length - TIME_EPSILON) / period))
+        offsets = np.arange(per_epoch) * period
+        end_offsets = np.minimum(offsets + period, epoch_length)
+        epoch_starts = np.arange(epochs) * epoch_length
+        t0 = (epoch_starts[:, None] + offsets[None, :]).reshape(-1)
+        t1 = (epoch_starts[:, None] + end_offsets[None, :]).reshape(-1)
+        epoch_idx = np.repeat(np.arange(epochs), per_epoch)
+        return t0, t1, epoch_idx, epochs, per_epoch
+
+    @staticmethod
+    def _slot_indices(profile, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`SlotProfile.slot_index` over *times*."""
+        position = np.mod(times, profile.epoch_length)
+        raw = np.floor_divide(position, profile.slot_length).astype(np.int64)
+        return np.minimum(raw, profile.slot_count - 1)
+
+    # ------------------------------------------------------------------
+    # static (open-loop) kernel: SNIP-AT and SNIP-OPT
+    # ------------------------------------------------------------------
+    def _run_static(
+        self, scenario: Scenario, scheduler: Scheduler, trace: ContactTrace
+    ) -> RunResult:
+        link = LinkModel()
+        t0, t1, epoch_idx, epochs, per_epoch = self._interval_grid(scenario)
+
+        # Per-interval planned duty-cycle (0 = decision off by plan).
+        if type(scheduler) is SnipAtScheduler:
+            duty = np.full(t0.shape[0], scheduler.duty_cycle)
+            t_on = scheduler.model.t_on
+        else:
+            slot = self._slot_indices(scheduler.profile, t0)
+            duty_by_slot = np.asarray(scheduler.plan.duty_cycles, dtype=float)
+            duty = duty_by_slot[slot]
+            t_on = scheduler.model.t_on
+
+        active, active_until, clipped, phi = self._activation(
+            duty, t0, t1, epochs, per_epoch, scenario.phi_max
+        )
+        anchor = self._anchors(active, clipped, duty, t0)
+        safe_duty = np.where(duty > 0.0, duty, 1.0)
+        cycle = t_on / safe_duty
+
+        contacts = list(trace)
+        starts = np.array([c.start for c in contacts], dtype=float)
+        lengths = np.array([c.length for c in contacts], dtype=float)
+        ends = starts + lengths
+        k0 = np.searchsorted(t1, starts, side="right")
+        probe_k, probe_b = self._probe_search(
+            starts, ends, k0, active, active_until, anchor, cycle, t1
+        )
+
+        book = _ProbeBook(scenario, link, epochs)
+        for j in np.nonzero(probe_k >= 0)[0]:
+            k = int(probe_k[j])
+            book.probe(float(ends[j]), float(probe_b[j]), float(t1[k]), int(epoch_idx[k]))
+        return self._assemble(
+            scenario, scheduler, trace, starts, lengths, probe_k,
+            t1, epoch_idx, epochs, phi, book,
+        )
+
+    @staticmethod
+    def _activation(
+        duty: np.ndarray,
+        t0: np.ndarray,
+        t1: np.ndarray,
+        epochs: int,
+        per_epoch: int,
+        phi_max: float,
+    ):
+        """Resolve the per-interval energy accrual against the budget.
+
+        Mirrors the fast runner's per-interval charging: full cost
+        ``d * dt`` while it fits inside the remaining budget (within
+        ``TIME_EPSILON``), an exact mid-interval clip at the crossing
+        (``active_until = t + remaining / d``) when the remainder is
+        spendable, and decision-off (``budget``) for the rest of the
+        epoch.  Returns per-interval ``(active, active_until, clipped)``
+        plus per-epoch Φ.
+        """
+        plan = (duty > 0.0).reshape(epochs, per_epoch)
+        dt = (t1 - t0).reshape(epochs, per_epoch)
+        d2 = duty.reshape(epochs, per_epoch)
+        full_cost = np.where(plan, d2 * dt, 0.0)
+        cum = np.cumsum(full_cost, axis=1)
+        over = plan & (cum > phi_max + TIME_EPSILON)
+        cross = np.where(over.any(axis=1), over.argmax(axis=1), per_epoch)
+        k_idx = np.arange(per_epoch)[None, :]
+        fully = plan & (k_idx < cross[:, None])
+        at_cross = plan & (k_idx == cross[:, None])
+        remaining_before = phi_max - (cum - full_cost)
+        clip_ok = at_cross & (remaining_before > _EXHAUSTED_EPSILON)
+        active = (fully | clip_ok).reshape(-1)
+        safe_duty = np.where(duty > 0.0, duty, 1.0)
+        active_until = np.where(
+            fully.reshape(-1),
+            t1,
+            np.where(
+                clip_ok.reshape(-1),
+                t0 + np.maximum(remaining_before.reshape(-1), 0.0) / safe_duty,
+                t0,
+            ),
+        )
+        clipped = clip_ok.reshape(-1) & (active_until < t1 - TIME_EPSILON)
+        phi = np.minimum(cum[:, -1], phi_max)
+        return active, active_until, clipped, phi
+
+    @staticmethod
+    def _anchors(
+        active: np.ndarray,
+        clipped: np.ndarray,
+        config_key: np.ndarray,
+        t0: np.ndarray,
+    ) -> np.ndarray:
+        """Per-interval beacon-train anchor times.
+
+        The fast runner re-anchors the train at the first interval of
+        every maximal run of consecutive active intervals with an
+        unchanged configuration, and also after a mid-interval budget
+        clip (the train stops).  Epoch boundaries do *not* reset an
+        uninterrupted train — a free-running radio.
+        """
+        n = active.shape[0]
+        breaks = np.ones(n, dtype=bool)
+        if n > 1:
+            breaks[1:] = (
+                ~active[:-1]
+                | (config_key[1:] != config_key[:-1])
+                | clipped[:-1]
+            )
+        new_streak = active & breaks
+        streak_start = np.where(new_streak, np.arange(n), -1)
+        np.maximum.accumulate(streak_start, out=streak_start)
+        return np.where(
+            streak_start >= 0, t0[np.maximum(streak_start, 0)], 0.0
+        )
+
+    def _probe_search(self, starts, ends, k0, active, active_until, anchor, cycle, t1):
+        if self._numba is not None:
+            kernel = _numba_probe_search(self._numba)
+            return kernel(
+                starts, ends, k0.astype(np.int64),
+                active, active_until, anchor, cycle, t1,
+            )
+        return _probe_search_numpy(
+            starts, ends, k0, active, active_until, anchor, cycle, t1
+        )
+
+    # ------------------------------------------------------------------
+    # adaptive (feedback) kernel: SNIP-RH
+    # ------------------------------------------------------------------
+    def _run_adaptive(
+        self, scenario: Scenario, scheduler: SnipRhScheduler, trace: ContactTrace
+    ) -> RunResult:
+        """Event-driven SNIP-RH: walk rush intervals only.
+
+        SNIP-RH state (the two EWMAs) changes only at probed contacts,
+        and it can only probe inside rush-hour slots, so the walk visits
+        just the rush intervals — with the real scheduler's
+        ``duty_cycle_config`` / ``data_threshold`` / ``on_probe`` driving
+        the decisions, for bit-faithful learning dynamics — and every
+        other contact resolves as a bulk miss afterwards.
+        """
+        link = LinkModel()
+        rate = scenario.data_rate
+        phi_max = scenario.phi_max
+        t0, t1, epoch_idx, epochs, _ = self._interval_grid(scenario)
+        slot = self._slot_indices(scheduler.profile, t0)
+        rush_by_slot = np.asarray(scheduler.rush_flags, dtype=bool)
+        walk = np.nonzero(rush_by_slot[slot])[0]
+
+        contacts = list(trace)
+        n_contacts = len(contacts)
+        starts = np.array([c.start for c in contacts], dtype=float)
+        lengths = np.array([c.length for c in contacts], dtype=float)
+        ends = starts + lengths
+        probed_mask = np.zeros(n_contacts, dtype=bool)
+        probe_interval = np.full(n_contacts, -1, dtype=np.int64)
+
+        book = _ProbeBook(scenario, link, epochs)
+        phi = np.zeros(epochs)
+        spent = 0.0
+        current_epoch = 0
+        anchor: Optional[float] = None
+        config = None
+        pending: Optional[int] = None
+        cursor = 0
+        previous_k = -2
+
+        for k in walk:
+            time = float(t0[k])
+            interval_end = float(t1[k])
+            epoch = int(epoch_idx[k])
+            if epoch != current_epoch:
+                # Epoch rollover(s): Φ is the energy spent that epoch.
+                phi[current_epoch] = spent
+                spent = 0.0
+                current_epoch = epoch
+            if previous_k != k - 1:
+                # Skipped intervals are inactive (not rush): the fast
+                # runner would have reset the train there.
+                anchor = None
+                config = None
+            previous_k = k
+            if pending is not None and ends[pending] <= time + TIME_EPSILON:
+                # Resolved as a miss inside a skipped interval.
+                pending = None
+            while cursor < n_contacts and starts[cursor] < time:
+                # Contacts that arrived in skipped intervals: unprobed;
+                # one may still straddle into this interval as pending.
+                if ends[cursor] > time + TIME_EPSILON:
+                    pending = cursor
+                cursor += 1
+
+            # --- scheduler.decide(time, node), inlined for SNIP-RH ---
+            level = max(0.0, rate * time - book.uploaded_cumulative)
+            remaining = max(0.0, phi_max - spent)
+            if level < scheduler.data_threshold():
+                decision_config = None
+            elif remaining <= _EXHAUSTED_EPSILON:
+                decision_config = None
+            else:
+                decision_config = scheduler.duty_cycle_config()
+
+            if decision_config is None:
+                anchor = None
+                config = None
+                active_until = time
+                have_schedule = False
+                cycle = phase = 0.0
+            else:
+                if decision_config != config:
+                    anchor = time
+                    config = decision_config
+                full_cost = decision_config.duty_cycle * (interval_end - time)
+                if full_cost <= remaining + TIME_EPSILON:
+                    active_until = interval_end
+                    charge = min(full_cost, remaining)
+                else:
+                    active_until = time + remaining / decision_config.duty_cycle
+                    charge = remaining
+                spent += charge
+                have_schedule = True
+                cycle = decision_config.t_cycle
+                phase = anchor % cycle
+                if active_until < interval_end - TIME_EPSILON:
+                    # Budget ran dry mid-interval; the train stops.
+                    anchor = None
+                    config = None
+
+            def resolve(j: int, query: float) -> bool:
+                """Probe/miss/defer contact *j*; True when resolved."""
+                if have_schedule:
+                    window = starts[j] if starts[j] > query else query
+                    if window <= phase:
+                        beacon = phase
+                    else:
+                        beacon = phase + max(
+                            0.0,
+                            np.ceil((window - phase - TIME_EPSILON) / cycle),
+                        ) * cycle
+                    if beacon < ends[j] and beacon < active_until:
+                        probed_seconds, uploaded = book.probe(
+                            float(ends[j]), float(beacon), interval_end, epoch
+                        )
+                        probed_mask[j] = True
+                        probe_interval[j] = k
+                        scheduler.on_probe(
+                            beacon, contacts[j], probed_seconds, uploaded
+                        )
+                        return True
+                return ends[j] <= interval_end + TIME_EPSILON
+
+            if pending is not None:
+                if resolve(pending, time):
+                    pending = None
+            while cursor < n_contacts and starts[cursor] < interval_end:
+                j = cursor
+                cursor += 1
+                if not resolve(j, float(starts[j])):
+                    pending = j
+        phi[current_epoch] = spent
+
+        return self._assemble(
+            scenario, scheduler, trace, starts, lengths,
+            np.where(probed_mask, probe_interval, -1),
+            t1, epoch_idx, epochs, phi, book,
+        )
+
+    # ------------------------------------------------------------------
+    # result assembly (shared)
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        scenario: Scenario,
+        scheduler: Scheduler,
+        trace: ContactTrace,
+        starts: np.ndarray,
+        lengths: np.ndarray,
+        probe_k: np.ndarray,
+        t1: np.ndarray,
+        epoch_idx: np.ndarray,
+        epochs: int,
+        phi: np.ndarray,
+        book: _ProbeBook,
+    ) -> RunResult:
+        epoch_length = scenario.profile.epoch_length
+        n_intervals = t1.shape[0]
+
+        # Misses: every unprobed contact resolves in the first interval
+        # that contains its end (within TIME_EPSILON) — the exact
+        # deferral rule of the fast runner.  Contacts outliving the last
+        # interval stay pending forever and are never counted missed.
+        unprobed = probe_k < 0
+        if starts.shape[0]:
+            ends = starts + lengths
+            miss_k = np.searchsorted(t1, ends - TIME_EPSILON, side="left")
+            considered = starts < t1[-1]
+            missable = unprobed & considered & (miss_k < n_intervals)
+            missed = np.zeros(epochs, dtype=np.int64)
+            np.add.at(missed, epoch_idx[miss_k[missable]], 1)
+            arrival_epoch = np.floor_divide(starts, epoch_length).astype(np.int64)
+            in_run = arrival_epoch < epochs
+            arrived = np.zeros(epochs, dtype=np.int64)
+            arrived_capacity = np.zeros(epochs)
+            np.add.at(arrived, arrival_epoch[in_run], 1)
+            np.add.at(
+                arrived_capacity,
+                arrival_epoch[in_run],
+                lengths[in_run],
+            )
+        else:
+            missed = np.zeros(epochs, dtype=np.int64)
+            arrived = np.zeros(epochs, dtype=np.int64)
+            arrived_capacity = np.zeros(epochs)
+
+        rate = scenario.data_rate
+        uploads_through = np.cumsum(book.uploaded)
+        epoch_ends = (np.arange(epochs) + 1.0) * epoch_length
+        buffer_end = np.maximum(0.0, rate * epoch_ends - uploads_through)
+
+        metrics = RunMetrics()
+        for e in range(epochs):
+            metrics.append(
+                EpochMetrics(
+                    epoch_index=e,
+                    zeta=float(book.zeta[e]),
+                    phi=float(phi[e]),
+                    uploaded=float(book.uploaded[e]),
+                    probed_contacts=int(book.probed_n[e]),
+                    missed_contacts=int(missed[e]),
+                    arrived_contacts=int(arrived[e]),
+                    arrived_capacity=float(arrived_capacity[e]),
+                    buffer_end_level=float(buffer_end[e]),
+                    delivery_delay_weight=float(book.delay_weight[e]),
+                    max_delivery_delay=float(book.max_delay[e]),
+                )
+            )
+
+        node = SensorNode(
+            node_id="sensor-0",
+            account=ProbingAccount(budget=scenario.phi_max),
+            buffer=DataBuffer(),
+        )
+        node.buffer.generate(rate * epochs * epoch_length)
+        node.buffer.upload(book.uploaded_cumulative)
+        node.ledger.record(RadioState.LISTEN, float(np.sum(phi)))
+        node.ledger.record(RadioState.TRANSMIT, book.uploaded_cumulative)
+        node.probed_contacts = int(book.probed_n.sum())
+        node.probed_time = float(book.zeta.sum())
+        node.missed_contacts = int(missed.sum())
+
+        return RunResult(
+            scenario=scenario,
+            scheduler=scheduler,
+            metrics=metrics,
+            node=node,
+            trace=trace,
+            timeline=None,
+        )
+
+
+engine_factories.register("vector", VectorEngine)

@@ -285,7 +285,9 @@ class TestGateLogic:
         with pytest.raises(ConfigurationError, match="tolerance"):
             agreement.gate_violations(-0.5)
 
-    def test_single_replicate_infinite_ci_never_violates(self):
+    def test_single_replicate_gate_refuses_to_run(self):
+        # Regression: a single replicate yields infinite delta CIs, so
+        # the gate used to pass vacuously; now it must refuse outright.
         from repro.experiments.spec import StudySpec, run_study
 
         spec = StudySpec(
@@ -294,4 +296,16 @@ class TestGateLogic:
             engines=("fast", "micro"), with_predictions=False,
         )
         agreement = run_study(spec).agreement
-        assert agreement.gate_violations(0.0) == []
+        with pytest.raises(ConfigurationError, match="vacuous"):
+            agreement.gate_violations(0.0)
+
+    def test_two_replicate_gate_runs(self):
+        from repro.experiments.spec import StudySpec, run_study
+
+        spec = StudySpec(
+            name="two-rep", zeta_targets=(16.0,), phi_maxes=(864.0,),
+            epochs=1, seed=1, mechanisms=("SNIP-AT",), replicates=2,
+            engines=("fast", "micro"), with_predictions=False,
+        )
+        agreement = run_study(spec).agreement
+        assert agreement.gate_violations(6.0) == []

@@ -1,0 +1,308 @@
+"""Tests for the ``"vector"`` engine.
+
+The contract under test:
+
+* ``"vector"`` resolves through the engine registry — in this process
+  and inside spawned pool / file-queue workers, where a
+  :class:`~repro.experiments.runner.RunSpec` arrives carrying only the
+  engine's name;
+* unknown engine options fail fast with
+  :class:`~repro.errors.ConfigurationError`;
+* numba is a **soft** dependency: auto-detection falls back to pure
+  numpy when the import is unavailable, ``numba=True`` demands it, and
+  the compiled-kernel code path (exercised through a fake numba module)
+  produces the same results as the numpy path;
+* fast-vs-vector agreement: the gated metrics match per paired seed,
+  the full two-engine study is byte-identical at jobs=1/jobs=4/shuffled
+  completion order, and the CI agreement gate passes;
+* :func:`~repro.experiments.runner.execute_run_specs` batch dispatch
+  returns exactly what the per-spec path produces, in spec order.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import types
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.engine import engine_names, resolve_engine
+from repro.experiments.parallel import ParallelExecutor, SerialExecutor
+from repro.experiments.registry import mechanism_factories
+from repro.experiments.runner import (
+    FastRunner,
+    RunSpec,
+    execute_run_spec,
+    execute_run_specs,
+)
+from repro.experiments.scenario import paper_roadside_scenario
+from repro.experiments.spec import StudySpec, run_study
+from repro.experiments.transport import resolve_transport
+from repro.experiments.vector import VectorEngine, numba_available
+from repro.units import DAY
+
+from test_spec import ShuffledExecutor
+
+MECHANISMS = ("SNIP-AT", "SNIP-OPT", "SNIP-RH")
+
+
+def tiny_scenario(**kwargs):
+    kwargs.setdefault("phi_max_divisor", 100)
+    kwargs.setdefault("zeta_target", 24.0)
+    kwargs.setdefault("epochs", 2)
+    kwargs.setdefault("seed", 3)
+    return paper_roadside_scenario(**kwargs)
+
+
+def scheduler_for(scenario, mechanism="SNIP-AT"):
+    return mechanism_factories.resolve(mechanism)(scenario)
+
+
+def vector_study(**overrides) -> StudySpec:
+    """A small paired fast-vs-vector study (2 targets × 2 replicates)."""
+    kwargs = dict(
+        name="vector-agreement",
+        zeta_targets=(16.0, 24.0),
+        phi_maxes=(DAY / 100.0,),
+        epochs=1,
+        seed=7,
+        engines=("fast", "vector"),
+        replicates=2,
+        with_predictions=False,
+    )
+    kwargs.update(overrides)
+    return StudySpec(**kwargs)
+
+
+def study_bytes(study) -> bytes:
+    document = study.to_dict()
+    return json.dumps(
+        {"grids": document["grids"], "agreements": document["agreements"]},
+        sort_keys=True,
+    ).encode()
+
+
+def fake_numba_module() -> types.ModuleType:
+    """A numba stand-in whose njit/prange run the kernel in pure Python.
+
+    Exercises the compiled-kernel code path (the closure the real numba
+    would compile) without requiring the real dependency in CI.
+    """
+    module = types.ModuleType("numba")
+
+    def njit(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+    module.njit = njit
+    module.prange = range
+    return module
+
+
+class TestRegistry:
+    def test_vector_engine_registered(self):
+        assert "vector" in engine_names()
+
+    def test_resolves_to_fresh_vector_engine_instances(self):
+        first = resolve_engine("vector")
+        second = resolve_engine("vector")
+        assert isinstance(first, VectorEngine)
+        assert first is not second
+        assert first.name == "vector"
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="frobnicate"):
+            VectorEngine(frobnicate=True)
+
+    def test_non_boolean_numba_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="numba"):
+            VectorEngine(numba="yes")
+
+
+class TestNumbaSoftDependency:
+    def test_numba_true_without_numba_raises(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numba", None)  # import fails
+        assert not numba_available()
+        with pytest.raises(ConfigurationError, match="numba"):
+            VectorEngine(numba=True)
+
+    def test_auto_detect_falls_back_to_numpy(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numba", None)
+        engine = VectorEngine()
+        assert not engine.numba_enabled
+        scenario = tiny_scenario(epochs=1)
+        result = engine.run(scenario, scheduler_for(scenario))
+        assert result.metrics.epoch_count == 1
+
+    def test_numba_false_never_imports(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numba", fake_numba_module())
+        assert not VectorEngine(numba=False).numba_enabled
+
+    def test_fake_numba_kernel_path_matches_numpy(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numba", fake_numba_module())
+        assert numba_available()
+        accelerated = VectorEngine(numba=True)
+        assert accelerated.numba_enabled
+        plain = VectorEngine(numba=False)
+        for mechanism in ("SNIP-AT", "SNIP-OPT"):  # kernel = static path
+            scenario = tiny_scenario()
+            fast_result = plain.run(scenario, scheduler_for(scenario, mechanism))
+            kernel_result = accelerated.run(
+                scenario, scheduler_for(scenario, mechanism)
+            )
+            assert kernel_result.mean_zeta == fast_result.mean_zeta
+            assert kernel_result.mean_phi == fast_result.mean_phi
+            assert (
+                kernel_result.metrics.total_probed
+                == fast_result.metrics.total_probed
+            )
+
+
+class TestFastVectorEquivalence:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    @pytest.mark.parametrize("divisor", (1000.0, 100.0))
+    def test_gated_metrics_match_fast(self, mechanism, divisor):
+        scenario = tiny_scenario(phi_max_divisor=divisor)
+        fast = execute_run_spec(RunSpec(scenario=scenario, mechanism=mechanism))
+        vector = execute_run_spec(
+            RunSpec(scenario=scenario, mechanism=mechanism, engine="vector")
+        )
+        assert vector.mean_zeta == pytest.approx(fast.mean_zeta, abs=1e-9)
+        assert vector.mean_phi == pytest.approx(fast.mean_phi, abs=1e-9)
+        assert vector.metrics.total_probed == fast.metrics.total_probed
+        assert vector.metrics.total_missed == fast.metrics.total_missed
+        for fast_epoch, vector_epoch in zip(
+            fast.metrics.epochs, vector.metrics.epochs
+        ):
+            assert vector_epoch.zeta == pytest.approx(fast_epoch.zeta, abs=1e-9)
+            assert vector_epoch.phi == pytest.approx(fast_epoch.phi, abs=1e-9)
+            assert vector_epoch.missed_contacts == fast_epoch.missed_contacts
+            assert vector_epoch.arrived_contacts == fast_epoch.arrived_contacts
+
+    def test_rh_scheduler_end_state_matches_fast(self):
+        # The walk feeds the real scheduler's EWMAs: after a run the
+        # learned state must match the fast runner's.  Contact lengths
+        # are read straight off the trace (exact); uploads pass through
+        # the buffer arithmetic, where association order differs.
+        scenario = tiny_scenario(phi_max_divisor=1000.0)
+        fast_scheduler = scheduler_for(scenario, "SNIP-RH")
+        FastRunner(scenario, fast_scheduler).run()
+        vector_scheduler = scheduler_for(scenario, "SNIP-RH")
+        VectorEngine(numba=False).run(scenario, vector_scheduler)
+        assert (
+            vector_scheduler.contact_length_ewma.value
+            == fast_scheduler.contact_length_ewma.value
+        )
+        assert vector_scheduler.upload_ewma.value_or(0.0) == pytest.approx(
+            fast_scheduler.upload_ewma.value_or(0.0), rel=1e-9
+        )
+
+    def test_unsupported_scheduler_falls_back_to_fast_runner(self):
+        from repro.core.schedulers.base import Scheduler, SchedulerDecision
+        from repro.radio.duty_cycle import DutyCycleConfig
+
+        class OddScheduler(Scheduler):
+            name = "odd"
+
+            def decide(self, time, node):
+                if node.account.exhausted:
+                    return SchedulerDecision.off("budget")
+                return SchedulerDecision(
+                    DutyCycleConfig(t_on=0.02, duty_cycle=0.01)
+                )
+
+        scenario = tiny_scenario(epochs=1)
+        reference = FastRunner(scenario, OddScheduler()).run()
+        with pytest.warns(RuntimeWarning, match="no vectorized kernel"):
+            result = VectorEngine().run(scenario, OddScheduler())
+        assert result.mean_zeta == reference.mean_zeta
+        assert result.mean_phi == reference.mean_phi
+
+
+class TestBatchDispatch:
+    def test_execute_run_specs_matches_per_spec_path(self):
+        scenario = tiny_scenario(epochs=1)
+        specs = [
+            RunSpec(scenario=scenario, mechanism=mechanism, engine=engine)
+            for engine in ("vector", "fast", "vector")
+            for mechanism in ("SNIP-AT", "SNIP-RH")
+        ]
+        batched = execute_run_specs(specs)
+        assert len(batched) == len(specs)
+        for spec, result in zip(specs, batched):
+            single = execute_run_spec(spec)
+            assert result.mean_zeta == single.mean_zeta
+            assert result.mean_phi == single.mean_phi
+            assert result.scheduler.name == spec.mechanism
+
+    def test_run_batch_resolves_mechanism_names(self):
+        scenario = tiny_scenario(epochs=1)
+        specs = [
+            RunSpec(scenario=scenario, mechanism="SNIP-AT", engine="vector"),
+            RunSpec(scenario=scenario, mechanism="SNIP-OPT", engine="vector"),
+        ]
+        results = VectorEngine().run_batch(specs)
+        assert [r.scheduler.name for r in results] == ["SNIP-AT", "SNIP-OPT"]
+
+
+class TestWorkerSideResolution:
+    def test_vector_specs_cross_the_pool(self):
+        scenario = tiny_scenario(epochs=1)
+        specs = [
+            RunSpec(scenario=scenario, mechanism="SNIP-AT", engine=engine)
+            for engine in ("vector", "fast", "vector", "fast")
+        ]
+        pool = ParallelExecutor(jobs=2)
+        results = pool.map(execute_run_spec, specs)
+        assert pool.last_map_parallel, "vector specs fell back to serial"
+        assert results[0].mean_zeta == results[2].mean_zeta
+        assert results[0].mean_zeta == pytest.approx(
+            results[1].mean_zeta, abs=1e-9
+        )
+
+    def test_vector_study_identical_at_jobs_1_4_and_shuffled(self):
+        serial = run_study(vector_study(), executor=SerialExecutor())
+        pool = ParallelExecutor(jobs=4)
+        pooled = run_study(vector_study(), executor=pool)
+        assert pool.last_map_parallel
+        shuffled = run_study(vector_study(), executor=ShuffledExecutor())
+        assert study_bytes(pooled) == study_bytes(serial)
+        assert study_bytes(shuffled) == study_bytes(serial)
+
+    def test_vector_study_through_file_queue_workers(self):
+        serial = run_study(vector_study(), executor=SerialExecutor())
+        transport = resolve_transport(
+            "file-queue", jobs=2, options={"workers": 2}
+        )
+        queued = run_study(vector_study(), executor=transport)
+        assert study_bytes(queued) == study_bytes(serial)
+
+    def test_vector_agreement_gate_passes(self):
+        study = run_study(vector_study(), executor=SerialExecutor())
+        agreement = study.agreements["vector"]
+        assert agreement.gate_violations(1e-6) == []
+
+
+class TestValidationSurface:
+    def test_vector_legal_in_spec_engines_axis(self):
+        spec = vector_study()
+        assert StudySpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_engine_still_rejected(self):
+        with pytest.raises(ConfigurationError, match="warp-drive"):
+            run_study(vector_study(engines=("fast", "warp-drive")))
+
+    def test_trace_is_shared_with_fast_engine_comparisons(self):
+        scenario = tiny_scenario(epochs=1)
+        fast = execute_run_spec(RunSpec(scenario=scenario, mechanism="SNIP-AT"))
+        vector = execute_run_spec(
+            RunSpec(scenario=scenario, mechanism="SNIP-AT", engine="vector")
+        )
+        assert list(vector.trace) == list(fast.trace)
