@@ -1,0 +1,71 @@
+"""Static invariant analysis: the ``repro lint`` checker.
+
+The reproduction's safety properties — byte-identical replays across
+``jobs=1/N/shuffled``, registry names that resolve on any worker,
+CLI surfaces that cannot drift from the registries — are contracts no
+single test fully covers.  This package pushes them into a checker
+that re-verifies the whole tree on every run (``python -m repro lint
+src tests``), in the incremental spirit of verify-once/re-check-forever:
+
+* :mod:`~repro.analysis.determinism` — no global RNG, no legacy
+  ``np.random`` state, no wall-clock reads, no salted ``hash()`` in
+  the determinism-scoped subpackages;
+* :mod:`~repro.analysis.registry_rules` — registrations visible to
+  workers, ``_ENGINE_MODULES`` in lockstep with the engine registry,
+  argparse ``choices=`` derived from registries, every
+  ``examples/*.json`` valid under the strict spec loader;
+* :mod:`~repro.analysis.worker_safety` — no unpicklable lambdas on
+  pool-crossing APIs, no unannotated broad ``except``.
+
+Exemptions are explicit: ``# lint: allow[rule-id] -- reason``
+(:mod:`~repro.analysis.pragmas`; the reason is mandatory).  Rules
+register like engines do (:data:`~repro.analysis.rules.lint_rules`,
+a :class:`~repro.experiments.registry.FactoryRegistry`), files are
+walked once with per-file content-hash caching
+(:mod:`~repro.analysis.cache`), and findings render through the same
+table/JSON/CSV conventions as every other artifact
+(:mod:`~repro.analysis.findings`).
+"""
+
+from .cache import LintCache, content_hash, ruleset_signature
+from .findings import LINT_FORMATS, Finding, LintReport
+from .pragmas import PRAGMA_PATTERN, Pragma, PragmaIndex, parse_pragmas
+from .rules import (
+    DETERMINISM_PACKAGES,
+    FileContext,
+    ProjectContext,
+    Rule,
+    all_rules,
+    lint_rules,
+    register_rule,
+)
+from .runner import PARSE_ERROR_RULE, collect_python_files, run_lint
+
+# Importing the rule modules is what populates the registry (exactly
+# like engines registering where they are defined).
+from . import determinism as _determinism  # noqa: F401
+from . import registry_rules as _registry_rules  # noqa: F401
+from . import worker_safety as _worker_safety  # noqa: F401
+
+__all__ = [
+    "DETERMINISM_PACKAGES",
+    "Finding",
+    "FileContext",
+    "LINT_FORMATS",
+    "LintCache",
+    "LintReport",
+    "PARSE_ERROR_RULE",
+    "PRAGMA_PATTERN",
+    "Pragma",
+    "PragmaIndex",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "collect_python_files",
+    "content_hash",
+    "lint_rules",
+    "parse_pragmas",
+    "register_rule",
+    "ruleset_signature",
+    "run_lint",
+]

@@ -1,0 +1,132 @@
+"""Per-file lint result caching keyed on content hash.
+
+The per-file AST walk is a pure function of ``(file content, ruleset)``
+— rules see one file at a time and nothing else — so its findings can
+be memoized: a re-lint after editing one module re-walks only that
+module.  Project rules (cross-file reconciliation, example validation)
+are *never* cached; they are global by definition and cheap relative
+to the walks.
+
+The key is ``sha256(content)`` scoped by display path (identical
+content at two paths caches separately, so cached findings always
+report the right location) and by a **ruleset signature** — the sorted
+rule ids plus the cache schema version — so adding, removing, or
+renaming a rule invalidates every entry at once.
+
+Persistence is opt-in (``repro-snip lint --cache PATH``); without a
+path the cache is process-local.  A corrupt or mismatched cache file
+degrades to empty, never to an error: a lint run must not fail because
+its accelerator did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .findings import Finding
+
+#: Bump to invalidate every persisted entry on schema changes.
+CACHE_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    """The cache key component for one file's content."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def ruleset_signature(rule_ids: Iterable[str]) -> str:
+    """A digest of the ruleset: any rule change invalidates the cache."""
+    material = json.dumps(
+        {"version": CACHE_VERSION, "rules": sorted(rule_ids)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+class LintCache:
+    """Findings memo for per-file rule walks.
+
+    Usage::
+
+        cache = LintCache.load(path, signature)   # or LintCache(signature)
+        hit = cache.get(display_path, source)     # None on miss
+        cache.put(display_path, source, findings)
+        cache.save()                              # no-op without a path
+    """
+
+    def __init__(
+        self, signature: str, *, path: Optional[Path] = None
+    ) -> None:
+        self.signature = signature
+        self.path = path
+        self._entries: Dict[str, List[dict]] = {}
+        self.hits = 0
+
+    @classmethod
+    def load(cls, path: Optional[str], signature: str) -> "LintCache":
+        """A cache backed by *path* (None → process-local only).
+
+        An unreadable, corrupt, or differently-signed file yields an
+        empty cache — stale acceleration is silently discarded.
+        """
+        cache = cls(signature, path=Path(path) if path else None)
+        if cache.path is None or not cache.path.exists():
+            return cache
+        try:
+            data = json.loads(cache.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return cache
+        if (
+            not isinstance(data, dict)
+            or data.get("signature") != signature
+            or not isinstance(data.get("entries"), dict)
+        ):
+            return cache
+        cache._entries = {
+            key: value
+            for key, value in data["entries"].items()
+            if isinstance(value, list)
+        }
+        return cache
+
+    def _key(self, path: str, source: str) -> str:
+        return f"{path}::{content_hash(source)}"
+
+    def get(self, path: str, source: str) -> Optional[Tuple[Finding, ...]]:
+        """Cached findings for this exact content at this path, or None."""
+        entry = self._entries.get(self._key(path, source))
+        if entry is None:
+            return None
+        try:
+            findings = tuple(Finding.from_dict(item) for item in entry)
+        except (ConfigurationError, TypeError, ValueError):
+            # A corrupt entry degrades to a miss, never to an error.
+            return None
+        self.hits += 1
+        return findings
+
+    def put(
+        self, path: str, source: str, findings: Iterable[Finding]
+    ) -> None:
+        """Record the findings for this content (post-suppression)."""
+        self._entries[self._key(path, source)] = [
+            finding.to_dict() for finding in findings
+        ]
+
+    def save(self) -> None:
+        """Persist to the backing path, if one was configured."""
+        if self.path is None:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "entries": self._entries,
+        }
+        self.path.write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )

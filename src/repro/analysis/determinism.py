@@ -1,0 +1,251 @@
+"""Determinism rules: entropy and clocks must not bypass ``sim.rng``.
+
+The reproduction's headline property — byte-identical results for
+``jobs=1``, ``jobs=N``, and adversarially shuffled shard orders — holds
+only while every random draw flows through the seeded substreams of
+:mod:`repro.sim.rng` and no simulation quantity reads process-global
+state.  These rules ban the leak vectors inside the determinism-scoped
+subpackages (:data:`~repro.analysis.rules.DETERMINISM_PACKAGES`:
+``sim``, ``protocols``, ``experiments``, ``mobility``):
+
+* ``global-random`` — the stdlib :mod:`random` module (one hidden
+  process-global Mersenne Twister; any import of it is an invitation);
+* ``legacy-np-random`` — numpy's legacy global-state API
+  (``np.random.seed`` / ``np.random.rand`` / ...).  The generator API
+  (``np.random.SeedSequence``, ``np.random.default_rng``,
+  ``np.random.Generator``) is explicitly allowed — it is exactly what
+  ``sim.rng`` builds its named substreams from;
+* ``wall-clock`` — ``time.time()`` / ``datetime.now()`` /
+  ``os.urandom`` and friends: wall-clock and OS entropy differ per run
+  by construction.  ``time.monotonic``/``time.sleep`` stay legal; the
+  transports use them for liveness bounds, which never feed results;
+* ``hash-seed`` — the builtin ``hash()`` of strings/bytes is salted
+  per process (PYTHONHASHSEED), so hash-derived keys or orderings
+  change between runs; use :func:`repro.sim.rng.derive_seed` or
+  :mod:`hashlib` for stable digests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .findings import Finding
+from .rules import (
+    CATEGORY_DETERMINISM,
+    DETERMINISM_PACKAGES,
+    FileContext,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+#: numpy's legacy global-state functions (``np.random.<fn>``); the
+#: generator API (SeedSequence, default_rng, Generator, bit
+#: generators) is not listed and therefore allowed.
+LEGACY_NP_RANDOM = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_integers",
+    "random_sample", "ranf", "sample", "choice", "shuffle",
+    "permutation", "bytes", "normal", "uniform", "poisson",
+    "exponential", "binomial", "beta", "gamma", "standard_normal",
+    "lognormal", "laplace", "pareto", "weibull", "get_state",
+    "set_state",
+})
+
+#: Banned call suffixes (last two dotted components) for ``wall-clock``.
+WALL_CLOCK_SUFFIXES = frozenset({
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("os", "urandom"),
+    ("os", "getrandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+})
+
+#: ``from <module> import <name>`` pairs equivalent to the suffixes
+#: above (importing the bare name hides the module qualifier from the
+#: call-site check, so the import itself is the violation).
+WALL_CLOCK_IMPORTS = frozenset({
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("os", "urandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+})
+
+
+class DeterminismRule(Rule):
+    """Shared scoping: only the determinism-contract subpackages."""
+
+    category = CATEGORY_DETERMINISM
+
+    def applies(self, ctx: FileContext) -> bool:
+        return (
+            ctx.in_repro
+            and not ctx.in_tests
+            and ctx.subpackage in DETERMINISM_PACKAGES
+        )
+
+
+@register_rule
+class GlobalRandomRule(DeterminismRule):
+    """Ban the stdlib :mod:`random` module outright in scoped code."""
+
+    rule_id = "global-random"
+    description = (
+        "stdlib `random` (process-global RNG) in determinism-scoped "
+        "code; draw from sim.rng substreams instead"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def check_node(
+        self, node: ast.AST, ctx: FileContext, scope: Tuple[ast.AST, ...]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield ctx.finding(
+                        self, node,
+                        "stdlib `random` is one process-global RNG; "
+                        "derive a seeded substream via repro.sim.rng "
+                        "(RandomStreams / derive_seed) instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" or (
+                node.module or ""
+            ).startswith("random."):
+                yield ctx.finding(
+                    self, node,
+                    "importing from stdlib `random` pulls global-RNG "
+                    "state into deterministic code; use repro.sim.rng "
+                    "substreams instead",
+                )
+
+
+@register_rule
+class LegacyNumpyRandomRule(DeterminismRule):
+    """Ban numpy's legacy global-state ``np.random.<fn>`` calls."""
+
+    rule_id = "legacy-np-random"
+    description = (
+        "legacy numpy global-state RNG call (np.random.seed/rand/...); "
+        "use np.random.default_rng via sim.rng substreams"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def check_node(
+        self, node: ast.AST, ctx: FileContext, scope: Tuple[ast.AST, ...]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module in ("numpy.random",):
+                legacy = [
+                    alias.name for alias in node.names
+                    if alias.name in LEGACY_NP_RANDOM
+                ]
+                if legacy:
+                    yield ctx.finding(
+                        self, node,
+                        f"importing legacy numpy RNG function(s) "
+                        f"{sorted(legacy)} from numpy.random mutates "
+                        "hidden global state; use the Generator API "
+                        "through repro.sim.rng",
+                    )
+            return
+        assert isinstance(node, ast.Call)
+        parts = dotted_name(node.func)
+        if parts is None or len(parts) < 3:
+            return
+        root, middle, fn = parts[0], parts[-2], parts[-1]
+        if root in ("np", "numpy") and middle == "random" and fn in LEGACY_NP_RANDOM:
+            yield ctx.finding(
+                self, node,
+                f"`{'.'.join(parts)}` uses numpy's legacy global RNG "
+                "state; draw from a seeded np.random.Generator "
+                "(repro.sim.rng substreams) instead",
+            )
+
+
+@register_rule
+class WallClockRule(DeterminismRule):
+    """Ban wall-clock reads and OS entropy in scoped code."""
+
+    rule_id = "wall-clock"
+    description = (
+        "wall-clock or OS-entropy call (time.time / datetime.now / "
+        "os.urandom / uuid4) in determinism-scoped code"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def check_node(
+        self, node: ast.AST, ctx: FileContext, scope: Tuple[ast.AST, ...]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "secrets":
+                yield ctx.finding(
+                    self, node,
+                    "`secrets` is OS entropy by definition; simulation "
+                    "randomness must come from seeded sim.rng substreams",
+                )
+                return
+            banned = [
+                alias.name for alias in node.names
+                if (module, alias.name) in WALL_CLOCK_IMPORTS
+            ]
+            if banned:
+                yield ctx.finding(
+                    self, node,
+                    f"importing {sorted(banned)} from `{module}` brings "
+                    "wall-clock/OS-entropy into deterministic code; "
+                    "simulated time comes from the engine, seeds from "
+                    "sim.rng",
+                )
+            return
+        assert isinstance(node, ast.Call)
+        parts = dotted_name(node.func)
+        if parts is None:
+            return
+        if parts[0] == "secrets" and len(parts) >= 2:
+            yield ctx.finding(
+                self, node,
+                f"`{'.'.join(parts)}` reads OS entropy; use seeded "
+                "sim.rng substreams",
+            )
+            return
+        if len(parts) >= 2 and parts[-2:] in WALL_CLOCK_SUFFIXES:
+            yield ctx.finding(
+                self, node,
+                f"`{'.'.join(parts)}` reads wall-clock/OS state that "
+                "differs per run; simulated time comes from the "
+                "engine's clock, entropy from sim.rng",
+            )
+
+
+@register_rule
+class HashSeedRule(DeterminismRule):
+    """Ban the PYTHONHASHSEED-dependent builtin ``hash()``."""
+
+    rule_id = "hash-seed"
+    description = (
+        "builtin hash() is salted per process (PYTHONHASHSEED); use "
+        "sim.rng.derive_seed or hashlib for stable keys"
+    )
+    node_types = (ast.Call,)
+
+    def check_node(
+        self, node: ast.AST, ctx: FileContext, scope: Tuple[ast.AST, ...]
+    ) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "hash":
+            yield ctx.finding(
+                self, node,
+                "builtin hash() of str/bytes changes with "
+                "PYTHONHASHSEED, so hash-derived keys or orderings "
+                "differ between processes; use "
+                "repro.sim.rng.derive_seed (seeds) or hashlib (digests)",
+            )

@@ -1,0 +1,192 @@
+"""The ``# lint: allow[rule] -- reason`` suppression pragma.
+
+A finding is suppressed only by an *annotated* pragma: the rule id in
+brackets says **what** is being allowed, and the mandatory reason after
+``--`` says **why** — a pragma without a reason suppresses nothing and
+is itself reported (``pragma-missing-reason``), so every exemption in
+the tree carries its own justification.  Several rules may share one
+pragma: ``# lint: allow[broad-except, wall-clock] -- reason``.
+
+Placement: a trailing pragma applies to its own line; a standalone
+comment line applies to the next *code* line below it (blank lines and
+further comment lines are skipped, so a pragma's reason may wrap onto
+continuation comments).  Comments are located with :mod:`tokenize`, so
+a pragma-shaped substring inside a string literal is never treated as
+a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .findings import Finding
+
+#: The pragma grammar.  The reason separator is two ASCII hyphens.
+PRAGMA_PATTERN = re.compile(
+    r"#\s*lint:\s*allow\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+#: Rule id reported for a pragma whose mandatory reason is missing.
+MISSING_REASON_RULE = "pragma-missing-reason"
+
+#: Rule id reported for a pragma naming an unregistered rule.
+UNKNOWN_RULE_RULE = "pragma-unknown-rule"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression pragma.
+
+    Attributes:
+        line: 1-indexed source line the comment sits on.
+        target: the code line this pragma suppresses findings on (its
+            own line for a trailing pragma; the next code line for a
+            standalone comment).
+        rules: the rule ids inside the brackets.
+        reason: the justification after ``--`` (never empty for a
+            pragma that made it into the index).
+    """
+
+    line: int
+    target: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+class PragmaIndex:
+    """Per-file pragma lookup: which rules are allowed on which lines."""
+
+    def __init__(self, pragmas: Iterable[Pragma]) -> None:
+        self._by_target: Dict[int, List[Pragma]] = {}
+        for pragma in pragmas:
+            self._by_target.setdefault(pragma.target, []).append(pragma)
+
+    def suppressing(self, rule: str, line: int) -> Optional[Pragma]:
+        """The pragma allowing *rule* on *line*, or None."""
+        for pragma in self._by_target.get(line, ()):
+            if rule in pragma.rules:
+                return pragma
+        return None
+
+    def all_pragmas(self) -> List[Pragma]:
+        """Every indexed pragma (for the unknown-rule audit)."""
+        return sorted(
+            (p for pragmas in self._by_target.values() for p in pragmas),
+            key=lambda p: p.line,
+        )
+
+
+def parse_pragmas(
+    path: str, source: str
+) -> Tuple[PragmaIndex, List[Finding]]:
+    """Extract pragmas (and malformed-pragma findings) from *source*.
+
+    Returns the index of *well-formed* pragmas plus one
+    :data:`MISSING_REASON_RULE` finding per pragma lacking its
+    mandatory reason (such a pragma never suppresses — an unexplained
+    exemption must not silence the rule it names).
+    """
+    pragmas: List[Pragma] = []
+    findings: List[Finding] = []
+    lines = source.splitlines()
+    for line, column, text, standalone in _comments(source):
+        match = PRAGMA_PATTERN.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        reason = match.group("reason")
+        if not rules or not reason:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    column=column,
+                    rule=MISSING_REASON_RULE,
+                    message=(
+                        "lint pragma must name rule(s) and a reason: "
+                        "# lint: allow[rule] -- why this is safe"
+                    ),
+                    category="pragma",
+                )
+            )
+            continue
+        target = _next_code_line(lines, line) if standalone else line
+        pragmas.append(
+            Pragma(line=line, target=target, rules=rules, reason=reason)
+        )
+    return PragmaIndex(pragmas), findings
+
+
+def _next_code_line(lines: List[str], comment_line: int) -> int:
+    """The first non-blank, non-comment line after *comment_line*.
+
+    This is what a standalone pragma annotates; skipping comments lets
+    a long reason wrap onto continuation comment lines.
+    """
+    for offset, text in enumerate(lines[comment_line:], start=comment_line + 1):
+        stripped = text.strip()
+        if stripped and not stripped.startswith("#"):
+            return offset
+    return comment_line + 1
+
+
+def audit_unknown_rules(
+    path: str, index: PragmaIndex, known_rules: Iterable[str]
+) -> List[Finding]:
+    """Findings for pragmas that allow a rule id nobody registered.
+
+    A typo in the bracket would otherwise create a pragma that looks
+    load-bearing but suppresses nothing.
+    """
+    known = set(known_rules) | {MISSING_REASON_RULE, UNKNOWN_RULE_RULE}
+    findings: List[Finding] = []
+    for pragma in index.all_pragmas():
+        for rule in pragma.rules:
+            if rule not in known:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=pragma.line,
+                        column=0,
+                        rule=UNKNOWN_RULE_RULE,
+                        message=(
+                            f"pragma allows unknown rule {rule!r}; "
+                            f"known rules: {sorted(known)}"
+                        ),
+                        category="pragma",
+                    )
+                )
+    return findings
+
+
+def _comments(source: str) -> List[Tuple[int, int, str, bool]]:
+    """Every comment as ``(line, column, text, standalone)``.
+
+    Tokenized, so strings containing ``# lint:`` are not comments.  A
+    file that fails to tokenize yields no comments — the caller already
+    reports the parse error through the ``parse-error`` pseudo-rule.
+    """
+    results: List[Tuple[int, int, str, bool]] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return results
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        row, column = token.start
+        prefix = lines[row - 1][:column] if row - 1 < len(lines) else ""
+        results.append((row, column, token.string, not prefix.strip()))
+    return results

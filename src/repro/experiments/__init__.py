@@ -41,7 +41,13 @@ from .registry import (
     node_factories,
     transport_factories,
 )
-from .engine import Engine, PAPER_ENGINES, engine_names, resolve_engine
+from .engine import (
+    Engine,
+    PAPER_ENGINES,
+    available_engines,
+    engine_names,
+    resolve_engine,
+)
 from .runner import (
     FastEngine,
     FastRunner,
@@ -104,6 +110,7 @@ __all__ = [
     "RunSpec",
     "NamedFactory",
     "engine_factories",
+    "available_engines",
     "engine_names",
     "resolve_engine",
     "mechanism_factories",

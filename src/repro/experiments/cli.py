@@ -11,6 +11,7 @@ Examples::
     repro-snip grid --budget-divisors 1000 100 --jobs 4 --replicates 3
     repro-snip agree --jobs 4 --replicates 3 --epochs 1 --gate 6.0
     repro-snip network --jobs 2 --factory SNIP-RH --engine fast
+    repro-snip lint src tests --format github
     repro-snip gain
 
 (Equivalently ``python -m repro <subcommand>``.)  The CLI is a thin
@@ -42,11 +43,12 @@ import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
+from ..analysis.findings import LINT_FORMATS
 from ..core.analysis import evaluate_schedulers, rush_hour_gain_surface
 from ..errors import ReproError
 from ..units import DAY
 from .agreement import AGREEMENT_METRICS, AgreementResult
-from .engine import PAPER_ENGINES
+from .engine import PAPER_ENGINES, available_engines
 from .registry import node_factories
 from .reporting import (
     format_estimate,
@@ -287,7 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the grid (1 = in-process)",
     )
     grid.add_argument(
-        "--engine", default="fast",
+        "--engine", default="fast", choices=available_engines(),
         help="engine-registry name every cell runs on (default: fast)",
     )
     grid.add_argument(
@@ -342,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     agree.add_argument(
         "--engines", nargs=2, default=list(PAPER_ENGINES),
+        choices=available_engines(),
         metavar=("BASELINE", "CANDIDATE"),
         help="engine-registry names to compare (default: fast micro)",
     )
@@ -399,7 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     network.add_argument(
         "--engine", default="fast",
-        choices=sorted({*PAPER_ENGINES, "vector"}),
+        choices=available_engines(),
         help="registry-named per-node simulation engine",
     )
     network.add_argument(
@@ -410,6 +413,44 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument(
         "--emit-spec", default=None, metavar="PATH",
         help="write the equivalent StudySpec to PATH and exit",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant checks: determinism, registry/CLI "
+             "consistency, worker safety (repro.analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", dest="fmt", default="table", choices=LINT_FORMATS,
+        help="findings rendering: aligned table, JSON document, or "
+             "GitHub workflow annotations",
+    )
+    lint.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report artifact (.json or .csv by extension)",
+    )
+    lint.add_argument(
+        "--examples", default=None, metavar="DIR",
+        help="directory of StudySpec JSON documents validated by the "
+             "spec-consistency rule (default: ./examples when present; "
+             "--no-examples skips)",
+    )
+    lint.add_argument(
+        "--no-examples", action="store_true",
+        help="skip example-spec validation",
+    )
+    lint.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persist per-file findings keyed on content hash, so "
+             "re-lints only re-walk changed files",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
     )
 
     worker = sub.add_parser(
@@ -814,6 +855,41 @@ def cmd_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static invariant checker; exit 1 on any finding.
+
+    The CI gate: ``python -m repro lint src tests --format github``
+    annotates the PR diff and fails the build when a determinism,
+    registry-consistency, or worker-safety invariant is violated
+    (:mod:`repro.analysis`).  Exemptions need an annotated
+    ``# lint: allow[rule] -- reason`` pragma at the site.
+    """
+    from ..analysis import all_rules, run_lint
+
+    if args.list_rules:
+        rows = [
+            [rule.rule_id, rule.category, rule.description]
+            for rule in all_rules()
+        ]
+        print(format_table(["rule", "category", "description"], rows,
+                           title="repro lint rule catalogue"))
+        return 0
+    report = run_lint(
+        args.paths,
+        examples_dir="" if args.no_examples else args.examples,
+        cache_path=args.cache,
+    )
+    if args.fmt == "json":
+        print(report.to_json(), end="")
+    elif args.fmt == "github":
+        print(report.render_github())
+    else:
+        print(report.render_table())
+    if args.out:
+        _write_output(args.out, report)
+    return 0 if report.ok else 1
+
+
 def cmd_worker(args: argparse.Namespace) -> int:
     """Serve a file-queue directory: the worker half of the transport.
 
@@ -846,6 +922,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "gain": cmd_gain,
         "lifetime": cmd_lifetime,
         "network": cmd_network,
+        "lint": cmd_lint,
         "worker": cmd_worker,
     }
     try:

@@ -121,8 +121,20 @@ def resolve_engine(name: str) -> Engine:
     return engine_factories.resolve(name)()
 
 
-def engine_names() -> list:
-    """All resolvable engine names (built-ins plus runtime registrations)."""
+def available_engines() -> list:
+    """All resolvable engine names (built-ins plus runtime registrations).
+
+    Imports every module in :data:`_ENGINE_MODULES` first, so the
+    lazily-registered built-ins are present whether or not anything has
+    resolved them yet.  This is the single source for CLI
+    ``choices=`` — the registry-consistency lint rule
+    (``literal-choices``, :mod:`repro.analysis.registry_rules`) rejects
+    hand-maintained engine sets there.
+    """
     for module in _ENGINE_MODULES.values():
         importlib.import_module(module)
     return engine_factories.names()
+
+
+#: Backwards-compatible alias (pre-lint name for the same derivation).
+engine_names = available_engines

@@ -328,10 +328,14 @@ def _guarded_shard(fn: Callable, item: Any) -> _ShardOutcome:
     """
     try:
         return _ShardOutcome(value=fn(item))
-    except Exception as exc:  # noqa: BLE001 — re-raised in the parent
+    # lint: allow[broad-except] -- the executor boundary: any worker-side
+    # exception must be captured whole and re-raised in the parent
+    except Exception as exc:  # noqa: BLE001
         text = traceback.format_exc()
         try:
             pickle.loads(pickle.dumps(exc))
+        # lint: allow[broad-except] -- pickling arbitrary exceptions can
+        # fail with anything; an unpicklable one is wrapped, not lost
         except Exception:
             exc = ShardError(
                 f"shard raised unpicklable {type(exc).__name__}; "
@@ -556,6 +560,8 @@ class ParallelExecutor:
         """
         try:
             pickle.dumps(fn)
+        # lint: allow[broad-except] -- a pre-flight probe: any pickling
+        # failure, whatever its type, means the pool cannot be used
         except Exception:
             return (
                 f"the shard function {getattr(fn, '__name__', fn)!r} is not "
@@ -565,6 +571,8 @@ class ParallelExecutor:
         if items:
             try:
                 pickle.dumps(items[0])
+            # lint: allow[broad-except] -- same pre-flight probe for the
+            # sampled shard payload
             except Exception:
                 return (
                     "the shards are not picklable (closures as scheduler "

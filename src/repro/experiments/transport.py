@@ -284,6 +284,9 @@ def _atomic_write(path: str, data: bytes) -> None:
         with os.fdopen(handle, "wb") as tmp:
             tmp.write(data)
         os.replace(tmp_path, path)
+    # lint: allow[broad-except] -- cleanup-and-reraise: the temp file
+    # must be removed even on KeyboardInterrupt, then the raise
+    # propagates the original failure untouched
     except BaseException:
         try:
             os.remove(tmp_path)
@@ -681,6 +684,10 @@ class _QueueSession:
         self.transport = transport
         self.queue_dir = queue_dir
         self.owns_dir = owns_dir
+        # lint: allow[wall-clock] -- queue-session label only: the run id
+        # namespaces ticket files on a shared directory and never feeds
+        # results; colliding coordinators must not reuse each other's
+        # tickets, so OS entropy is exactly right here
         self.run = f"run-{uuid.uuid4().hex[:12]}"
         self.worker_id = local_worker_id()
         self.procs: List[subprocess.Popen] = []

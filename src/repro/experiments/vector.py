@@ -89,7 +89,7 @@ def _import_numba():
     """
     try:
         import numba  # noqa: PLC0415 - soft dependency, resolved lazily
-    except Exception:
+    except ImportError:
         return None
     return numba
 

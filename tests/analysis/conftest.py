@@ -1,0 +1,36 @@
+"""Shared fixtures for the static-analysis (lint) test suite.
+
+The fixture tests work on tiny synthetic source trees: each test writes
+snippet files under ``tmp_path`` using repo-shaped relative paths
+(``repro/sim/mod.py``) so the path-scoping heuristics — determinism
+rules only inside the contract subpackages, nothing inside ``tests`` —
+fire exactly as they do on the real tree.
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` snippets and lint them.
+
+    Sources are dedented; example validation is off unless a directory
+    is passed explicitly; ``rules=[...]`` isolates a single rule.
+    """
+
+    def _lint(files, *, rules=None, examples_dir=""):
+        paths = []
+        for relpath, source in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(dedent(source), encoding="utf-8")
+            paths.append(path)
+        return run_lint(paths, rules=rules, examples_dir=examples_dir)
+
+    return _lint

@@ -1,0 +1,90 @@
+"""Unit tests for the content-hash lint cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cache import LintCache, content_hash, ruleset_signature
+from repro.analysis.findings import Finding
+
+FINDING = Finding(
+    path="m.py", line=3, column=0, rule="wall-clock",
+    message="x", category="determinism",
+)
+
+
+class TestKeys:
+    def test_content_hash_is_stable(self):
+        assert content_hash("abc") == content_hash("abc")
+        assert content_hash("abc") != content_hash("abd")
+
+    def test_signature_order_insensitive(self):
+        assert ruleset_signature(["b", "a"]) == ruleset_signature(["a", "b"])
+
+    def test_signature_changes_with_ruleset(self):
+        assert ruleset_signature(["a"]) != ruleset_signature(["a", "b"])
+
+
+class TestInMemory:
+    def test_put_get_hit(self):
+        cache = LintCache("sig")
+        cache.put("m.py", "src", [FINDING])
+        assert cache.get("m.py", "src") == (FINDING,)
+        assert cache.hits == 1
+
+    def test_changed_content_misses(self):
+        cache = LintCache("sig")
+        cache.put("m.py", "src", [FINDING])
+        assert cache.get("m.py", "src2") is None
+        assert cache.hits == 0
+
+    def test_same_content_different_path_misses(self):
+        # Findings carry their path; identical content elsewhere must
+        # not replay the wrong location.
+        cache = LintCache("sig")
+        cache.put("m.py", "src", [FINDING])
+        assert cache.get("other.py", "src") is None
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "lint-cache.json")
+        cache = LintCache.load(path, "sig")
+        cache.put("m.py", "src", [FINDING])
+        cache.save()
+
+        reloaded = LintCache.load(path, "sig")
+        assert reloaded.get("m.py", "src") == (FINDING,)
+
+    def test_signature_mismatch_discards(self, tmp_path):
+        path = str(tmp_path / "lint-cache.json")
+        cache = LintCache.load(path, "old-sig")
+        cache.put("m.py", "src", [FINDING])
+        cache.save()
+
+        reloaded = LintCache.load(path, "new-sig")
+        assert reloaded.get("m.py", "src") is None
+
+    def test_corrupt_file_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "lint-cache.json"
+        path.write_text("{definitely not json", encoding="utf-8")
+        cache = LintCache.load(str(path), "sig")
+        assert cache.get("m.py", "src") is None
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        path = tmp_path / "lint-cache.json"
+        cache = LintCache("sig", path=path)
+        cache.put("m.py", "src", [FINDING])
+        cache.save()
+
+        data = json.loads(path.read_text(encoding="utf-8"))
+        key = next(iter(data["entries"]))
+        data["entries"][key] = [{"garbage": True}]
+        path.write_text(json.dumps(data), encoding="utf-8")
+
+        reloaded = LintCache.load(str(path), "sig")
+        assert reloaded.get("m.py", "src") is None
+        assert reloaded.hits == 0
+
+    def test_no_path_save_is_noop(self):
+        LintCache("sig").save()

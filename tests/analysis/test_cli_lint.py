@@ -1,0 +1,98 @@
+"""The ``repro-snip lint`` subcommand: exit codes, formats, artifacts."""
+
+from __future__ import annotations
+
+import json
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import lint_rules
+from repro.analysis.findings import LintReport
+from repro.experiments.cli import build_parser, main
+
+
+@pytest.fixture
+def violation_dir(tmp_path):
+    """A tree seeded with one wall-clock violation."""
+    path = tmp_path / "repro" / "sim" / "clock.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        dedent(
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        ),
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+@pytest.fixture
+def clean_dir(tmp_path):
+    path = tmp_path / "repro" / "sim" / "ok.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("GREETING = 'hi'\n", encoding="utf-8")
+    return tmp_path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == ["src"]
+        assert args.fmt == "table"
+        assert args.out is None
+        assert not args.no_examples
+
+    def test_format_choices_are_the_module_catalogue(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_dir, capsys):
+        assert main(["lint", str(clean_dir), "--no-examples"]) == 0
+        assert "lint clean: 1 file(s)" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_one(self, violation_dir, capsys):
+        assert main(["lint", str(violation_dir), "--no-examples"]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out
+        assert "clock.py:4" in out
+
+
+class TestFormats:
+    def test_json_output_is_a_loadable_report(self, violation_dir, capsys):
+        main(["lint", str(violation_dir), "--no-examples", "--format", "json"])
+        report = LintReport.from_json(capsys.readouterr().out)
+        assert [f.rule for f in report.findings] == ["wall-clock"]
+
+    def test_github_annotations(self, violation_dir, capsys):
+        main(["lint", str(violation_dir), "--no-examples", "--format", "github"])
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "line=4" in out
+        assert "title=repro-lint wall-clock" in out
+
+    def test_out_writes_json_artifact(self, violation_dir, tmp_path, capsys):
+        artifact = tmp_path / "report.json"
+        main(
+            [
+                "lint", str(violation_dir), "--no-examples",
+                "--out", str(artifact),
+            ]
+        )
+        report = LintReport.from_json(artifact.read_text(encoding="utf-8"))
+        assert not report.ok
+        assert f"wrote {artifact}" in capsys.readouterr().out
+
+
+class TestListRules:
+    def test_catalogue_names_every_rule(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in lint_rules.names():
+            assert name in out

@@ -1,0 +1,224 @@
+"""Fixture tests for the determinism rule family.
+
+Each rule gets a positive snippet (violation reported with the right
+rule id), a negative snippet (the allowed idiom stays silent), and a
+pragma-suppressed variant; plus the scoping contract — the rules fire
+only inside the determinism subpackages of ``repro`` and never inside
+``tests``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.determinism import (
+    GlobalRandomRule,
+    HashSeedRule,
+    LegacyNumpyRandomRule,
+    WallClockRule,
+)
+
+
+def rule_ids(report):
+    return [finding.rule for finding in report.findings]
+
+
+class TestGlobalRandom:
+    def test_import_random_flagged(self, lint_tree):
+        report = lint_tree(
+            {"repro/sim/draw.py": "import random\n"},
+            rules=[GlobalRandomRule()],
+        )
+        assert rule_ids(report) == ["global-random"]
+        assert report.findings[0].line == 1
+
+    def test_from_random_import_flagged(self, lint_tree):
+        report = lint_tree(
+            {"repro/protocols/pick.py": "from random import shuffle\n"},
+            rules=[GlobalRandomRule()],
+        )
+        assert rule_ids(report) == ["global-random"]
+
+    def test_sim_rng_idiom_is_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/sim/draw.py": """\
+                from repro.sim.rng import RandomStreams
+
+                def draw(streams):
+                    return streams.stream("arrivals").random()
+                """
+            },
+            rules=[GlobalRandomRule()],
+        )
+        assert report.ok
+
+    def test_pragma_suppresses_with_reason(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/sim/draw.py": (
+                    "import random  "
+                    "# lint: allow[global-random] -- docs-only import\n"
+                )
+            },
+            rules=[GlobalRandomRule()],
+        )
+        assert report.ok
+
+    @pytest.mark.parametrize(
+        "relpath",
+        ["repro/analysis/draw.py", "tests/sim/test_draw.py", "tools/draw.py"],
+    )
+    def test_out_of_scope_paths_are_clean(self, lint_tree, relpath):
+        report = lint_tree(
+            {relpath: "import random\n"}, rules=[GlobalRandomRule()]
+        )
+        assert report.ok
+
+
+class TestLegacyNumpyRandom:
+    def test_global_state_call_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/experiments/noise.py": """\
+                import numpy as np
+
+                def jitter(n):
+                    np.random.seed(0)
+                    return np.random.rand(n)
+                """
+            },
+            rules=[LegacyNumpyRandomRule()],
+        )
+        assert rule_ids(report) == ["legacy-np-random"] * 2
+        assert [f.line for f in report.findings] == [4, 5]
+
+    def test_from_import_of_legacy_fn_flagged(self, lint_tree):
+        report = lint_tree(
+            {"repro/mobility/walk.py": "from numpy.random import shuffle\n"},
+            rules=[LegacyNumpyRandomRule()],
+        )
+        assert rule_ids(report) == ["legacy-np-random"]
+
+    def test_generator_api_is_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/sim/rng2.py": """\
+                import numpy as np
+                from numpy.random import SeedSequence, default_rng
+
+                def stream(seed):
+                    return np.random.default_rng(np.random.SeedSequence(seed))
+                """
+            },
+            rules=[LegacyNumpyRandomRule()],
+        )
+        assert report.ok
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/sim/clock.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+            rules=[WallClockRule()],
+        )
+        assert rule_ids(report) == ["wall-clock"]
+        assert report.findings[0].line == 4
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "datetime.datetime.now()",
+            "datetime.datetime.utcnow()",
+            "os.urandom(8)",
+            "uuid.uuid4()",
+            "secrets.token_bytes(8)",
+        ],
+    )
+    def test_other_wall_clock_calls_flagged(self, lint_tree, call):
+        module = call.split(".")[0]
+        report = lint_tree(
+            {
+                "repro/experiments/stamp.py": (
+                    f"import {module}\n\n"
+                    f"def stamp():\n    return {call}\n"
+                )
+            },
+            rules=[WallClockRule()],
+        )
+        assert rule_ids(report) == ["wall-clock"]
+
+    def test_bare_name_import_flagged(self, lint_tree):
+        report = lint_tree(
+            {"repro/sim/clock.py": "from time import time\n"},
+            rules=[WallClockRule()],
+        )
+        assert rule_ids(report) == ["wall-clock"]
+
+    def test_monotonic_and_sleep_are_legal(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/experiments/poll.py": """\
+                import time
+                from time import monotonic
+
+                def wait(deadline):
+                    while time.monotonic() < deadline:
+                        time.sleep(0.01)
+                """
+            },
+            rules=[WallClockRule()],
+        )
+        assert report.ok
+
+    def test_pragma_suppresses_with_reason(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/experiments/label.py": """\
+                import uuid
+
+                def label():
+                    # lint: allow[wall-clock] -- coordination label only,
+                    # never feeds results
+                    return uuid.uuid4().hex
+                """
+            },
+            rules=[WallClockRule()],
+        )
+        assert report.ok
+
+
+class TestHashSeed:
+    def test_builtin_hash_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/sim/keys.py": """\
+                def key(name):
+                    return hash(name) % 1024
+                """
+            },
+            rules=[HashSeedRule()],
+        )
+        assert rule_ids(report) == ["hash-seed"]
+
+    def test_hashlib_and_methods_are_clean(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/sim/keys.py": """\
+                import hashlib
+
+                def key(name, obj):
+                    digest = hashlib.sha256(name.encode()).hexdigest()
+                    return digest, obj.hash()
+                """
+            },
+            rules=[HashSeedRule()],
+        )
+        assert report.ok

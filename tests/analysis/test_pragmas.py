@@ -1,0 +1,129 @@
+"""Unit tests for the ``# lint: allow[rule] -- reason`` pragma layer."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.analysis.pragmas import (
+    MISSING_REASON_RULE,
+    UNKNOWN_RULE_RULE,
+    audit_unknown_rules,
+    parse_pragmas,
+)
+from repro.analysis.worker_safety import BroadExceptRule
+
+
+def rule_ids(report):
+    return [finding.rule for finding in report.findings]
+
+
+class TestParsing:
+    def test_trailing_pragma_targets_own_line(self):
+        index, findings = parse_pragmas(
+            "m.py", "x = 1  # lint: allow[wall-clock] -- why\n"
+        )
+        assert findings == []
+        pragma = index.suppressing("wall-clock", 1)
+        assert pragma is not None
+        assert pragma.target == 1
+        assert pragma.reason == "why"
+
+    def test_standalone_pragma_targets_next_code_line(self):
+        source = dedent(
+            """\
+            # lint: allow[broad-except] -- a reason that
+            # wraps onto a second comment line
+
+            x = 1
+            """
+        )
+        index, findings = parse_pragmas("m.py", source)
+        assert findings == []
+        assert index.suppressing("broad-except", 4) is not None
+        assert index.suppressing("broad-except", 1) is None
+
+    def test_one_pragma_may_allow_several_rules(self):
+        index, _ = parse_pragmas(
+            "m.py", "x = 1  # lint: allow[wall-clock, broad-except] -- why\n"
+        )
+        assert index.suppressing("wall-clock", 1) is not None
+        assert index.suppressing("broad-except", 1) is not None
+        assert index.suppressing("hash-seed", 1) is None
+
+    def test_missing_reason_is_a_finding_and_not_indexed(self):
+        index, findings = parse_pragmas(
+            "m.py", "x = 1  # lint: allow[wall-clock]\n"
+        )
+        assert [f.rule for f in findings] == [MISSING_REASON_RULE]
+        assert index.suppressing("wall-clock", 1) is None
+
+    def test_empty_brackets_are_a_finding(self):
+        _, findings = parse_pragmas("m.py", "x = 1  # lint: allow[] -- why\n")
+        assert [f.rule for f in findings] == [MISSING_REASON_RULE]
+
+    def test_pragma_inside_string_literal_is_ignored(self):
+        index, findings = parse_pragmas(
+            "m.py", 'x = "# lint: allow[wall-clock] -- nope"\n'
+        )
+        assert findings == []
+        assert index.all_pragmas() == []
+
+
+class TestUnknownRuleAudit:
+    def test_unknown_rule_id_reported(self):
+        index, _ = parse_pragmas(
+            "m.py", "x = 1  # lint: allow[wall-cock] -- typo\n"
+        )
+        findings = audit_unknown_rules("m.py", index, ["wall-clock"])
+        assert [f.rule for f in findings] == [UNKNOWN_RULE_RULE]
+        assert "wall-cock" in findings[0].message
+
+    def test_known_rule_ids_pass(self):
+        index, _ = parse_pragmas(
+            "m.py", "x = 1  # lint: allow[wall-clock] -- fine\n"
+        )
+        assert audit_unknown_rules("m.py", index, ["wall-clock"]) == []
+
+
+class TestEndToEnd:
+    def test_reasonless_pragma_suppresses_nothing(self, lint_tree):
+        # Both the violation and the malformed pragma are reported.
+        report = lint_tree(
+            {
+                "repro/experiments/risky.py": """\
+                def run(fn):
+                    try:
+                        return fn()
+                    except Exception:  # lint: allow[broad-except]
+                        return None
+                """
+            },
+            rules=[BroadExceptRule()],
+        )
+        assert sorted(rule_ids(report)) == [
+            "broad-except", MISSING_REASON_RULE,
+        ]
+
+    def test_unknown_rule_pragma_reported_in_run(self, lint_tree):
+        report = lint_tree(
+            {
+                "repro/experiments/risky.py": (
+                    "x = 1  # lint: allow[no-such-rule] -- whatever\n"
+                )
+            },
+            rules=[BroadExceptRule()],
+        )
+        assert rule_ids(report) == [UNKNOWN_RULE_RULE]
+
+    def test_pragma_findings_cannot_be_self_suppressed(self, lint_tree):
+        # A pragma cannot vouch for itself: allowing the integrity rule
+        # on the same line still reports the malformed pragma.
+        report = lint_tree(
+            {
+                "repro/experiments/risky.py": (
+                    "x = 1  # lint: allow[pragma-missing-reason]\n"
+                )
+            },
+            rules=[BroadExceptRule()],
+        )
+        assert rule_ids(report) == [MISSING_REASON_RULE]
