@@ -1,0 +1,52 @@
+#!/bin/sh
+# Submit a study to a running study service, stream its progress, and
+# fetch the byte-exact artifact -- the curl quickstart from the README
+# "Study service" section as a runnable script.
+#
+# Start a server first (any transport works; serial is the default):
+#
+#     python -m repro serve --store ./studies --port 8321
+#
+# then:
+#
+#     sh examples/service_study.sh [SERVER_URL] [SPEC_PATH] [OUT_PATH]
+#
+# Defaults: http://127.0.0.1:8321, examples/paper_study.json, and
+# service_study_result.json next to the current directory.
+set -eu
+
+server="${1:-http://127.0.0.1:8321}"
+spec="${2:-$(dirname "$0")/paper_study.json}"
+out="${3:-service_study_result.json}"
+
+echo "server : $server"
+curl -sf "$server/healthz" >/dev/null || {
+    echo "no study service at $server -- start one with:" >&2
+    echo "    python -m repro serve --store ./studies --port 8321" >&2
+    exit 1
+}
+
+echo "submit : $spec"
+id=$(curl -sf -X POST "$server/studies" --data @"$spec" | python -c \
+    'import json, sys; print(json.load(sys.stdin)["id"])')
+echo "study  : $id"
+
+# Stream server-sent events until the study reaches a terminal state.
+# -N disables buffering so per-cell lines appear as cells complete.
+curl -sfN "$server/studies/$id/events" | while IFS= read -r line; do
+    case "$line" in
+        "data: "*) echo "event  : ${line#data: }" ;;
+    esac
+    case "$line" in
+        *'"event": "done"'*|*'"event": "failed"'*|*'"event": "cancelled"'*)
+            break ;;
+    esac
+done
+
+state=$(curl -sf "$server/studies/$id" | python -c \
+    'import json, sys; print(json.load(sys.stdin)["state"])')
+echo "state  : $state"
+[ "$state" = "done" ] || exit 1
+
+curl -sf "$server/studies/$id/result" > "$out"
+echo "wrote  : $out"

@@ -31,7 +31,6 @@ from .cache import LintCache, content_hash, ruleset_signature
 from .findings import LINT_FORMATS, Finding, LintReport
 from .pragmas import PRAGMA_PATTERN, Pragma, PragmaIndex, parse_pragmas
 from .rules import (
-    DETERMINISM_PACKAGES,
     FileContext,
     ProjectContext,
     Rule,
@@ -42,13 +41,16 @@ from .rules import (
 from .runner import PARSE_ERROR_RULE, collect_python_files, run_lint
 
 # Importing the rule modules is what populates the registry (exactly
-# like engines registering where they are defined).
-from . import determinism as _determinism  # noqa: F401
+# like engines registering where they are defined).  The determinism
+# module also owns the data-driven scope map re-exported here.
+from .determinism import DETERMINISM_PACKAGES, DETERMINISM_SCOPE, EXEMPT_PACKAGES
 from . import registry_rules as _registry_rules  # noqa: F401
 from . import worker_safety as _worker_safety  # noqa: F401
 
 __all__ = [
     "DETERMINISM_PACKAGES",
+    "DETERMINISM_SCOPE",
+    "EXEMPT_PACKAGES",
     "Finding",
     "FileContext",
     "LINT_FORMATS",

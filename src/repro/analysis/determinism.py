@@ -5,8 +5,12 @@ The reproduction's headline property — byte-identical results for
 only while every random draw flows through the seeded substreams of
 :mod:`repro.sim.rng` and no simulation quantity reads process-global
 state.  These rules ban the leak vectors inside the determinism-scoped
-subpackages (:data:`~repro.analysis.rules.DETERMINISM_PACKAGES`:
-``sim``, ``protocols``, ``experiments``, ``mobility``):
+subpackages.  The scope is data-driven — :data:`DETERMINISM_SCOPE`
+maps each bound subpackage to the rationale for binding it, and
+:data:`EXEMPT_PACKAGES` documents why the rest of the tree is *not*
+bound — so adding a subpackage (or deliberately exempting one) is a
+one-line, self-documenting change here rather than an edit to the rule
+classes:
 
 * ``global-random`` — the stdlib :mod:`random` module (one hidden
   process-global Mersenne Twister; any import of it is an invitation);
@@ -33,12 +37,49 @@ from typing import Iterator, Tuple
 from .findings import Finding
 from .rules import (
     CATEGORY_DETERMINISM,
-    DETERMINISM_PACKAGES,
     FileContext,
     Rule,
     dotted_name,
     register_rule,
 )
+
+#: Subpackages of ``repro`` bound by the determinism contract, mapped
+#: to *why* each is bound (README "Determinism contract").  This dict
+#: is the single source of truth for the rules' scope:
+#: :meth:`DeterminismRule.applies` reads it, the meta-tests assert
+#: against it, and the rationale strings keep the scope reviewable.
+DETERMINISM_SCOPE = {
+    "sim": "the engines and seeded RNG substreams every result flows from",
+    "protocols": "probing mechanisms: per-epoch decisions must replay",
+    "experiments": (
+        "study execution and transports: shard order and host must "
+        "not change results"
+    ),
+    "mobility": "contact processes: traces must be identical per seed",
+    "network": ("network-study assembly and the per-node runner: results "
+                "flow straight into study documents"),
+    "node": "node models (buffers, sensing, data generation) feed results",
+}
+
+#: Subpackages of ``repro`` deliberately *outside* the determinism
+#: scope, with the justification.  Registry-consistency and
+#: worker-safety rules still apply to these — only the entropy/clock
+#: bans are lifted.
+EXEMPT_PACKAGES = {
+    "service": (
+        "the HTTP study service legitimately reads the wall clock "
+        "(submission timestamps, SSE heartbeats, liveness probes); "
+        "none of that state feeds simulation results, which come from "
+        "run_study over determinism-scoped code"
+    ),
+    "analysis": "the lint checker itself inspects, never simulates",
+    "core": "closed-form algebra over model parameters; no entropy used",
+    "radio": "datasheet constants and lifetime algebra; no entropy used",
+}
+
+#: The bound subpackage names (derived view of the scope dict, kept
+#: for the historical tuple-shaped API).
+DETERMINISM_PACKAGES = tuple(DETERMINISM_SCOPE)
 
 #: numpy's legacy global-state functions (``np.random.<fn>``); the
 #: generator API (SeedSequence, default_rng, Generator, bit
@@ -79,7 +120,7 @@ WALL_CLOCK_IMPORTS = frozenset({
 
 
 class DeterminismRule(Rule):
-    """Shared scoping: only the determinism-contract subpackages."""
+    """Shared scoping: only the :data:`DETERMINISM_SCOPE` subpackages."""
 
     category = CATEGORY_DETERMINISM
 
@@ -87,7 +128,7 @@ class DeterminismRule(Rule):
         return (
             ctx.in_repro
             and not ctx.in_tests
-            and ctx.subpackage in DETERMINISM_PACKAGES
+            and ctx.subpackage in DETERMINISM_SCOPE
         )
 
 

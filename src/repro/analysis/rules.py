@@ -49,11 +49,6 @@ FACTORY_REGISTRY_NAMES = (
     "transport_factories",
 )
 
-#: Subpackages of ``repro`` bound by the determinism contract: entropy
-#: must flow through ``sim.rng`` substreams and no wall-clock state may
-#: leak into results (README "Determinism contract").
-DETERMINISM_PACKAGES = ("sim", "protocols", "experiments", "mobility")
-
 #: Rule id → rule class; the lint analogue of ``engine_factories``.
 lint_rules = FactoryRegistry("lint rule")
 

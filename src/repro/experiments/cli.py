@@ -8,6 +8,8 @@ Examples::
     repro-snip run --spec study.json --set scenario.epochs=2 --set axes.engines=fast,micro
     repro-snip run --spec study.json --transport file-queue
     repro-snip worker --queue /shared/queue   # serve file-queue tickets
+    repro-snip serve --store /var/studies --port 8321   # HTTP study service
+    repro-snip run --spec study.json --server http://127.0.0.1:8321
     repro-snip grid --budget-divisors 1000 100 --jobs 4 --replicates 3
     repro-snip agree --jobs 4 --replicates 3 --epochs 1 --gate 6.0
     repro-snip network --jobs 2 --factory SNIP-RH --engine fast
@@ -34,6 +36,13 @@ stderr naming the study) — and ``--out PATH`` to write the result as
 this or any other host.  ``agree``/``run`` accept ``--gate TOL``, the
 CI agreement gate: exit non-zero when any paired per-cell delta CI
 excludes zero beyond the tolerance.
+
+``serve`` runs the HTTP study service (:mod:`repro.service`): specs
+are submitted as JSON over ``POST /studies``, progress streams as
+server-sent events, and results persist in a content-addressed store
+directory.  ``run --server URL`` submits the (post-``--set``) spec to
+such a server instead of executing locally, streams the same per-cell
+progress lines, and fetches the byte-identical artifact for ``--out``.
 """
 
 from __future__ import annotations
@@ -238,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="write the StudyResult document (shorthand for "
              "--set outputs.out=PATH; .json or .csv by extension)",
+    )
+    run.add_argument(
+        "--server", default=None, metavar="URL",
+        help="submit the (post---set) spec to a running study service "
+             "(repro-snip serve) instead of executing locally; streams "
+             "events and fetches the byte-identical artifact for --out",
     )
     run.add_argument(
         "--gate", type=float, default=None, metavar="TOL",
@@ -475,6 +490,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="drain the queue once and exit instead of serving forever",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP study service: accept StudySpec submissions, stream "
+             "per-cell progress, persist results (repro.service)",
+    )
+    serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="the content-addressed study store directory "
+             "(created if missing; restart-safe)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8321, metavar="N",
+        help="bind port (default: 8321; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--transport", default=None, metavar="NAME",
+        help="pin every study to this transport-registry name "
+             "(default: each spec's own execution section)",
+    )
+    serve.add_argument(
+        "--transport-option", dest="transport_options", action="append",
+        type=_override, default=[], metavar="KEY=VALUE",
+        help="per-transport option for the pinned --transport "
+             "(repeatable), e.g. --transport-option "
+             "queue_dir=/shared/queue",
+    )
+    serve.add_argument(
+        "--heartbeat", type=float, default=10.0, metavar="SECS",
+        help="seconds between SSE keep-alive comments on idle event "
+             "streams (default: 10)",
+    )
     return parser
 
 
@@ -641,6 +692,79 @@ def _apply_gate(agreements, tolerance: float) -> int:
     return 0
 
 
+def _print_event_line(event: dict, *, show_engine: bool) -> None:
+    """Render one server-sent progress event as the local progress line.
+
+    Mirrors :func:`_cell_progress` / :func:`_node_progress` so ``run
+    --server`` output reads the same as a local run.
+    """
+    total = event.get("total", 0)
+    width = len(str(total))
+    prefix = f"[{event.get('completed', 0):>{width}}/{total}]"
+    if event.get("event") == "node":
+        print(
+            f"{prefix} node {event['node']}: "
+            f"zeta={event['mean_zeta']:.2f} Phi={event['mean_phi']:.2f}",
+            flush=True,
+        )
+        return
+    divisor = DAY / event["phi_max"]
+    engine = f"{event['engine']:<5} " if show_engine else ""
+    print(
+        f"{prefix} {engine}"
+        f"Phi_max=Tepoch/{divisor:g} "
+        f"zeta_target={event['zeta_target']:g} {event['mechanism']} "
+        f"replicate {event['replicate']}: zeta={event['mean_zeta']:.2f} "
+        f"Phi={event['mean_phi']:.2f}",
+        flush=True,
+    )
+
+
+def _run_remote(spec: StudySpec, args: argparse.Namespace) -> int:
+    """The ``run --server URL`` path: submit, stream, fetch the artifact.
+
+    The server executes the exact spec we would have run locally (the
+    post-``--set`` form), so the fetched ``--out`` artifact is
+    byte-identical to a local ``run --spec ... --out``.
+    """
+    from ..service.client import ServiceClient
+    from ..service.store import TERMINAL_STATES
+
+    client = ServiceClient(args.server)
+    submitted = client.submit(spec)
+    study_id = submitted["id"]
+    print(f"study {spec.name!r}: {spec.total_runs} runs, "
+          f"submitted as {study_id} to {args.server} "
+          f"({submitted['state']})")
+    show_progress = args.progress or (
+        not spec.is_network and not args.no_progress
+    )
+    show_engine = len(spec.engines) > 1
+    final = submitted["state"]
+    error = submitted.get("error")
+    for event in client.stream(study_id):
+        kind = event.get("event")
+        if kind in TERMINAL_STATES:
+            final = kind
+            error = event.get("error")
+        elif kind in ("cell", "node") and show_progress:
+            _print_event_line(event, show_engine=show_engine)
+    if show_progress:
+        print()
+    if final != "done":
+        detail = f": {error}" if error else ""
+        print(f"study {study_id} {final}{detail}", file=sys.stderr)
+        return 1
+    if spec.out:
+        fmt = "csv" if spec.out.endswith(".csv") else "json"
+        text = client.result_text(study_id, fmt=fmt)
+        with open(spec.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {spec.out}")
+    print(f"study {study_id} done")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Execute a StudySpec file: the one entry point for every study."""
     spec = StudySpec.load(args.spec)
@@ -655,6 +779,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         spec = spec.with_overrides(overrides)
     if args.emit_spec:
         return _emit_spec(spec, args.emit_spec)
+    if args.server is not None:
+        if args.gate is not None:
+            print("--gate is not supported with --server: fetch the "
+                  "document and gate locally", file=sys.stderr)
+            return 2
+        return _run_remote(spec, args)
 
     # `run` honours the spec's whole execution section: the transport
     # name (explicit or derived from jobs), batch size, and options all
@@ -905,9 +1035,32 @@ def cmd_worker(args: argparse.Namespace) -> int:
         poll_interval=args.poll,
         max_idle=args.max_idle,
         once=args.once,
+        handle_signals=True,
     )
     print(f"worker processed {processed} ticket(s)")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP study service until SIGTERM/SIGINT.
+
+    The long-running half of the serving stack
+    (:mod:`repro.service`): submissions persist in the
+    content-addressed ``--store`` directory, a single scheduler thread
+    executes them FIFO (over the pinned ``--transport`` when given),
+    and every connected client streams per-cell progress.  A restarted
+    server re-lists finished studies and marks interrupted ones failed.
+    """
+    from ..service.app import serve
+
+    return serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        transport=args.transport,
+        transport_options=dict(args.transport_options) or None,
+        heartbeat=args.heartbeat,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -924,6 +1077,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "network": cmd_network,
         "lint": cmd_lint,
         "worker": cmd_worker,
+        "serve": cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -104,6 +104,7 @@ __all__ = [
     "PoolTransport",
     "SerialTransport",
     "Transport",
+    "release_claimed_ticket",
     "resolve_transport",
     "transport_names",
     "transport_option_names",
@@ -373,6 +374,25 @@ def process_claimed_ticket(
     return True
 
 
+def release_claimed_ticket(queue_dir: str, claim_path: str) -> bool:
+    """Return a claimed-but-unexecuted ticket to the enqueue directory.
+
+    The graceful-draining inverse of :func:`claim_next_ticket`'s
+    rename: a worker told to stop after claiming (but before
+    executing) hands the ticket straight back for another worker —
+    instead of stranding it in ``claim/`` until the coordinator's
+    ``reclaim_after`` clock expires.  Returns False when the claim
+    file vanished (the coordinator already cleaned up the run).
+    """
+    name = os.path.basename(claim_path)
+    target = os.path.join(queue_dir, "enqueue", name)
+    try:
+        os.rename(claim_path, target)
+    except OSError:
+        return False
+    return True
+
+
 def local_worker_id() -> str:
     """This process's claimant identity (``host-pid``) for done records."""
     return f"{socket.gethostname()}-{os.getpid()}"
@@ -602,7 +622,8 @@ class FileQueueTransport:
                 and time.monotonic() - last_progress >= self.max_wait
             ):
                 raise TimeoutError(
-                    f"no ticket completed within max_wait={self.max_wait}s"
+                    f"no ticket completed within max_wait={self.max_wait}s; "
+                    f"outstanding: {session.describe_outstanding(pending)}"
                 )
             time.sleep(self.poll_interval)
             reclaimed = session.reclaim_stale(pending, self.reclaim_after)
@@ -859,6 +880,42 @@ class _QueueSession:
             name: seen for name, seen in self._claim_seen.items() if name in live
         }
         return stale
+
+    def describe_outstanding(
+        self, pending: Mapping[int, Any], *, limit: int = 8
+    ) -> str:
+        """Name the pending tickets and their claim ages (for timeouts).
+
+        Each outstanding ticket is reported as ``<run>-<number>``
+        followed by ``claimed ~Xs ago`` (measured from this
+        coordinator's first sighting of the claim file — the same
+        local clock :meth:`reclaim_stale` uses) or ``unclaimed`` when
+        no worker has picked it up; at most *limit* tickets are listed
+        before an ``... and N more`` tail.
+        """
+        now = time.monotonic()
+        claim_dir = os.path.join(self.queue_dir, "claim")
+        try:
+            claimed = set(os.listdir(claim_dir))
+        except OSError:
+            claimed = set()
+        parts: List[str] = []
+        for number in sorted(pending):
+            stem = f"{self.run}-{number:05d}"
+            if f"{stem}.json" in claimed:
+                seen = self._claim_seen.get(f"{stem}.json")
+                status = (
+                    f"claimed ~{now - seen:.1f}s ago"
+                    if seen is not None
+                    else "claimed"
+                )
+            else:
+                status = "unclaimed"
+            parts.append(f"{stem} ({status})")
+        shown = parts[:limit]
+        if len(parts) > limit:
+            shown.append(f"... and {len(parts) - limit} more")
+        return ", ".join(shown) if shown else "none"
 
     # -- teardown ------------------------------------------------------
     def close(self) -> None:

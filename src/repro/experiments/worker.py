@@ -23,19 +23,30 @@ conditions: ``--once`` returns after the queue is first seen empty,
 ticket, and a ``stop`` file in the queue directory asks all workers to
 exit as soon as they are idle (``touch QUEUE/stop`` from anywhere that
 shares the filesystem).
+
+The CLI entry point additionally installs SIGTERM/SIGINT handlers that
+**drain gracefully**: the in-flight ticket is finished and published, a
+ticket claimed but not yet started is released back to the queue via
+:func:`~repro.experiments.transport.release_claimed_ticket` (so no
+claim is stranded until the coordinator's ``reclaim_after`` expires),
+and the process exits 0 — the behaviour a supervisor (systemd, k8s, a
+CI job teardown) expects from ``terminate``.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 from .transport import (
     claim_next_ticket,
     ensure_queue_layout,
     local_worker_id,
     process_claimed_ticket,
+    release_claimed_ticket,
 )
 
 __all__ = ["worker_loop"]
@@ -48,6 +59,8 @@ def worker_loop(
     max_idle: Optional[float] = None,
     once: bool = False,
     worker_id: Optional[str] = None,
+    stop_event: Optional[threading.Event] = None,
+    handle_signals: bool = False,
 ) -> int:
     """Claim and execute tickets from *queue_dir* until told to stop.
 
@@ -61,29 +74,59 @@ def worker_loop(
             processing everything claimable on arrival).
         worker_id: claimant identity recorded in done files; default
             ``host-pid``.
+        stop_event: an external drain request — when set, the worker
+            finishes (at most) the in-flight ticket, releases any
+            ticket it claimed but had not started, and returns.
+        handle_signals: install SIGTERM/SIGINT handlers (restored on
+            return) that set the stop event, turning a supervisor's
+            ``terminate`` into the same graceful drain.  Only valid on
+            the main thread; ``python -m repro worker`` passes True.
 
     Returns:
         The number of tickets this worker processed.
     """
     ensure_queue_layout(queue_dir)
     identity = worker_id if worker_id is not None else local_worker_id()
+    stop = stop_event if stop_event is not None else threading.Event()
     stop_file = os.path.join(queue_dir, "stop")
+    previous: Dict[int, object] = {}
+    if handle_signals:
+
+        def _request_drain(signum: int, frame: object) -> None:
+            """Ask the loop to drain; the in-flight ticket still finishes."""
+            stop.set()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _request_drain)
     processed = 0
     idle_since = time.monotonic()
-    while True:
-        claimed = claim_next_ticket(queue_dir)
-        if claimed is not None:
-            if process_claimed_ticket(queue_dir, claimed, worker_id=identity):
-                processed += 1
-            idle_since = time.monotonic()
-            continue
-        if once:
-            return processed
-        if os.path.exists(stop_file):
-            return processed
-        if (
-            max_idle is not None
-            and time.monotonic() - idle_since >= max_idle
-        ):
-            return processed
-        time.sleep(poll_interval)
+    try:
+        while True:
+            if stop.is_set():
+                return processed
+            claimed = claim_next_ticket(queue_dir)
+            if claimed is not None:
+                if stop.is_set():
+                    # Drain requested between claim and execution: hand
+                    # the ticket back rather than stranding the claim.
+                    release_claimed_ticket(queue_dir, claimed)
+                    return processed
+                if process_claimed_ticket(
+                    queue_dir, claimed, worker_id=identity
+                ):
+                    processed += 1
+                idle_since = time.monotonic()
+                continue
+            if once:
+                return processed
+            if os.path.exists(stop_file):
+                return processed
+            if (
+                max_idle is not None
+                and time.monotonic() - idle_since >= max_idle
+            ):
+                return processed
+            stop.wait(poll_interval)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

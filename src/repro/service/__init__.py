@@ -1,0 +1,60 @@
+"""HTTP study service: submit :class:`~repro.experiments.spec.StudySpec`
+documents over HTTP, stream per-cell progress, persist the results.
+
+The serving stack the orchestration arc has been building toward
+(ingest → queue → execute → stream → persist), stdlib-only:
+
+* :mod:`repro.service.store` — :class:`StudyStore`, a content-addressed
+  persistent study store (atomic writes, crash-safe journal): a
+  restarted server re-lists finished studies and marks interrupted ones
+  failed.
+* :mod:`repro.service.scheduler` — :class:`StudyScheduler`, the
+  single-writer thread executing queued studies FIFO over any named
+  transport, fanning per-cell progress into subscriber
+  :class:`EventLog` streams.
+* :mod:`repro.service.app` — the :class:`~http.server.ThreadingHTTPServer`
+  application: ``POST /studies``, ``GET /studies[/{id}[/events|/result]]``,
+  ``DELETE /studies/{id}``, ``GET /healthz``.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the tiny
+  ``urllib`` client used by ``repro-snip run --server URL``, the tests,
+  and the CI smoke.
+
+Start a server with ``python -m repro serve --store DIR [--transport
+NAME] [--port N]``; one server fronting a ``file-queue`` directory
+serves many concurrent submitters sharing one worker fleet.
+
+Unlike the simulation subpackages, this layer legitimately reads the
+wall clock (submission timestamps, SSE heartbeats, liveness probes) —
+it is deliberately outside the determinism lint scope
+(:data:`repro.analysis.determinism.DETERMINISM_SCOPE`); none of that
+state ever feeds simulation results, which remain byte-identical to a
+direct :func:`~repro.experiments.spec.run_study` of the same spec.
+"""
+
+from .app import StudyServer, StudyService, make_server, serve
+from .client import ServiceClient, ServiceError
+from .scheduler import EventLog, StudyCancelled, StudyScheduler
+from .store import (
+    STUDY_STATES,
+    TERMINAL_STATES,
+    StudyRecord,
+    StudyStore,
+    study_id_for,
+)
+
+__all__ = [
+    "EventLog",
+    "STUDY_STATES",
+    "ServiceClient",
+    "ServiceError",
+    "StudyCancelled",
+    "StudyRecord",
+    "StudyScheduler",
+    "StudyServer",
+    "StudyService",
+    "StudyStore",
+    "TERMINAL_STATES",
+    "make_server",
+    "serve",
+    "study_id_for",
+]

@@ -1,0 +1,196 @@
+"""The tiny ``urllib`` client for the study service.
+
+:class:`ServiceClient` speaks the whole API — ``submit`` / ``status`` /
+``stream`` / ``result`` / ``cancel`` / ``healthz`` — and is what
+``repro-snip run --server URL`` uses, what the service tests drive the
+HTTP layer with, and what the CI smoke job scripts against.  Error
+responses (the structured ``{"error": {"type", "message"}}`` bodies)
+surface as :class:`ServiceError`, a :class:`~repro.errors.ReproError`,
+so the CLI's existing error handling applies unchanged.
+
+Example::
+
+    client = ServiceClient("http://127.0.0.1:8321")
+    submitted = client.submit(spec)
+    for event in client.stream(submitted["id"]):
+        print(event)
+    document = client.result(submitted["id"])
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..errors import ReproError
+from ..experiments.spec import StudyDocument, StudySpec
+from .store import TERMINAL_STATES
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """An HTTP error response from the study service.
+
+    Carries the HTTP *status* and the decoded error *payload* (the
+    server's ``{"type", "message"}`` object when the body was the
+    structured form, else a synthesized one).
+    """
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        """Build from the response *status* and decoded error *payload*."""
+        self.status = status
+        self.payload = payload
+        kind = payload.get("type", "HTTPError")
+        message = payload.get("message", "")
+        super().__init__(f"{kind} (HTTP {status}): {message}")
+
+
+class ServiceClient:
+    """A blocking client for one study server.
+
+    Args:
+        base_url: the server root, e.g. ``http://127.0.0.1:8321``.
+        timeout: per-request socket timeout in seconds; the SSE stream
+            uses it as a read timeout between events, so keep it above
+            the server's heartbeat interval.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        """Normalize *base_url* and remember the *timeout*."""
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """One JSON round trip; structured errors raise ServiceError."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, _error_payload(exc)) from exc
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit(self, spec: Union[StudySpec, Dict[str, Any]]) -> Dict[str, Any]:
+        """``POST /studies``: returns the study record (incl. ``id``).
+
+        *spec* may be a :class:`StudySpec` or its dict form; the server
+        revalidates either way, so a bad dict comes back as a
+        :class:`ServiceError` naming the offending key.
+        """
+        payload = spec.to_dict() if isinstance(spec, StudySpec) else dict(spec)
+        return self._request("POST", "/studies", body=payload)
+
+    def status(self, study_id: str) -> Dict[str, Any]:
+        """``GET /studies/{id}``: the record (plus ``result`` when done)."""
+        return self._request("GET", f"/studies/{study_id}")
+
+    def list_studies(self) -> List[Dict[str, Any]]:
+        """``GET /studies``: every stored study, submission order."""
+        return self._request("GET", "/studies")["studies"]
+
+    def cancel(self, study_id: str) -> Dict[str, Any]:
+        """``DELETE /studies/{id}``: cancel; returns the updated record."""
+        return self._request("DELETE", f"/studies/{study_id}")
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``: the server's liveness/load summary."""
+        return self._request("GET", "/healthz")
+
+    def stream(self, study_id: str) -> Iterator[Dict[str, Any]]:
+        """``GET /studies/{id}/events``: yield event dicts until terminal.
+
+        Parses the SSE wire format (``data:`` lines carry one JSON
+        event each; ``:`` comment lines are keep-alives and are
+        skipped) and returns once a terminal event — ``done``,
+        ``failed``, or ``cancelled`` — has been yielded.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/studies/{study_id}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, _error_payload(exc)) from exc
+        with response:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if not line or line.startswith(":"):
+                    continue  # blank separator or keep-alive comment
+                if not line.startswith("data:"):
+                    continue
+                event = json.loads(line[len("data:"):].strip())
+                yield event
+                if event.get("event") in TERMINAL_STATES:
+                    return
+
+    def result_text(self, study_id: str, *, fmt: str = "json") -> str:
+        """``GET /studies/{id}/result``: the exact artifact bytes.
+
+        This is the byte-stable path: the returned string is identical
+        to what ``repro-snip run --spec ... --out`` would have written
+        for the same spec.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/studies/{study_id}/result?format={fmt}"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, _error_payload(exc)) from exc
+
+    def result(self, study_id: str) -> StudyDocument:
+        """The finished study's re-loadable :class:`StudyDocument`."""
+        return StudyDocument.from_dict(
+            json.loads(self.result_text(study_id))
+        )
+
+    def wait(
+        self, study_id: str, *, poll_interval: float = 0.5,
+        max_wait: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Block (by consuming the event stream) until *study_id* ends.
+
+        Prefers the push path — it follows :meth:`stream` to the
+        terminal event rather than polling ``GET /studies/{id}`` — and
+        returns the final record.  *poll_interval*/*max_wait* are
+        accepted for symmetry with the transports but unused on the
+        streaming path.
+        """
+        for _ in self.stream(study_id):
+            pass
+        return self.status(study_id)
+
+
+def _error_payload(exc: urllib.error.HTTPError) -> Dict[str, Any]:
+    """Decode a structured error body, synthesizing one when absent."""
+    try:
+        decoded = json.loads(exc.read().decode("utf-8"))
+        payload = decoded.get("error")
+        if isinstance(payload, dict):
+            return payload
+    except (ValueError, OSError):
+        pass
+    return {"type": "HTTPError", "message": str(exc)}

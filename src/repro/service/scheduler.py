@@ -1,0 +1,397 @@
+"""The single-writer scheduler: queued studies run FIFO, progress streams.
+
+One daemon thread owns every state transition past ``queued``: it pops
+study ids in submission order, resolves the execution transport (the
+server's pinned ``--transport`` when given, otherwise each spec's own
+``execution`` section), and drives
+:func:`~repro.experiments.spec.run_study` with a progress callback that
+fans per-cell completions into a per-study :class:`EventLog` — the
+exact ``Executor.imap`` streaming contract the CLI's progress lines
+ride, re-published as server-sent events.
+
+Because exactly one thread executes studies, the store sees a single
+writer for run state (HTTP handler threads only submit and cancel), and
+a server fronting a ``file-queue`` directory funnels every study
+through one coordinator sharing one worker fleet — concurrent
+submitters queue behind each other instead of racing for the workers.
+
+Cancellation is cooperative and per-cell: ``DELETE /studies/{id}``
+flags the study, and the progress callback raises
+:class:`StudyCancelled` at the next completed cell; a queued study is
+simply marked cancelled before it ever starts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from ..experiments.spec import StudySpec, run_study
+from ..experiments.transport import resolve_transport, validate_transport
+from .store import StudyRecord, StudyStore
+
+__all__ = ["EventLog", "StudyCancelled", "StudyScheduler"]
+
+
+class StudyCancelled(Exception):
+    """Raised inside the progress callback to abort a cancelled study."""
+
+
+class EventLog:
+    """An append-only event sequence with blocking subscriber streams.
+
+    The scheduler appends JSON-clean event dicts (``started``, one
+    ``cell``/``node`` per completed run, then a terminal
+    ``done``/``failed``/``cancelled``) and closes the log; any number
+    of subscribers iterate :meth:`stream` concurrently, each replaying
+    from the start and then blocking for live events — so an SSE client
+    attaching mid-run still sees every cell.
+    """
+
+    def __init__(self) -> None:
+        """Create an empty, open log."""
+        self._events: List[Dict[str, Any]] = []
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Publish one event to every subscriber."""
+        with self._cond:
+            self._events.append(dict(event))
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """No more events will come; streams drain and stop."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """True once the log has been closed."""
+        with self._cond:
+            return self._closed
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The events so far (a copy)."""
+        with self._cond:
+            return [dict(event) for event in self._events]
+
+    def stream(
+        self, *, heartbeat: Optional[float] = None
+    ) -> Iterator[Optional[Dict[str, Any]]]:
+        """Yield every event from the beginning, then live until closed.
+
+        When *heartbeat* is set and no event arrives within that many
+        seconds, ``None`` is yielded — the SSE layer turns it into a
+        keep-alive comment so idle connections are not silently dropped
+        by intermediaries.
+        """
+        index = 0
+        while True:
+            with self._cond:
+                if index < len(self._events):
+                    event = dict(self._events[index])
+                    index += 1
+                elif self._closed:
+                    return
+                else:
+                    self._cond.wait(timeout=heartbeat)
+                    if index >= len(self._events) and not self._closed:
+                        event = None  # heartbeat gap
+                    else:
+                        continue
+            yield event
+
+    @classmethod
+    def closed_with(cls, events: List[Dict[str, Any]]) -> "EventLog":
+        """A pre-closed log replaying *events* (restart-synthesized)."""
+        log = cls()
+        for event in events:
+            log.append(event)
+        log.close()
+        return log
+
+
+class StudyScheduler:
+    """The single thread that turns queued studies into results.
+
+    Args:
+        store: the persistent :class:`~repro.service.store.StudyStore`.
+        transport: optional transport-registry name pinned by the
+            server (``repro serve --transport NAME``).  When set, every
+            study executes on this transport — built with the study's
+            own ``jobs``/``batch_size`` — regardless of its spec's
+            ``execution.transport``; the *stored spec and artifact are
+            not rewritten*, so a fetched result stays byte-identical to
+            a direct run of the submitted spec.  When None, each spec's
+            execution section decides, exactly as ``repro-snip run``
+            would.
+        transport_options: per-transport options for the pinned
+            transport (a file queue's ``queue_dir``/``workers``, ...),
+            validated strictly at construction.
+    """
+
+    def __init__(
+        self,
+        store: StudyStore,
+        *,
+        transport: Optional[str] = None,
+        transport_options: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Validate the pinned transport (if any) and set up the queue."""
+        self.store = store
+        self.transport = transport
+        self.transport_options = dict(transport_options or {})
+        if transport is not None:
+            validate_transport(
+                transport, self.transport_options,
+                where="serve --transport-option",
+            )
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._stop = False
+        self._active: Optional[str] = None
+        self._cancel_requested: set = set()
+        self._events: Dict[str, EventLog] = {}
+        self._thread = threading.Thread(
+            target=self._loop, name="study-scheduler", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> List[str]:
+        """Recover the store, re-enqueue still-queued studies, start.
+
+        Returns the ids of interrupted studies the recovery marked
+        failed (for the server's startup log line).
+        """
+        requeued, interrupted = self.store.recover()
+        for study_id in requeued:
+            self.submit(study_id)
+        self._thread.start()
+        return interrupted
+
+    def close(self, *, timeout: float = 30.0) -> None:
+        """Stop the thread; a running study aborts and is marked cancelled.
+
+        (A *hard* kill — no close — leaves the study ``running`` on
+        disk; the next start's :meth:`~repro.service.store.StudyStore.recover`
+        marks it failed as interrupted.)
+        """
+        with self._cond:
+            self._stop = True
+            if self._active is not None:
+                self._cancel_requested.add(self._active)
+            self._cond.notify_all()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+
+    def is_alive(self) -> bool:
+        """Whether the scheduler thread is running (``/healthz``)."""
+        return self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # submission side (called from HTTP handler threads)
+    # ------------------------------------------------------------------
+    def submit(self, study_id: str) -> None:
+        """Enqueue a store-queued study for FIFO execution."""
+        with self._cond:
+            self._events.setdefault(study_id, EventLog())
+            self._cancel_requested.discard(study_id)
+            if study_id not in self._queue:
+                self._queue.append(study_id)
+            self._cond.notify_all()
+
+    def cancel(self, study_id: str) -> StudyRecord:
+        """Cancel a queued or running study; returns the updated record.
+
+        A queued study is marked cancelled immediately; a running one
+        is flagged and aborts at its next completed cell (the returned
+        record still says ``running`` until the scheduler observes the
+        flag).  Terminal studies are returned unchanged.
+        """
+        with self._cond:
+            record = self.store.get(study_id)
+            if record is None or record.is_terminal:
+                return record
+            self._cancel_requested.add(study_id)
+            if record.state == "queued":
+                try:
+                    self._queue.remove(study_id)
+                except ValueError:
+                    pass
+                record = self.store.mark_cancelled(study_id)
+                self._finish_events(
+                    study_id, {"event": "cancelled", "study": study_id}
+                )
+            return record
+
+    def events(self, study_id: str) -> Optional[EventLog]:
+        """The live event log for *study_id*, synthesizing terminal ones.
+
+        A study known to the store but without an in-memory log (it ran
+        before a restart) gets a pre-closed log carrying its terminal
+        event, so ``GET /studies/{id}/events`` always has something
+        coherent to stream.  Unknown studies return None.
+        """
+        with self._cond:
+            log = self._events.get(study_id)
+        if log is not None:
+            return log
+        record = self.store.get(study_id)
+        if record is None:
+            return None
+        event: Dict[str, Any] = {"event": record.state, "study": study_id}
+        if record.error:
+            event["error"] = record.error
+        return EventLog.closed_with([event])
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Studies waiting to run."""
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def active(self) -> Optional[str]:
+        """The id of the study currently executing, if any."""
+        with self._cond:
+            return self._active
+
+    # ------------------------------------------------------------------
+    # the single writer
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                if self._stop:
+                    return
+                study_id = self._queue.popleft()
+                self._active = study_id
+            try:
+                self._run_one(study_id)
+            finally:
+                with self._cond:
+                    self._active = None
+
+    def _run_one(self, study_id: str) -> None:
+        record = self.store.get(study_id)
+        if record is None or record.state != "queued":
+            return
+        if study_id in self._cancel_requested:
+            self.store.mark_cancelled(study_id)
+            self._finish_events(
+                study_id, {"event": "cancelled", "study": study_id}
+            )
+            return
+        with self._cond:
+            log = self._events.setdefault(study_id, EventLog())
+            if log.closed:  # resubmitted id: start a fresh stream
+                log = EventLog()
+                self._events[study_id] = log
+        spec = self.store.load_spec(study_id)
+        self.store.mark_running(study_id)
+        log.append({
+            "event": "started",
+            "study": study_id,
+            "name": spec.name,
+            "total": spec.total_runs,
+        })
+        progress = self._progress_callback(study_id, spec, log)
+        try:
+            executor = self._build_executor(spec)
+            result = run_study(spec, executor=executor, progress=progress)
+        except StudyCancelled:
+            self.store.mark_cancelled(study_id)
+            self._finish_events(
+                study_id, {"event": "cancelled", "study": study_id}, log
+            )
+        # lint: allow[broad-except] -- service boundary: one failing (or
+        # mis-specified) study must not take down the server; the error
+        # is persisted on the study record and reported to its clients
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            self.store.mark_failed(study_id, error)
+            self._finish_events(
+                study_id,
+                {"event": "failed", "study": study_id, "error": error},
+                log,
+            )
+        else:
+            self.store.mark_done(study_id, result)
+            self._finish_events(
+                study_id,
+                {
+                    "event": "done",
+                    "study": study_id,
+                    "total": spec.total_runs,
+                },
+                log,
+            )
+
+    def _progress_callback(self, study_id: str, spec: StudySpec, log: EventLog):
+        """The per-cell observer bridging ``run_study`` into the log."""
+        network = spec.is_network
+
+        def progress(shard, result, completed, total) -> None:
+            """One completed run: publish it, honouring cancellation."""
+            if study_id in self._cancel_requested:
+                raise StudyCancelled(study_id)
+            if network:
+                event = {
+                    "event": "node",
+                    "study": study_id,
+                    "node": str(shard),
+                }
+            else:
+                event = {
+                    "event": "cell",
+                    "study": study_id,
+                    "mechanism": shard.mechanism,
+                    "engine": shard.engine,
+                    "replicate": shard.replicate,
+                    "zeta_target": shard.scenario.zeta_target,
+                    "phi_max": shard.scenario.phi_max,
+                }
+            event.update({
+                "completed": completed,
+                "total": total,
+                "mean_zeta": result.mean_zeta,
+                "mean_phi": result.mean_phi,
+            })
+            log.append(event)
+
+        return progress
+
+    def _build_executor(self, spec: StudySpec):
+        """The transport this study runs on (pinned name or spec-derived)."""
+        if self.transport is None:
+            return spec.build_transport()
+        return resolve_transport(
+            self.transport,
+            jobs=spec.jobs,
+            batch_size=spec.batch_size,
+            label=spec.name,
+            options=self.transport_options,
+        )
+
+    def _finish_events(
+        self,
+        study_id: str,
+        terminal: Dict[str, Any],
+        log: Optional[EventLog] = None,
+    ) -> None:
+        """Append the terminal event and close the study's log."""
+        if log is None:
+            with self._cond:
+                log = self._events.setdefault(study_id, EventLog())
+        log.append(terminal)
+        log.close()

@@ -9,14 +9,21 @@ only inside the determinism subpackages of ``repro`` and never inside
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
+from repro.analysis import run_lint
 from repro.analysis.determinism import (
+    DETERMINISM_PACKAGES,
+    DETERMINISM_SCOPE,
+    EXEMPT_PACKAGES,
     GlobalRandomRule,
     HashSeedRule,
     LegacyNumpyRandomRule,
     WallClockRule,
 )
+from repro.analysis.worker_safety import BroadExceptRule
 
 
 def rule_ids(report):
@@ -222,3 +229,79 @@ class TestHashSeed:
             rules=[HashSeedRule()],
         )
         assert report.ok
+
+
+class TestDataDrivenScope:
+    """The determinism scope is the data in ``DETERMINISM_SCOPE``."""
+
+    SERVICE_SNIPPET = """\
+    import time
+    import uuid
+
+    def submitted_at():
+        return time.time(), uuid.uuid4().hex
+    """
+
+    def test_scope_and_exemptions_partition_repro(self):
+        # Every subpackage is accounted for exactly once: either under
+        # the determinism contract or explicitly exempted with a
+        # written rationale.  A new subpackage must pick a side.
+        assert not set(DETERMINISM_SCOPE) & set(EXEMPT_PACKAGES)
+        assert DETERMINISM_PACKAGES == tuple(DETERMINISM_SCOPE)
+        for rationale in (*DETERMINISM_SCOPE.values(),
+                          *EXEMPT_PACKAGES.values()):
+            assert rationale.strip()
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        subpackages = {
+            entry.name
+            for entry in src.iterdir()
+            if entry.is_dir() and (entry / "__init__.py").exists()
+        }
+        unaccounted = (
+            subpackages - set(DETERMINISM_SCOPE) - set(EXEMPT_PACKAGES)
+        )
+        assert not unaccounted, (
+            f"subpackages missing a determinism-scope decision: "
+            f"{sorted(unaccounted)}"
+        )
+
+    def test_service_wall_clock_is_exempt(self, lint_tree):
+        assert "service" in EXEMPT_PACKAGES
+        report = lint_tree(
+            {"repro/service/app.py": self.SERVICE_SNIPPET},
+            rules=[WallClockRule(), GlobalRandomRule()],
+        )
+        assert report.ok
+
+    def test_same_snippet_in_scope_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {"repro/sim/app.py": self.SERVICE_SNIPPET},
+            rules=[WallClockRule(), GlobalRandomRule()],
+        )
+        assert "wall-clock" in rule_ids(report)
+
+    def test_worker_safety_rules_still_apply_to_service(self, lint_tree):
+        # Exemption covers the determinism family only; the service
+        # layer remains subject to every other rule.
+        report = lint_tree(
+            {
+                "repro/service/handler.py": """\
+                def handle(request):
+                    try:
+                        return request.run()
+                    except Exception:
+                        return None
+                """
+            },
+            rules=[BroadExceptRule()],
+        )
+        assert rule_ids(report) == ["broad-except"]
+
+    def test_real_tree_is_lint_clean(self):
+        # The meta-check backing the exemption: the shipped sources —
+        # service layer included — pass the full default rule set.
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        report = run_lint([src], examples_dir="")
+        assert report.ok, [
+            f"{f.path}:{f.line}: {f.rule}" for f in report.findings
+        ]

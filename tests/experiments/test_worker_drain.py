@@ -1,0 +1,203 @@
+"""Graceful worker draining and the max_wait timeout diagnostics."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.experiments.transport import (
+    FileQueueTransport,
+    claim_next_ticket,
+    ensure_queue_layout,
+    release_claimed_ticket,
+)
+from repro.experiments.worker import worker_loop
+
+
+def enqueue_ticket(queue_dir: str, name: str = "run-x-00000") -> str:
+    """Plant one well-formed ticket + payload; returns the enqueue path.
+
+    The payload function must unpickle inside an external worker
+    process (where this test module is not importable), so it is the
+    builtin ``len`` — pickled by reference, resolvable anywhere.
+    """
+    ensure_queue_layout(queue_dir)
+    payload_rel = os.path.join("payload", f"{name}.pkl")
+    with open(os.path.join(queue_dir, payload_rel), "wb") as handle:
+        pickle.dump({"fn": len, "items": [(0, "ab")]}, handle)
+    ticket_path = os.path.join(queue_dir, "enqueue", f"{name}.json")
+    with open(ticket_path, "w", encoding="utf-8") as handle:
+        handle.write(
+            '{"run": "run-x", "ticket": 0, "indices": [0], '
+            f'"payload": "{payload_rel}"}}\n'
+        )
+    return ticket_path
+
+
+def _double(value):
+    """Picklable shard function for worker subprocess tests."""
+    return value * 2
+
+
+class TestReleaseClaimedTicket:
+    def test_release_returns_ticket_to_enqueue(self, tmp_path):
+        queue = str(tmp_path)
+        enqueue_ticket(queue)
+        claimed = claim_next_ticket(queue)
+        assert claimed is not None
+        assert os.listdir(os.path.join(queue, "enqueue")) == []
+        assert release_claimed_ticket(queue, claimed) is True
+        assert os.listdir(os.path.join(queue, "enqueue")) == [
+            "run-x-00000.json"
+        ]
+        assert os.listdir(os.path.join(queue, "claim")) == []
+
+    def test_release_of_vanished_claim_is_false(self, tmp_path):
+        queue = str(tmp_path)
+        ensure_queue_layout(queue)
+        missing = os.path.join(queue, "claim", "run-x-00000.json")
+        assert release_claimed_ticket(queue, missing) is False
+
+
+class TestStopEventDrain:
+    def test_preset_stop_event_exits_without_claiming(self, tmp_path):
+        queue = str(tmp_path)
+        enqueue_ticket(queue)
+        stop = threading.Event()
+        stop.set()
+        assert worker_loop(queue, stop_event=stop) == 0
+        # The ticket is untouched: still enqueued, nothing claimed.
+        assert os.listdir(os.path.join(queue, "enqueue")) == [
+            "run-x-00000.json"
+        ]
+
+    def test_stop_mid_idle_wakes_promptly(self, tmp_path):
+        queue = str(tmp_path)
+        ensure_queue_layout(queue)
+        stop = threading.Event()
+        results = []
+
+        def run() -> None:
+            results.append(worker_loop(queue, poll_interval=30.0, stop_event=stop))
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        time.sleep(0.2)
+        stop.set()
+        thread.join(timeout=5)  # far less than poll_interval
+        assert not thread.is_alive()
+        assert results == [0]
+
+    def test_in_flight_ticket_finishes_before_exit(self, tmp_path):
+        queue = str(tmp_path)
+        enqueue_ticket(queue)
+        stop = threading.Event()
+
+        def stop_soon() -> None:
+            time.sleep(0.05)
+            stop.set()
+
+        threading.Thread(target=stop_soon, daemon=True).start()
+        processed = worker_loop(queue, stop_event=stop, poll_interval=0.01)
+        # Either the ticket was processed before the stop landed (done
+        # file published) or the worker exited before claiming it — in
+        # no case may a claim be stranded.
+        assert os.listdir(os.path.join(queue, "claim")) == []
+        if processed:
+            done = os.listdir(os.path.join(queue, "done"))
+            assert done == ["run-x-00000.pkl"]
+
+
+class TestSignalDrain:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        queue = str(tmp_path)
+        enqueue_ticket(queue)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src), env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--queue", queue],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # Wait until the worker has provably reached its loop (the
+            # planted ticket's done file appears) before signalling —
+            # a SIGTERM during interpreter startup would hit the
+            # default handler, which is not what we are testing.
+            done_path = os.path.join(queue, "done", "run-x-00000.pkl")
+            deadline = time.monotonic() + 30
+            while not os.path.exists(done_path):
+                assert time.monotonic() < deadline, "worker never processed"
+                assert proc.poll() is None, "worker exited early"
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, err
+        assert "worker processed 1 ticket(s)" in out
+        assert os.listdir(os.path.join(queue, "claim")) == []
+
+
+class TestMaxWaitDiagnostics:
+    def test_timeout_names_outstanding_tickets_and_claim_ages(self, tmp_path):
+        queue = str(tmp_path / "queue")
+        transport = FileQueueTransport(
+            jobs=1,
+            queue_dir=queue,
+            workers=0,           # nobody will ever serve the ticket
+            self_process=False,  # and the coordinator must not help
+            max_wait=0.2,
+            poll_interval=0.05,
+        )
+        with pytest.warns(Warning, match="outstanding"):
+            list(transport.imap(_double, [1]))
+
+    def test_describe_outstanding_reports_unclaimed_and_claimed(
+        self, tmp_path, recwarn
+    ):
+        queue = str(tmp_path / "queue")
+        transport = FileQueueTransport(
+            jobs=1,
+            queue_dir=queue,
+            workers=0,
+            self_process=False,
+            max_wait=0.4,
+            poll_interval=0.05,
+        )
+
+        # Claim the ticket from a side thread shortly after enqueue, so
+        # the timeout message must report a claim age.
+        def claim_soon() -> None:
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if claim_next_ticket(queue) is not None:
+                    return
+                time.sleep(0.01)
+
+        thread = threading.Thread(target=claim_soon, daemon=True)
+        thread.start()
+        list(transport.imap(_double, [1]))
+        thread.join(timeout=5)
+        messages = [str(w.message) for w in recwarn.list]
+        timeout_messages = [m for m in messages if "max_wait" in m]
+        assert timeout_messages, messages
+        assert "outstanding" in timeout_messages[0]
+        assert (
+            "claimed ~" in timeout_messages[0]
+            or "unclaimed" in timeout_messages[0]
+        )

@@ -1,0 +1,44 @@
+"""Shared fixtures for the study-service tests.
+
+``tiny_spec`` builds one-cell studies that finish in well under a
+second, and ``live_server`` runs a real :class:`StudyServer` on an
+ephemeral port with its ``serve_forever`` loop on a daemon thread — the
+tests exercise the actual HTTP/SSE wire format through the actual
+``urllib`` client.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.experiments.spec import StudySpec
+from repro.service.app import make_server
+from repro.service.client import ServiceClient
+from service_specs import make_tiny_spec
+
+
+@pytest.fixture
+def tiny_spec() -> StudySpec:
+    """The default one-cell spec."""
+    return make_tiny_spec()
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """A served :class:`StudyServer` on an ephemeral port (torn down)."""
+    server = make_server(str(tmp_path / "store"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture
+def client(live_server) -> ServiceClient:
+    """A :class:`ServiceClient` pointed at ``live_server``."""
+    return ServiceClient(live_server.url, timeout=30.0)

@@ -1,0 +1,21 @@
+"""Tiny StudySpec builders shared by the service tests."""
+
+from __future__ import annotations
+
+from repro.experiments.spec import StudySpec
+
+
+def make_tiny_spec(**overrides) -> StudySpec:
+    """A one-cell (or few-cell) grid spec that runs in milliseconds."""
+    kwargs = dict(
+        name="svc-tiny",
+        zeta_targets=(16.0,),
+        phi_maxes=(864.0,),
+        epochs=1,
+        seed=1,
+        mechanisms=("SNIP-RH",),
+        engines=("fast",),
+        replicates=1,
+    )
+    kwargs.update(overrides)
+    return StudySpec(**kwargs)

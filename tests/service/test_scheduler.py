@@ -1,0 +1,184 @@
+"""Scheduler and EventLog unit tests (no HTTP involved)."""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import run_study
+from repro.service.scheduler import EventLog, StudyScheduler
+from repro.service.store import StudyStore
+from service_specs import make_tiny_spec
+
+
+def fake_cell(replicate: int = 0) -> tuple:
+    """A (shard, result) pair shaped like the grid progress callback's."""
+    shard = SimpleNamespace(
+        mechanism="SNIP-RH",
+        engine="fast",
+        replicate=replicate,
+        scenario=SimpleNamespace(zeta_target=16.0, phi_max=864.0),
+    )
+    result = SimpleNamespace(mean_zeta=10.0, mean_phi=5.0)
+    return shard, result
+
+
+class TestEventLog:
+    def test_stream_replays_then_follows_live(self):
+        log = EventLog()
+        log.append({"event": "started"})
+        collected = []
+        done = threading.Event()
+
+        def consume() -> None:
+            for event in log.stream():
+                collected.append(event)
+            done.set()
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        log.append({"event": "cell"})
+        log.append({"event": "done"})
+        log.close()
+        assert done.wait(timeout=5)
+        assert [event["event"] for event in collected] == [
+            "started", "cell", "done",
+        ]
+
+    def test_heartbeat_yields_none_on_idle(self):
+        log = EventLog()
+        stream = log.stream(heartbeat=0.05)
+        assert next(stream) is None  # no events yet: a keep-alive gap
+
+    def test_closed_with_replays_and_terminates(self):
+        log = EventLog.closed_with([{"event": "done"}])
+        assert log.closed
+        assert [event["event"] for event in log.stream()] == ["done"]
+
+    def test_snapshot_copies(self):
+        log = EventLog()
+        log.append({"event": "started"})
+        snap = log.snapshot()
+        snap[0]["event"] = "mutated"
+        assert log.snapshot()[0]["event"] == "started"
+
+
+class TestSchedulerExecution:
+    def test_executes_fifo_and_marks_done(self, tmp_path):
+        store = StudyStore(str(tmp_path))
+        scheduler = StudyScheduler(store)
+        scheduler.start()
+        try:
+            ids = []
+            for seed in (1, 2):
+                record, _ = store.submit(make_tiny_spec(seed=seed))
+                scheduler.submit(record.study_id)
+                ids.append(record.study_id)
+            for study_id in ids:
+                log = scheduler.events(study_id)
+                events = list(log.stream())
+                assert events[-1]["event"] == "done"
+                assert store.get(study_id).state == "done"
+        finally:
+            scheduler.close()
+
+    def test_pinned_transport_keeps_artifact_byte_identical(self, tmp_path):
+        # The server pins "serial"; the spec asks for a pool.  The
+        # stored spec must not be rewritten, and the artifact must
+        # match a direct run of the submitted spec exactly.
+        spec = make_tiny_spec(jobs=2)
+        store = StudyStore(str(tmp_path))
+        scheduler = StudyScheduler(store, transport="serial")
+        scheduler.start()
+        try:
+            record, _ = store.submit(spec)
+            scheduler.submit(record.study_id)
+            list(scheduler.events(record.study_id).stream())
+            assert store.result_text(record.study_id) == run_study(spec).to_json()
+            assert store.load_spec(record.study_id).jobs == 2
+        finally:
+            scheduler.close()
+
+    def test_unknown_pinned_transport_raises_at_construction(self, tmp_path):
+        store = StudyStore(str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            StudyScheduler(store, transport="no-such-transport")
+
+    def test_bad_transport_option_raises_at_construction(self, tmp_path):
+        store = StudyStore(str(tmp_path))
+        with pytest.raises(ConfigurationError, match="serve --transport-option"):
+            StudyScheduler(
+                store,
+                transport="file-queue",
+                transport_options={"bogus_option": 1},
+            )
+
+
+class TestCancellation:
+    def test_cancel_queued_study_never_runs(self, tmp_path):
+        store = StudyStore(str(tmp_path))
+        scheduler = StudyScheduler(store)  # thread not started
+        record, _ = store.submit(make_tiny_spec())
+        scheduler.submit(record.study_id)
+        cancelled = scheduler.cancel(record.study_id)
+        assert cancelled.state == "cancelled"
+        assert scheduler.queue_depth == 0
+        events = list(scheduler.events(record.study_id).stream())
+        assert events[-1]["event"] == "cancelled"
+
+    def test_cancel_running_study_aborts_at_next_cell(
+        self, tmp_path, monkeypatch
+    ):
+        store = StudyStore(str(tmp_path))
+        scheduler = StudyScheduler(store)
+
+        def fake_run_study(spec, *, executor=None, progress=None, **kwargs):
+            shard, result = fake_cell()
+            progress(shard, result, 1, 3)
+            # The cancel flag is set between cells; the next progress
+            # call must raise StudyCancelled.
+            scheduler.cancel(study_id)
+            progress(shard, result, 2, 3)
+            raise AssertionError("progress should have raised")
+
+        monkeypatch.setattr(
+            "repro.service.scheduler.run_study", fake_run_study
+        )
+        record, _ = store.submit(make_tiny_spec())
+        study_id = record.study_id
+        scheduler.start()
+        try:
+            scheduler.submit(study_id)
+            events = list(scheduler.events(study_id).stream())
+            assert [event["event"] for event in events] == [
+                "started", "cell", "cancelled",
+            ]
+            assert store.get(study_id).state == "cancelled"
+        finally:
+            scheduler.close()
+
+    def test_close_aborts_active_study(self, tmp_path, monkeypatch):
+        store = StudyStore(str(tmp_path))
+        scheduler = StudyScheduler(store)
+        started = threading.Event()
+
+        def slow_run_study(spec, *, executor=None, progress=None, **kwargs):
+            shard, result = fake_cell()
+            for completed in range(1, 1000):
+                progress(shard, result, completed, 1000)
+                started.set()
+                time.sleep(0.01)
+
+        monkeypatch.setattr(
+            "repro.service.scheduler.run_study", slow_run_study
+        )
+        record, _ = store.submit(make_tiny_spec())
+        scheduler.start()
+        scheduler.submit(record.study_id)
+        assert started.wait(timeout=10)
+        scheduler.close()
+        assert store.get(record.study_id).state == "cancelled"
