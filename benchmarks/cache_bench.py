@@ -1,0 +1,149 @@
+"""Cell-cache benchmark: cold vs warm vs one-axis-edited paper grid.
+
+Runs the Fig. 7/8 study (the same `StudySpec` as
+``examples/paper_study.json``) three times against one
+content-addressed cache directory (:mod:`repro.cache`):
+
+1. **cold** — empty cache: every cell executes and is stored;
+2. **warm** — same study again: every cell must hit (zero computed)
+   and the artifact must be byte-identical to the cold run — the
+   headline invariant of the cache layer;
+3. **edited** — one axis widened (an extra ζtarget): only the new
+   cells may execute, everything else hits.
+
+Emits ``BENCH_cache.json`` with the wall-clock of each phase, the
+warm-over-cold speedup (the price of a resume), and the hit/computed
+partition of the edited run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/cache_bench.py            # full grid
+    PYTHONPATH=src python benchmarks/cache_bench.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/cache_bench.py --out BENCH.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from grid_common import PAPER_DIVISORS, PAPER_EPOCHS, SEEDS, TARGETS, paper_grid_spec  # noqa: E402
+
+from repro.experiments.spec import run_study  # noqa: E402
+
+#: The extra ζtarget (seconds) the "edited" phase appends to the sweep.
+EXTRA_TARGET = 64.0
+
+
+def timed_run(spec):
+    """Run *spec* once; return ``(study, seconds)``."""
+    start = time.perf_counter()
+    study = run_study(spec)
+    return study, time.perf_counter() - start
+
+
+def bench_cache(spec, edited):
+    """Time the cold/warm/edited phases; assert the cache contract."""
+    timings = {}
+    study_cold, timings["cold"] = timed_run(spec)
+    assert study_cold.cells_cached == 0, "cold run hit a non-empty cache"
+    print(f"      cold: {timings['cold']:7.2f}s  "
+          f"({study_cold.cells_computed} computed)")
+
+    study_warm, timings["warm"] = timed_run(spec)
+    assert study_warm.cells_computed == 0, (
+        f"warm run recomputed {study_warm.cells_computed} cell(s)"
+    )
+    assert study_warm.to_json() == study_cold.to_json(), (
+        "warm artifact differs from the cold run"
+    )
+    print(f"      warm: {timings['warm']:7.2f}s  "
+          f"({study_warm.cells_cached} hits, byte-identical)")
+
+    study_edited, timings["edited"] = timed_run(edited)
+    new_cells = edited.total_runs - spec.total_runs
+    assert study_edited.cells_computed == new_cells, (
+        f"edited run computed {study_edited.cells_computed} cell(s); "
+        f"expected exactly the {new_cells} new ones"
+    )
+    print(f"    edited: {timings['edited']:7.2f}s  "
+          f"({study_edited.cells_cached} hits, "
+          f"{study_edited.cells_computed} computed)")
+    return timings, study_edited
+
+
+def main(argv=None) -> int:
+    """Run the bench and write the BENCH_cache.json artifact."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per run (default: 1 — the cache layer "
+             "itself is transport-agnostic, so serial keeps the "
+             "cold/warm delta free of pool startup noise)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized grid (2 targets, 2 epochs, 2 seeds) instead of "
+             "the full Fig. 7/8 grid",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_cache.json",
+        help="artifact path (default: BENCH_cache.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        base = paper_grid_spec(
+            PAPER_DIVISORS, epochs=2, replicate_seeds=(1, 2), jobs=args.jobs
+        ).with_overrides({"scenario.zeta_targets": [16.0, 24.0]})
+    else:
+        base = paper_grid_spec(
+            PAPER_DIVISORS, epochs=PAPER_EPOCHS, replicate_seeds=SEEDS,
+            jobs=args.jobs,
+        )
+
+    with tempfile.TemporaryDirectory(prefix="cache-bench-") as cache_dir:
+        spec = base.with_overrides({"execution.cache": cache_dir})
+        edited = spec.with_overrides({
+            "scenario.zeta_targets": list(spec.zeta_targets) + [EXTRA_TARGET],
+        })
+        print(
+            f"cache bench: {spec.total_runs} runs cold/warm, "
+            f"{edited.total_runs} edited (+zeta_target={EXTRA_TARGET:g}), "
+            f"jobs={args.jobs}"
+        )
+        timings, study_edited = bench_cache(spec, edited)
+
+    artifact = {
+        "study": spec.name,
+        "total_runs": spec.total_runs,
+        "edited_total_runs": edited.total_runs,
+        "epochs": spec.epochs,
+        "jobs": args.jobs,
+        "quick": args.quick,
+        "extra_zeta_target": EXTRA_TARGET,
+        "seconds": {name: round(value, 4) for name, value in timings.items()},
+        "warm_speedup_vs_cold": (
+            round(timings["cold"] / timings["warm"], 3)
+            if timings["warm"] > 0 else None
+        ),
+        "warm_byte_identical": True,  # asserted above
+        "edited_cells_cached": study_edited.cells_cached,
+        "edited_cells_computed": study_edited.cells_computed,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    print(f"warm speedup over cold: {artifact['warm_speedup_vs_cold']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

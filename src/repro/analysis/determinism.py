@@ -75,6 +75,13 @@ EXEMPT_PACKAGES = {
     "analysis": "the lint checker itself inspects, never simulates",
     "core": "closed-form algebra over model parameters; no entropy used",
     "radio": "datasheet constants and lifetime algebra; no entropy used",
+    "cache": (
+        "the content-addressed cell cache replays outcomes computed by "
+        "determinism-scoped code verbatim: keys are hashlib digests of "
+        "canonical RunSpec bytes (never builtin hash()), and gc/stats "
+        "legitimately read wall-clock file mtimes and sizes — eviction "
+        "policy decides what to *recompute*, never what a result is"
+    ),
 }
 
 #: The bound subpackage names (derived view of the scope dict, kept

@@ -1,0 +1,50 @@
+"""Content-addressed cell cache: memoized study cells, resumable studies.
+
+Every study shard is a pure function of its
+:class:`~repro.experiments.runner.RunSpec`, so its outcome can be
+stored under a content address and replayed instead of recomputed:
+
+* :mod:`repro.cache.keys` — the canonical, versioned address
+  (:func:`cache_key`): sha256 over the spec's byte-stable fingerprint,
+  salted with :data:`CACHE_SCHEMA_VERSION`;
+* :mod:`repro.cache.store` — :class:`CellCache`, the crash-safe
+  on-disk store (atomic writes, checksummed entries, gc by size/age,
+  corruption healed by re-execution with a loud
+  :class:`CacheCorruptionWarning`);
+* :mod:`repro.cache.transport` — :class:`CachedTransport`, the
+  transport decorator that partitions shards into hits and misses,
+  runs only misses on the inner transport, and writes each outcome
+  back before yielding it — which is what makes crashed or cancelled
+  studies resumable.
+
+Wiring: ``StudySpec.execution`` (``cache`` / ``cache_options``), the
+CLI (``run --cache DIR``, ``repro cache stats|gc|verify``), and the
+study service (``serve --cache DIR``).  The headline invariant is
+byte-identity: a warm-cache artifact equals the cold-run artifact
+exactly.
+"""
+
+from .keys import CACHE_SCHEMA_VERSION, cache_key, cell_fingerprint
+from .store import (
+    CACHE_OPTION_NAMES,
+    CacheCorruptionWarning,
+    CellCache,
+    decode_result,
+    encode_result,
+    validate_cache_options,
+)
+from .transport import CachedTransport, wrap_with_cache
+
+__all__ = [
+    "CACHE_OPTION_NAMES",
+    "CACHE_SCHEMA_VERSION",
+    "CacheCorruptionWarning",
+    "CachedTransport",
+    "CellCache",
+    "cache_key",
+    "cell_fingerprint",
+    "decode_result",
+    "encode_result",
+    "validate_cache_options",
+    "wrap_with_cache",
+]

@@ -7,6 +7,8 @@ Examples::
     repro-snip run --spec examples/paper_study.json --jobs 4 --out grid.json
     repro-snip run --spec study.json --set scenario.epochs=2 --set axes.engines=fast,micro
     repro-snip run --spec study.json --transport file-queue
+    repro-snip run --spec study.json --cache /var/cellcache   # resumable
+    repro-snip cache stats /var/cellcache
     repro-snip worker --queue /shared/queue   # serve file-queue tickets
     repro-snip serve --store /var/studies --port 8321   # HTTP study service
     repro-snip run --spec study.json --server http://127.0.0.1:8321
@@ -36,6 +38,13 @@ stderr naming the study) — and ``--out PATH`` to write the result as
 this or any other host.  ``agree``/``run`` accept ``--gate TOL``, the
 CI agreement gate: exit non-zero when any paired per-cell delta CI
 excludes zero beyond the tolerance.
+
+``run --cache DIR`` (shorthand for ``--set execution.cache=DIR``)
+reuses cell outcomes from a content-addressed cache directory
+(:mod:`repro.cache`) and writes new ones back, so a crashed, cancelled,
+or edited study resumes by recomputing only the missing cells; the
+``cache`` subcommand inspects (``stats``), evicts (``gc``), and
+re-validates (``verify``) such a directory.
 
 ``serve`` runs the HTTP study service (:mod:`repro.service`): specs
 are submitted as JSON over ``POST /studies``, progress streams as
@@ -129,12 +138,13 @@ def _cell_progress(*, show_engine: bool):
         divisor = DAY / spec.scenario.phi_max
         width = len(str(total))
         engine = f"{spec.engine:<5} " if show_engine else ""
+        cached = " (cached)" if getattr(result, "from_cache", False) else ""
         print(
             f"[{completed:>{width}}/{total}] {engine}"
             f"Phi_max=Tepoch/{divisor:g} "
             f"zeta_target={spec.scenario.zeta_target:g} {spec.mechanism} "
             f"replicate {spec.replicate}: zeta={result.mean_zeta:.2f} "
-            f"Phi={result.mean_phi:.2f}",
+            f"Phi={result.mean_phi:.2f}{cached}",
             flush=True,
         )
 
@@ -247,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="write the StudyResult document (shorthand for "
              "--set outputs.out=PATH; .json or .csv by extension)",
+    )
+    run.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="shorthand for --set execution.cache=DIR: reuse cell "
+             "outcomes from (and write new ones to) a content-addressed "
+             "cache directory, making crashed or edited studies "
+             "resumable (repro.cache)",
     )
     run.add_argument(
         "--server", default=None, metavar="URL",
@@ -526,6 +543,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between SSE keep-alive comments on idle event "
              "streams (default: 10)",
     )
+    serve.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="pin every study to this cell-cache directory "
+             "(overrides each spec's execution.cache; repro.cache)",
+    )
+    serve.add_argument(
+        "--cache-option", dest="cache_options", action="append",
+        type=_override, default=[], metavar="KEY=VALUE",
+        help="per-cache option for the pinned --cache (repeatable): "
+             "max_bytes, max_age_days, readonly",
+    )
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain a cell-cache directory (repro.cache)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count and total size of a cache directory"
+    )
+    cache_stats.add_argument(
+        "dir", metavar="DIR", help="the cell-cache directory"
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict entries by age and/or total size"
+    )
+    cache_gc.add_argument(
+        "dir", metavar="DIR", help="the cell-cache directory"
+    )
+    cache_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="evict oldest entries until the cache fits in N bytes",
+    )
+    cache_gc.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="evict entries not written or reused for DAYS days",
+    )
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="re-validate every entry's checksum; corrupt entries are "
+             "discarded (their cells re-execute on the next run)",
+    )
+    cache_verify.add_argument(
+        "dir", metavar="DIR", help="the cell-cache directory"
+    )
     return parser
 
 
@@ -710,12 +772,13 @@ def _print_event_line(event: dict, *, show_engine: bool) -> None:
         return
     divisor = DAY / event["phi_max"]
     engine = f"{event['engine']:<5} " if show_engine else ""
+    cached = " (cached)" if event.get("cached") else ""
     print(
         f"{prefix} {engine}"
         f"Phi_max=Tepoch/{divisor:g} "
         f"zeta_target={event['zeta_target']:g} {event['mechanism']} "
         f"replicate {event['replicate']}: zeta={event['mean_zeta']:.2f} "
-        f"Phi={event['mean_phi']:.2f}",
+        f"Phi={event['mean_phi']:.2f}{cached}",
         flush=True,
     )
 
@@ -773,6 +836,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         overrides["execution.jobs"] = args.jobs
     if args.transport is not None:
         overrides["execution.transport"] = args.transport
+    if args.cache is not None:
+        overrides["execution.cache"] = args.cache
     if args.out is not None:
         overrides["outputs.out"] = args.out
     if overrides:
@@ -822,6 +887,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                 )
     if spec.out:
         _write_output(spec.out, study)
+    if spec.cache is not None:
+        # The greppable resume diagnostic (asserted by the CI cache
+        # smoke): how much of the study came from the cell cache.
+        print(f"cache: {study.cells_cached} hit(s), "
+              f"{study.cells_computed} computed")
     _report_pool("study", spec.jobs, executor)
     if args.gate is not None:
         if not study.agreements:
@@ -1041,6 +1111,41 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or maintain a cell-cache directory (repro.cache).
+
+    ``stats`` prints the entry count and byte total, ``gc`` evicts by
+    age and/or size, and ``verify`` re-validates every entry's
+    checksum, discarding corrupt entries so their cells re-execute on
+    the next cached run.
+    """
+    from ..cache.store import CellCache
+
+    cache = CellCache(args.dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache {stats['root']}: {stats['entries']} entr(ies), "
+              f"{stats['total_bytes']} bytes "
+              f"(schema v{stats['schema_version']})")
+        return 0
+    if args.cache_command == "gc":
+        if args.max_bytes is None and args.max_age_days is None:
+            print("cache gc needs --max-bytes and/or --max-age-days",
+                  file=sys.stderr)
+            return 2
+        report = cache.gc(
+            max_bytes=args.max_bytes, max_age_days=args.max_age_days
+        )
+        print(f"cache gc: removed {report['removed']} entr(ies) "
+              f"({report['removed_bytes']} bytes), kept "
+              f"{report['kept']} ({report['kept_bytes']} bytes)")
+        return 0
+    report = cache.verify()
+    print(f"cache verify: {report['ok']}/{report['entries']} entr(ies) "
+          f"ok, {report['corrupt_removed']} corrupt entr(ies) removed")
+    return 0 if report["corrupt_removed"] == 0 else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP study service until SIGTERM/SIGINT.
 
@@ -1060,6 +1165,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         transport=args.transport,
         transport_options=dict(args.transport_options) or None,
         heartbeat=args.heartbeat,
+        cache=args.cache,
+        cache_options=dict(args.cache_options) or None,
     )
 
 
@@ -1078,6 +1185,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": cmd_lint,
         "worker": cmd_worker,
         "serve": cmd_serve,
+        "cache": cmd_cache,
     }
     try:
         return handlers[args.command](args)

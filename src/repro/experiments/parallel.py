@@ -81,6 +81,15 @@ Both executors are also registered **transports**
 directory-backed ``"file-queue"`` backend — so a
 :class:`~repro.experiments.spec.StudySpec` selects its execution
 backend by name exactly like it selects mechanisms and engines.
+
+Because shards are pure (rule 1), their outcomes are also
+**memoizable**: :class:`repro.cache.transport.CachedTransport`
+decorates any of these executors with a content-addressed cell cache
+(``StudySpec.execution.cache``), serving previously computed shards
+from disk and running only the misses downstream.  The decorator sits
+entirely on top of this module's contract — hits and misses are merged
+back by shard index (rule 3), so the assembled result stays
+byte-identical to an uncached run.
 """
 
 from __future__ import annotations

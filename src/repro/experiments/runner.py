@@ -172,7 +172,14 @@ def execute_run_specs(specs: List[RunSpec]) -> List[RunResult]:
 
 @dataclass
 class RunResult:
-    """Everything a benchmark or example needs from one run."""
+    """Everything a benchmark or example needs from one run.
+
+    ``from_cache`` marks a result replayed from the content-addressed
+    cell cache (:mod:`repro.cache`) instead of executed: its metrics
+    are byte-identical to a fresh run's, but the rich in-memory objects
+    (``scheduler``, ``node``, ``trace``) are None — exactly the subset
+    that does not round-trip through study artifacts either.
+    """
 
     scenario: Scenario
     scheduler: Scheduler
@@ -180,6 +187,7 @@ class RunResult:
     node: SensorNode
     trace: ContactTrace
     timeline: Optional[Timeline] = None
+    from_cache: bool = False
 
     @property
     def mean_zeta(self) -> float:

@@ -142,7 +142,10 @@ class NetworkSection:
 _SECTION_FIELDS: Dict[str, Tuple[str, ...]] = {
     "scenario": ("zeta_targets", "phi_maxes", "epochs", "seed"),
     "axes": ("mechanisms", "engines", "replicates", "replicate_seeds"),
-    "execution": ("jobs", "batch_size", "transport", "transport_options"),
+    "execution": (
+        "jobs", "batch_size", "transport", "transport_options",
+        "cache", "cache_options",
+    ),
     "outputs": ("out", "with_predictions"),
 }
 
@@ -184,9 +187,13 @@ class StudySpec:
       ``batch_size`` (shards per pool task, or ``"auto"``),
       ``transport`` (a transport-registry name — ``"serial"``,
       ``"pool"``, ``"file-queue"``, or any runtime registration; null
-      derives ``"pool"`` when ``jobs > 1``, else ``"serial"``), and
+      derives ``"pool"`` when ``jobs > 1``, else ``"serial"``),
       ``transport_options`` (a strict per-transport options dict, e.g.
-      the file queue's ``queue_dir``/``workers``);
+      the file queue's ``queue_dir``/``workers``), and ``cache`` /
+      ``cache_options`` (a content-addressed cell-cache directory plus
+      its strict options — ``max_bytes``, ``max_age_days``,
+      ``readonly``; see :mod:`repro.cache` — decorating whatever
+      transport the study runs on);
     * **outputs** — ``out`` (default artifact path for the CLI) and
       ``with_predictions`` (pair cells with closed-form predictions);
     * **network** — optional :class:`NetworkSection` for per-node fleet
@@ -209,6 +216,8 @@ class StudySpec:
     batch_size: Union[int, str] = "auto"
     transport: Optional[str] = None
     transport_options: Mapping[str, Any] = field(default_factory=dict)
+    cache: Optional[str] = None
+    cache_options: Mapping[str, Any] = field(default_factory=dict)
     # outputs
     out: Optional[str] = None
     with_predictions: bool = True
@@ -324,6 +333,28 @@ class StudySpec:
             "transport_options",
             {key: self.transport_options[key] for key in sorted(self.transport_options)},
         )
+        if self.cache is not None and (
+            not isinstance(self.cache, str) or not self.cache
+        ):
+            raise ConfigurationError(
+                f"cache must be a cache-directory path or null, "
+                f"got {self.cache!r}"
+            )
+        if not isinstance(self.cache_options, Mapping):
+            raise ConfigurationError(
+                f"cache_options must be a mapping, got {self.cache_options!r}"
+            )
+        # Strict known-key/type validation plus the same sorted-dict
+        # normalization as transport_options (byte-stable to_json).
+        from ..cache.store import validate_cache_options
+
+        object.__setattr__(
+            self,
+            "cache_options",
+            validate_cache_options(
+                dict(self.cache_options), where="execution.cache_options"
+            ),
+        )
         if self.out is not None and (
             not isinstance(self.out, str) or not self.out
         ):
@@ -380,7 +411,7 @@ class StudySpec:
         """The per-replicate scenario seeds this study will use."""
         return _resolve_seeds(self.seed, self.replicates, self.replicate_seeds)
 
-    def build_transport(self) -> Optional[Executor]:
+    def build_transport(self, *, with_cache: bool = True) -> Optional[Executor]:
         """The executor this spec's execution section describes.
 
         The single derivation shared by :func:`run_study` and the CLI:
@@ -388,16 +419,30 @@ class StudySpec:
         the historical in-process path — and anything else resolves the
         transport name with the spec's jobs, batch size, and options
         through :func:`~repro.experiments.transport.resolve_transport`.
+
+        When the spec names a ``cache`` directory the resolved
+        transport (including the plain-serial None) is decorated with
+        :class:`~repro.cache.transport.CachedTransport`, so cells hit
+        the content-addressed cache before the inner transport runs.
+        *with_cache=False* skips the decoration — for callers (the
+        service scheduler) that layer their own cache configuration on
+        top of the inner transport.
         """
         name = self.resolved_transport
         if name == "serial" and not self.transport_options:
-            return None
-        return resolve_transport(
-            name,
-            jobs=self.jobs,
-            batch_size=self.batch_size,
-            options=self.transport_options,
-        )
+            executor: Optional[Executor] = None
+        else:
+            executor = resolve_transport(
+                name,
+                jobs=self.jobs,
+                batch_size=self.batch_size,
+                options=self.transport_options,
+            )
+        if self.cache is None or not with_cache:
+            return executor
+        from ..cache.transport import wrap_with_cache
+
+        return wrap_with_cache(executor, self.cache, dict(self.cache_options))
 
     def base_scenario(self) -> Scenario:
         """The §VII-A scenario template with this spec's overrides applied.
@@ -437,7 +482,7 @@ class StudySpec:
                     value = list(value)
                 elif field_name == "replicate_seeds" and value is not None:
                     value = list(value)
-                elif field_name == "transport_options":
+                elif field_name in ("transport_options", "cache_options"):
                     value = dict(value)  # already key-sorted (post-init)
                 body[field_name] = value
             document[section] = body
@@ -613,12 +658,21 @@ class StudyResult:
     non-baseline engine against the baseline (the first listed engine)
     as an :class:`~repro.experiments.agreement.AgreementResult`;
     *network* is the fleet result for network studies.
+
+    *cells_computed* / *cells_cached* partition the study's runs into
+    freshly executed cells and cells replayed from the content-addressed
+    cache (:mod:`repro.cache`).  They describe *this execution*, not
+    the results — cached and computed cells are byte-identical — so
+    they are deliberately absent from :meth:`to_dict`: a warm-cache
+    artifact must equal the cold-run artifact exactly.
     """
 
     spec: StudySpec
     grids: Dict[str, GridResult] = field(default_factory=dict)
     agreements: Dict[str, AgreementResult] = field(default_factory=dict)
     network: Optional["NetworkResult"] = None
+    cells_computed: int = 0
+    cells_cached: int = 0
 
     def grid(self, engine: Optional[str] = None) -> GridResult:
         """The grid for *engine* (default: the spec's first engine)."""
@@ -1023,4 +1077,13 @@ def run_study(
                 mechanisms=tuple(names),
             )
 
-    return StudyResult(spec=spec, grids=grids, agreements=agreements)
+    cells_cached = sum(
+        1 for result in results if getattr(result, "from_cache", False)
+    )
+    return StudyResult(
+        spec=spec,
+        grids=grids,
+        agreements=agreements,
+        cells_computed=len(results) - cells_cached,
+        cells_cached=cells_cached,
+    )

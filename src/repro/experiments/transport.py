@@ -514,6 +514,14 @@ class FileQueueTransport:
         #: the multi-host analogue of ``ParallelExecutor``'s pool
         #: diagnostic.  Results are identical either way.
         self.last_map_parallel = False
+        #: Optional observer ``sink(index, value)`` fed every successful
+        #: outcome the moment its ticket is ingested — *before* the
+        #: streaming consumer sees it and before queue cleanup deletes
+        #: the ``done/`` record.  Duck-typed (set by
+        #: :class:`repro.cache.transport.CachedTransport`) so outcomes
+        #: computed by other hosts persist even when the coordinating
+        #: study is cancelled mid-record.
+        self.outcome_sink = None
 
     # ------------------------------------------------------------------
     # the Transport contract
@@ -606,6 +614,11 @@ class FileQueueTransport:
                 progressed = True
                 if record["worker"] != session.worker_id:
                     external_done += 1
+                # Feed the whole record to the sink before yielding any
+                # of it: drain_done has already deleted the done/ file,
+                # so if the consumer abandons the stream mid-record the
+                # sink is the only place these outcomes survive.
+                self._feed_sink(record["outcomes"])
                 for index, outcome in record["outcomes"]:
                     if outcome.error is not None:
                         raise _ShardFailure(outcome)
@@ -629,7 +642,9 @@ class FileQueueTransport:
             reclaimed = session.reclaim_stale(pending, self.reclaim_after)
             for ticket in reclaimed:
                 chunk = pending.pop(ticket)
-                for index, outcome in _guarded_batch(fn, chunk):
+                outcomes = _guarded_batch(fn, chunk)
+                self._feed_sink(outcomes)
+                for index, outcome in outcomes:
                     if outcome.error is not None:
                         raise _ShardFailure(outcome)
                     yield index, outcome.value
@@ -638,6 +653,17 @@ class FileQueueTransport:
                 # without any completed ticket, however it completed.
                 last_progress = time.monotonic()
         self.last_map_parallel = external_done > 0
+
+    def _feed_sink(
+        self, outcomes: Sequence[Tuple[int, "_ShardOutcome"]]
+    ) -> None:
+        """Push a record's successful outcomes to :attr:`outcome_sink`."""
+        sink = self.outcome_sink
+        if sink is None:
+            return
+        for index, outcome in outcomes:
+            if outcome.error is None:
+                sink(index, outcome.value)
 
     def _serial(
         self, fn: Callable, indexed_items: Sequence[Tuple[int, Any]]

@@ -71,6 +71,8 @@ class StudyService:
         *,
         transport: Optional[str] = None,
         transport_options: Optional[Mapping[str, Any]] = None,
+        cache: Optional[str] = None,
+        cache_options: Optional[Mapping[str, Any]] = None,
         heartbeat: float = 10.0,
     ) -> None:
         """Open the store and build (but do not start) the scheduler."""
@@ -79,6 +81,8 @@ class StudyService:
             self.store,
             transport=transport,
             transport_options=transport_options,
+            cache=cache,
+            cache_options=cache_options,
         )
         self.heartbeat = heartbeat
         self.started_at = time.time()
@@ -161,6 +165,7 @@ class StudyService:
             "active": self.scheduler.active,
             "studies": self.store.counts(),
             "transport": self.scheduler.transport,
+            "cache": self.scheduler.cache,
         }
         queue_dir = self.scheduler.transport_options.get("queue_dir")
         if queue_dir:
@@ -394,6 +399,8 @@ def make_server(
     port: int = 0,
     transport: Optional[str] = None,
     transport_options: Optional[Mapping[str, Any]] = None,
+    cache: Optional[str] = None,
+    cache_options: Optional[Mapping[str, Any]] = None,
     heartbeat: float = 10.0,
 ) -> StudyServer:
     """A ready-to-serve :class:`StudyServer` (scheduler already started).
@@ -402,11 +409,15 @@ def make_server(
     :attr:`StudyServer.url`.  The store is recovered before the first
     request can arrive, so a restarted server re-lists finished studies
     immediately and has already marked interrupted ones failed.
+    *cache* pins one shared cell-cache directory for every submission
+    (see :class:`~repro.service.scheduler.StudyScheduler`).
     """
     service = StudyService(
         store_dir,
         transport=transport,
         transport_options=transport_options,
+        cache=cache,
+        cache_options=cache_options,
         heartbeat=heartbeat,
     )
     server = StudyServer((host, port), service)
@@ -421,6 +432,8 @@ def serve(
     port: int = 8321,
     transport: Optional[str] = None,
     transport_options: Optional[Mapping[str, Any]] = None,
+    cache: Optional[str] = None,
+    cache_options: Optional[Mapping[str, Any]] = None,
     heartbeat: float = 10.0,
 ) -> int:
     """Run the study server until SIGTERM/SIGINT; returns the exit code.
@@ -437,6 +450,8 @@ def serve(
         port=port,
         transport=transport,
         transport_options=transport_options,
+        cache=cache,
+        cache_options=cache_options,
         heartbeat=heartbeat,
     )
 

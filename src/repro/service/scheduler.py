@@ -27,6 +27,8 @@ import threading
 from collections import deque
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
+from ..cache.store import validate_cache_options
+from ..cache.transport import wrap_with_cache
 from ..experiments.spec import StudySpec, run_study
 from ..experiments.transport import resolve_transport, validate_transport
 from .store import StudyRecord, StudyStore
@@ -131,6 +133,18 @@ class StudyScheduler:
         transport_options: per-transport options for the pinned
             transport (a file queue's ``queue_dir``/``workers``, ...),
             validated strictly at construction.
+        cache: optional content-addressed cell-cache directory pinned
+            by the server (``repro serve --cache DIR``).  When set,
+            every study's transport is decorated with
+            :class:`~repro.cache.transport.CachedTransport` over this
+            one shared directory — a near-duplicate resubmission only
+            computes the cells that actually changed — overriding any
+            ``execution.cache`` in the spec (like a pinned transport,
+            the stored spec and artifact are never rewritten).  When
+            None, each spec's own ``execution.cache`` decides.
+        cache_options: strict cache options for the pinned directory
+            (``max_bytes`` / ``max_age_days`` / ``readonly``),
+            validated at construction.
     """
 
     def __init__(
@@ -139,8 +153,10 @@ class StudyScheduler:
         *,
         transport: Optional[str] = None,
         transport_options: Optional[Mapping[str, Any]] = None,
+        cache: Optional[str] = None,
+        cache_options: Optional[Mapping[str, Any]] = None,
     ) -> None:
-        """Validate the pinned transport (if any) and set up the queue."""
+        """Validate the pinned transport/cache and set up the queue."""
         self.store = store
         self.transport = transport
         self.transport_options = dict(transport_options or {})
@@ -149,6 +165,10 @@ class StudyScheduler:
                 transport, self.transport_options,
                 where="serve --transport-option",
             )
+        self.cache = cache
+        self.cache_options = validate_cache_options(
+            dict(cache_options or {}), where="serve --cache-option"
+        )
         self._queue: deque = deque()
         self._cond = threading.Condition()
         self._stop = False
@@ -367,21 +387,40 @@ class StudyScheduler:
                 "mean_zeta": result.mean_zeta,
                 "mean_phi": result.mean_phi,
             })
+            if getattr(result, "from_cache", False):
+                event["cached"] = True
             log.append(event)
 
         return progress
 
     def _build_executor(self, spec: StudySpec):
-        """The transport this study runs on (pinned name or spec-derived)."""
+        """The transport this study runs on (pinned name or spec-derived).
+
+        The server's pinned cache directory (when set) decorates the
+        inner transport and wins over the spec's own ``execution.cache``
+        — one shared cache across every submission is what makes
+        near-duplicate studies cheap.
+        """
         if self.transport is None:
-            return spec.build_transport()
-        return resolve_transport(
-            self.transport,
-            jobs=spec.jobs,
-            batch_size=spec.batch_size,
-            label=spec.name,
-            options=self.transport_options,
-        )
+            # The spec applies its own cache unless the server pins one.
+            executor = spec.build_transport(with_cache=self.cache is None)
+        else:
+            executor = resolve_transport(
+                self.transport,
+                jobs=spec.jobs,
+                batch_size=spec.batch_size,
+                label=spec.name,
+                options=self.transport_options,
+            )
+            if self.cache is None and spec.cache is not None:
+                executor = wrap_with_cache(
+                    executor, spec.cache, dict(spec.cache_options)
+                )
+        if self.cache is not None:
+            executor = wrap_with_cache(
+                executor, self.cache, dict(self.cache_options)
+            )
+        return executor
 
     def _finish_events(
         self,

@@ -1,0 +1,95 @@
+"""Cache-key derivation: canonical, versioned, and replicate-blind.
+
+The content address (:mod:`repro.cache.keys`) must be byte-stable for
+equal specs, change when anything outcome-relevant changes (scenario,
+mechanism, engine, schema version), and deliberately ignore pure
+bookkeeping (``replicate`` — the seed it names is already folded into
+``scenario.seed`` by spec expansion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import keys as cache_keys
+from repro.cache.keys import CACHE_SCHEMA_VERSION, cache_key, cell_fingerprint
+from repro.experiments.runner import RunSpec
+from repro.experiments.scenario import paper_roadside_scenario
+
+
+def make_spec(**overrides) -> RunSpec:
+    """A small paper-scenario RunSpec cell."""
+    scenario = paper_roadside_scenario(
+        phi_max_divisor=1000,
+        zeta_target=overrides.pop("zeta_target", 16.0),
+        epochs=overrides.pop("epochs", 1),
+        seed=overrides.pop("seed", 1),
+    )
+    kwargs = dict(mechanism="SNIP-RH", scenario=scenario, engine="fast")
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+class TestKeyStability:
+    def test_equal_specs_share_a_key(self):
+        assert cache_key(make_spec()) == cache_key(make_spec())
+
+    def test_key_is_a_sha256_hex_digest(self):
+        key = cache_key(make_spec())
+        assert isinstance(key, str)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_scenario_change_changes_key(self):
+        assert cache_key(make_spec(seed=1)) != cache_key(make_spec(seed=2))
+        assert cache_key(make_spec(zeta_target=16.0)) != cache_key(
+            make_spec(zeta_target=24.0)
+        )
+        assert cache_key(make_spec(epochs=1)) != cache_key(
+            make_spec(epochs=2)
+        )
+
+    def test_mechanism_and_engine_change_key(self):
+        base = cache_key(make_spec())
+        assert cache_key(make_spec(mechanism="SNIP-AT")) != base
+        assert cache_key(make_spec(engine="vector")) != base
+
+    def test_infinite_floats_survive_canonicalization(self):
+        # SlotProfile.mean_intervals carries float('inf') for empty
+        # slots; strict JSON cannot, so floats travel as repr strings.
+        fingerprint = cell_fingerprint(make_spec())
+        assert fingerprint is not None
+        assert cache_key(make_spec()) is not None
+
+
+class TestReplicateExclusion:
+    def test_replicate_index_does_not_change_key(self):
+        # `replicate` is bookkeeping: the replicate's seed is already
+        # folded into scenario.seed by spec expansion, so two cells
+        # differing only in the index are the same computation.
+        assert cache_key(make_spec(replicate=0)) == cache_key(
+            make_spec(replicate=7)
+        )
+
+    def test_fingerprint_omits_replicate(self):
+        fingerprint = cell_fingerprint(make_spec(replicate=3))
+        assert "replicate" not in fingerprint
+
+
+class TestUncacheableSpecs:
+    def test_factory_carrying_spec_has_no_key(self):
+        spec = make_spec(factory=lambda scenario: None)
+        assert cell_fingerprint(spec) is None
+        assert cache_key(spec) is None
+
+
+class TestSchemaVersion:
+    def test_fingerprint_embeds_schema_version(self):
+        assert cell_fingerprint(make_spec())["schema"] == CACHE_SCHEMA_VERSION
+
+    def test_schema_bump_changes_every_key(self, monkeypatch):
+        before = cache_key(make_spec())
+        monkeypatch.setattr(
+            cache_keys, "CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1
+        )
+        assert cache_key(make_spec()) != before

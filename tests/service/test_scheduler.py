@@ -182,3 +182,90 @@ class TestCancellation:
         assert started.wait(timeout=10)
         scheduler.close()
         assert store.get(record.study_id).state == "cancelled"
+
+
+class TestSchedulerCache:
+    def run_one(self, scheduler, store, spec) -> list:
+        """Submit *spec*, wait for completion, return its event list."""
+        record, _ = store.submit(spec)
+        scheduler.submit(record.study_id)
+        return list(scheduler.events(record.study_id).stream())
+
+    def test_pinned_cache_warms_across_studies(self, tmp_path):
+        store = StudyStore(str(tmp_path / "store"))
+        scheduler = StudyScheduler(store, cache=str(tmp_path / "cc"))
+        scheduler.start()
+        try:
+            # Distinct names (the store dedupes identical specs) but
+            # identical cells: the second study must hit the cache.
+            cold = self.run_one(scheduler, store, make_tiny_spec())
+            warm = self.run_one(
+                scheduler, store, make_tiny_spec(name="svc-tiny-warm")
+            )
+        finally:
+            scheduler.close()
+        cold_cells = [e for e in cold if e["event"] == "cell"]
+        warm_cells = [e for e in warm if e["event"] == "cell"]
+        assert not any(e.get("cached") for e in cold_cells)
+        assert warm_cells and all(e["cached"] is True for e in warm_cells)
+
+    def test_cached_artifact_byte_identical_to_direct_run(self, tmp_path):
+        spec = make_tiny_spec()
+        store = StudyStore(str(tmp_path / "store"))
+        scheduler = StudyScheduler(store, cache=str(tmp_path / "cc"))
+        scheduler.start()
+        try:
+            self.run_one(scheduler, store, spec)  # cold
+            record, _ = store.submit(make_tiny_spec(name="svc-warm"))
+            scheduler.submit(record.study_id)
+            list(scheduler.events(record.study_id).stream())
+        finally:
+            scheduler.close()
+        expected = run_study(make_tiny_spec(name="svc-warm")).to_json()
+        assert store.result_text(record.study_id) == expected
+
+    def test_server_cache_wins_over_spec_cache(self, tmp_path):
+        # The spec names its own cache directory; the pinned server
+        # cache must be the one that fills (the spec's stays untouched),
+        # and the stored spec is not rewritten.
+        spec_cache = tmp_path / "spec-cc"
+        spec = make_tiny_spec(cache=str(spec_cache))
+        store = StudyStore(str(tmp_path / "store"))
+        scheduler = StudyScheduler(store, cache=str(tmp_path / "server-cc"))
+        scheduler.start()
+        try:
+            record, _ = store.submit(spec)
+            scheduler.submit(record.study_id)
+            list(scheduler.events(record.study_id).stream())
+        finally:
+            scheduler.close()
+        from repro.cache.store import CellCache
+
+        assert CellCache(str(tmp_path / "server-cc")).keys() != []
+        assert not (spec_cache / "cells").exists()
+        assert store.load_spec(record.study_id).cache == str(spec_cache)
+
+    def test_spec_cache_honoured_with_pinned_transport(self, tmp_path):
+        # Pinning a transport must not strip the spec's own cache.
+        spec = make_tiny_spec(cache=str(tmp_path / "cc"))
+        store = StudyStore(str(tmp_path / "store"))
+        scheduler = StudyScheduler(store, transport="serial")
+        scheduler.start()
+        try:
+            record, _ = store.submit(spec)
+            scheduler.submit(record.study_id)
+            list(scheduler.events(record.study_id).stream())
+        finally:
+            scheduler.close()
+        from repro.cache.store import CellCache
+
+        assert CellCache(str(tmp_path / "cc")).keys() != []
+
+    def test_bad_cache_option_raises_at_construction(self, tmp_path):
+        store = StudyStore(str(tmp_path))
+        with pytest.raises(ConfigurationError, match="serve --cache-option"):
+            StudyScheduler(
+                store,
+                cache=str(tmp_path / "cc"),
+                cache_options={"bogus": 1},
+            )
