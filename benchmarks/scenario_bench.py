@@ -1,0 +1,159 @@
+"""Scenario benchmark: grid throughput per named workload.
+
+Runs the same small mechanism × ζtarget grid once per built-in
+scenario (the fifth study axis) on the fast engine and emits
+``BENCH_scenario.json`` with cells/second per scenario — so a workload
+whose profile or contact source makes simulation disproportionately
+expensive shows up as a regression on this trajectory.  The
+trace-driven scenario is fed a synthesized CSV file, and the streaming
+reader itself is measured separately (contacts ingested per second),
+pinning the "city-scale inputs are never fully materialized" path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scenario_bench.py            # full sizes
+    PYTHONPATH=src python benchmarks/scenario_bench.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/scenario_bench.py --jobs 4 --out BENCH.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.experiments.spec import StudySpec, run_study
+from repro.mobility.traces import stream_contacts
+from repro.units import DAY
+
+
+def write_synthetic_csv(path: str, rows: int) -> None:
+    """A sorted, schema-valid CSV trace: one short contact per minute."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("start,end,mobile_id\n")
+        for index in range(rows):
+            start = 60.0 * index
+            handle.write(f"{start},{start + 2.5},mobile-{index % 97}\n")
+
+
+def scenario_entries(trace_path: str):
+    """One axes.scenarios entry per built-in workload."""
+    return (
+        "paper-roadside",
+        {"name": "diurnal", "options": {"ratio": 12.0}},
+        {
+            "name": "trace-driven",
+            "options": {"path": trace_path, "repeat_every": DAY},
+        },
+        "mixed-fleet",
+        "flash-crowd",
+        "dead-zone",
+        "churn",
+    )
+
+
+def bench_grids(entries, *, epochs, replicates, jobs):
+    """Time a one-scenario study per entry; return cells/sec per label."""
+    throughput = {}
+    for entry in entries:
+        spec = StudySpec(
+            name="scenario-bench",
+            zeta_targets=(16.0, 48.0),
+            phi_maxes=(DAY / 1000.0,),
+            epochs=epochs,
+            seed=5,
+            replicates=replicates,
+            jobs=jobs,
+            scenarios=(entry,),
+            with_predictions=False,
+        )
+        label = spec.scenarios[0].name
+        start = time.perf_counter()
+        run_study(spec, executor=spec.build_transport())
+        elapsed = time.perf_counter() - start
+        throughput[label] = {
+            "cells": spec.total_runs,
+            "seconds": round(elapsed, 4),
+            "cells_per_sec": round(spec.total_runs / elapsed, 2),
+        }
+        print(
+            f"{label:>15}: {spec.total_runs:3d} cells in {elapsed:6.2f}s "
+            f"({throughput[label]['cells_per_sec']} cells/s)"
+        )
+    return throughput
+
+
+def bench_ingest(path: str, rows: int) -> dict:
+    """Time one full streaming pass over the synthesized trace file."""
+    start = time.perf_counter()
+    count = sum(1 for _ in stream_contacts(path))
+    elapsed = time.perf_counter() - start
+    assert count == rows, f"reader saw {count} of {rows} rows"
+    result = {
+        "contacts": count,
+        "seconds": round(elapsed, 4),
+        "contacts_per_sec": round(count / elapsed, 1),
+    }
+    print(
+        f"trace ingest: {count} contacts in {elapsed:.2f}s "
+        f"({result['contacts_per_sec']} contacts/s)"
+    )
+    return result
+
+
+def main(argv=None) -> int:
+    """Run the bench and write the BENCH_scenario.json artifact."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per study (default: 1, the honest "
+             "per-scenario cost)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (1 epoch, 1 replicate, 20k-row trace) "
+             "instead of the full sizes",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_scenario.json",
+        help="artifact path (default: BENCH_scenario.json)",
+    )
+    args = parser.parse_args(argv)
+
+    epochs = 1 if args.quick else 7
+    replicates = 1 if args.quick else 3
+    rows = 20_000 if args.quick else 200_000
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "trace.csv")
+        write_synthetic_csv(trace_path, rows)
+        print(
+            f"scenario bench: epochs={epochs}, replicates={replicates}, "
+            f"jobs={args.jobs}, trace rows={rows}"
+        )
+        grids = bench_grids(
+            scenario_entries(trace_path),
+            epochs=epochs, replicates=replicates, jobs=args.jobs,
+        )
+        ingest = bench_ingest(trace_path, rows)
+
+    artifact = {
+        "epochs": epochs,
+        "replicates": replicates,
+        "jobs": args.jobs,
+        "quick": args.quick,
+        "grid_cells_per_sec": grids,
+        "trace_ingest": ingest,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,10 @@ DETERMINISM_SCOPE = {
     "network": ("network-study assembly and the per-node runner: results "
                 "flow straight into study documents"),
     "node": "node models (buffers, sensing, data generation) feed results",
+    "scenarios": (
+        "named workload factories: the same ref must materialize the "
+        "same Scenario (and contact trace) in every process"
+    ),
 }
 
 #: Subpackages of ``repro`` deliberately *outside* the determinism

@@ -56,6 +56,8 @@ REGISTRY_CHOICE_HELPERS = frozenset({
     "available_engines",
     "engine_names",
     "transport_names",
+    "available_scenarios",
+    "scenario_names",
 })
 
 

@@ -53,7 +53,9 @@ __all__ = ["CACHE_SCHEMA_VERSION", "cell_fingerprint", "cache_key"]
 #: whenever a change alters what a cached outcome *means* — engine
 #: behaviour, metrics fields, seed derivation — so every existing entry
 #: becomes unreachable instead of silently wrong.
-CACHE_SCHEMA_VERSION = 1
+#: v2: named-scenario fingerprints (``RunSpec.scenario_ref``) and the
+#: ``Scenario.contact_source`` field.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _canonical(value: Any) -> Any:
@@ -89,20 +91,38 @@ def _canonical(value: Any) -> Any:
 def cell_fingerprint(spec: RunSpec) -> Optional[Dict[str, Any]]:
     """The identity of *spec*'s outcome, or None when not cacheable.
 
-    Covers everything execution reads — the full scenario (profile,
-    traffic model, budget, target, epochs, trace configuration, seed),
-    the mechanism name, and the engine name — plus the
-    :data:`CACHE_SCHEMA_VERSION` salt.  Excludes ``replicate``
+    Covers everything execution reads — the scenario (fingerprinted by
+    registry name + canonical options + the per-cell budget, target,
+    epochs, and seed when ``spec.scenario_ref`` names it; by the full
+    materialized object otherwise), the mechanism name, and the engine
+    name — plus the :data:`CACHE_SCHEMA_VERSION` salt.  Excludes ``replicate``
     (aggregation bookkeeping, never consumed by execution) and refuses
     specs with an in-process ``factory`` override (arbitrary code has
     no canonical byte form).
     """
     if spec.factory is not None:
         return None
-    try:
-        scenario = _canonical(spec.scenario)
-    except TypeError:
-        return None  # an unencodable scenario field: execute, don't cache
+    if spec.scenario_ref is not None:
+        # A registry-named scenario: the (name, canonical options) pair
+        # plus the study overrides uniquely determine the materialized
+        # Scenario, so hash that compact identity instead of the full
+        # materialized object — trace-driven and mixed-fleet workloads
+        # then fingerprint by reference, not by megabytes of contacts.
+        scenario: Any = {
+            "ref": {
+                "name": spec.scenario_ref.name,
+                "options": _canonical(dict(spec.scenario_ref.options)),
+            },
+            "zeta_target": _canonical(spec.scenario.zeta_target),
+            "phi_max": _canonical(spec.scenario.phi_max),
+            "epochs": spec.scenario.epochs,
+            "seed": spec.scenario.seed,
+        }
+    else:
+        try:
+            scenario = _canonical(spec.scenario)
+        except TypeError:
+            return None  # an unencodable scenario field: execute, don't cache
     return {
         "schema": CACHE_SCHEMA_VERSION,
         "mechanism": spec.mechanism,

@@ -13,7 +13,9 @@ Examples::
     repro-snip serve --store /var/studies --port 8321   # HTTP study service
     repro-snip run --spec study.json --server http://127.0.0.1:8321
     repro-snip grid --budget-divisors 1000 100 --jobs 4 --replicates 3
+    repro-snip grid --scenario diurnal --scenario-option ratio=12
     repro-snip agree --jobs 4 --replicates 3 --epochs 1 --gate 6.0
+    repro-snip agree --scenario flash-crowd --epochs 1 --gate 6.0
     repro-snip network --jobs 2 --factory SNIP-RH --engine fast
     repro-snip lint src tests --format github
     repro-snip gain
@@ -63,7 +65,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.findings import LINT_FORMATS
 from ..core.analysis import evaluate_schedulers, rush_hour_gain_surface
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
+from ..scenarios import available_scenarios
 from ..units import DAY
 from .agreement import AGREEMENT_METRICS, AgreementResult
 from .engine import PAPER_ENGINES, available_engines
@@ -131,16 +134,19 @@ def _emit_spec(spec: StudySpec, path: str) -> int:
     return 0
 
 
-def _cell_progress(*, show_engine: bool):
+def _cell_progress(*, show_engine: bool, show_scenario: bool = False):
     """A streaming per-cell progress printer for grid/agreement studies."""
 
     def report_cell(spec, result, completed, total) -> None:
         divisor = DAY / spec.scenario.phi_max
         width = len(str(total))
+        scenario = ""
+        if show_scenario and spec.scenario_ref is not None:
+            scenario = f"{spec.scenario_ref.name} "
         engine = f"{spec.engine:<5} " if show_engine else ""
         cached = " (cached)" if getattr(result, "from_cache", False) else ""
         print(
-            f"[{completed:>{width}}/{total}] {engine}"
+            f"[{completed:>{width}}/{total}] {scenario}{engine}"
             f"Phi_max=Tepoch/{divisor:g} "
             f"zeta_target={spec.scenario.zeta_target:g} {spec.mechanism} "
             f"replicate {spec.replicate}: zeta={result.mean_zeta:.2f} "
@@ -180,6 +186,36 @@ def _report_pool(label: str, jobs: int, executor) -> None:
             f"{label} fan-out: {jobs} jobs via {name!r} transport, "
             f"pool used: {used}"
         )
+
+
+def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    """The ``--scenario`` / ``--scenario-option`` pair (run/grid/agree)."""
+    parser.add_argument(
+        "--scenario", default=None, choices=available_scenarios(),
+        help="registry-named workload to run the grid on "
+             "(default: the spec's axes.scenarios, i.e. paper-roadside)",
+    )
+    parser.add_argument(
+        "--scenario-option", dest="scenario_options", action="append",
+        type=_override, default=[], metavar="KEY=VALUE",
+        help="factory option for --scenario (repeatable), e.g. "
+             "--scenario-option 'peaks=[8, 18]' "
+             "--scenario-option ratio=12",
+    )
+
+
+def _scenario_entry(args: argparse.Namespace):
+    """The ``axes.scenarios`` entry the scenario flags request, or None."""
+    options = dict(args.scenario_options)
+    if args.scenario is None:
+        if options:
+            raise ConfigurationError(
+                "--scenario-option requires --scenario NAME"
+            )
+        return None
+    if options:
+        return {"name": args.scenario, "options": options}
+    return args.scenario
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -271,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(repro-snip serve) instead of executing locally; streams "
              "events and fetches the byte-identical artifact for --out",
     )
+    _add_scenario_flags(run)
     run.add_argument(
         "--gate", type=float, default=None, metavar="TOL",
         help="agreement gate: exit 1 if any paired delta CI excludes "
@@ -324,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="fast", choices=available_engines(),
         help="engine-registry name every cell runs on (default: fast)",
     )
+    _add_scenario_flags(grid)
     grid.add_argument(
         "--transport", default=None, metavar="NAME",
         help="transport-registry name the grid executes on "
@@ -380,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("BASELINE", "CANDIDATE"),
         help="engine-registry names to compare (default: fast micro)",
     )
+    _add_scenario_flags(agree)
     agree.add_argument(
         "--transport", default=None, metavar="NAME",
         help="transport-registry name the grid executes on "
@@ -840,6 +879,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         overrides["execution.cache"] = args.cache
     if args.out is not None:
         overrides["outputs.out"] = args.out
+    scenario_entry = _scenario_entry(args)
+    if scenario_entry is not None:
+        overrides["axes.scenarios"] = [scenario_entry]
     if overrides:
         spec = spec.with_overrides(overrides)
     if args.emit_spec:
@@ -862,7 +904,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         show_progress = not args.no_progress
         progress = (
-            _cell_progress(show_engine=len(spec.engines) > 1)
+            _cell_progress(
+                show_engine=len(spec.engines) > 1,
+                show_scenario=len(spec.scenarios) > 1,
+            )
             if show_progress
             else None
         )
@@ -875,16 +920,28 @@ def cmd_run(args: argparse.Namespace) -> int:
     if spec.is_network:
         _print_network_tables(spec, study.network)
     else:
+        # Multi-scenario studies key grids/agreements "engine@label";
+        # iterating the result mappings covers both shapes, with a
+        # scenario banner separating the per-workload tables.
         if len(spec.engines) >= 2:
-            for candidate in spec.engines[1:]:
-                _print_agreement_tables(study.agreements[candidate], spec.epochs)
+            for key, agreement in study.agreements.items():
+                if "@" in key:
+                    print(f"scenario: {key.split('@', 1)[1]}")
+                    print()
+                _print_agreement_tables(agreement, spec.epochs)
                 print()
         else:
-            for divisor, phi_max in zip(spec.budget_divisors(), spec.phi_maxes):
-                _print_budget_tables(
-                    spec.zeta_targets, spec.epochs, divisor,
-                    study.grid().budget(phi_max),
-                )
+            for grid in study.grids.values():
+                if grid.scenario is not None:
+                    print(f"scenario: {grid.scenario}")
+                    print()
+                for divisor, phi_max in zip(
+                    spec.budget_divisors(), spec.phi_maxes
+                ):
+                    _print_budget_tables(
+                        spec.zeta_targets, spec.epochs, divisor,
+                        grid.budget(phi_max),
+                    )
     if spec.out:
         _write_output(spec.out, study)
     if spec.cache is not None:
@@ -909,6 +966,8 @@ def cmd_grid(args: argparse.Namespace) -> int:
     it instead of running) executed through
     :func:`~repro.experiments.spec.run_study`.
     """
+    entry = _scenario_entry(args)
+    extra = {"scenarios": (entry,)} if entry is not None else {}
     spec = StudySpec(
         name="grid",
         zeta_targets=tuple(args.targets),
@@ -920,6 +979,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         transport=args.transport,
         out=args.out,
+        **extra,
     )
     if args.emit_spec:
         return _emit_spec(spec, args.emit_spec)
@@ -947,6 +1007,8 @@ def cmd_agree(args: argparse.Namespace) -> int:
     the per-cell candidate−baseline deltas are reported with Student-t
     confidence intervals.  A spec constructor, like ``grid``.
     """
+    entry = _scenario_entry(args)
+    extra = {"scenarios": (entry,)} if entry is not None else {}
     spec = StudySpec(
         name="agree",
         zeta_targets=tuple(args.targets),
@@ -959,6 +1021,7 @@ def cmd_agree(args: argparse.Namespace) -> int:
         transport=args.transport,
         out=args.out,
         with_predictions=False,
+        **extra,
     )
     if args.emit_spec:
         return _emit_spec(spec, args.emit_spec)

@@ -10,7 +10,7 @@ of the callable.  Workers re-resolve the name against their own copy of
 the registry (populated at import time, or inherited via fork), so the
 factory itself never needs to be picklable.
 
-Four registries exist, one per factory signature:
+Five registries exist, one per factory signature:
 
 * :data:`mechanism_factories` — ``factory(scenario) -> Scheduler``, the
   sweep/grid mechanisms (:func:`repro.experiments.runner.default_factories`
@@ -26,7 +26,13 @@ Four registries exist, one per factory signature:
   label=..., **options) -> Transport``, the execution backends shards
   run on (``"serial"``, ``"pool"``, ``"file-queue"``; see
   :mod:`repro.experiments.transport`, which owns the protocol, the
-  built-in registrations, and strict option validation).
+  built-in registrations, and strict option validation);
+* :data:`scenario_factories` — ``factory(**options) -> Scenario``, the
+  named workloads studies sweep as a fifth axis (``"paper-roadside"``,
+  ``"diurnal"``, ``"trace-driven"``, ``"mixed-fleet"``,
+  ``"flash-crowd"``, ``"dead-zone"``, ``"churn"``; see
+  :mod:`repro.scenarios`, which owns the built-in registrations and
+  the lazy-import resolution helper).
 
 Registering a custom factory::
 
@@ -166,6 +172,12 @@ engine_factories = FactoryRegistry("engine")
 #: :func:`repro.experiments.transport.resolve_transport`, which
 #: validates the per-transport options strictly before construction.
 transport_factories = FactoryRegistry("transport")
+
+#: Named workloads: ``factory(**options) -> Scenario`` (the fifth study
+#: axis).  Built-ins register in :mod:`repro.scenarios.builtin`; resolve
+#: through :func:`repro.scenarios.resolve_scenario`, which imports that
+#: module lazily for processes that have not loaded it yet.
+scenario_factories = FactoryRegistry("scenario")
 
 #: :class:`NamedFactory` kind → registry resolved against.
 _REGISTRIES: Dict[str, FactoryRegistry] = {

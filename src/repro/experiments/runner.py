@@ -37,6 +37,7 @@ from ..radio.beacon import BeaconSchedule
 from ..radio.duty_cycle import DutyCycleConfig
 from ..radio.link import LinkModel
 from ..radio.states import RadioState
+from ..scenarios import ScenarioRef
 from ..sim.rng import RandomStreams
 from ..sim.timeline import Timeline
 from ..units import TIME_EPSILON
@@ -57,11 +58,19 @@ def generate_trace(
     generator's RNG, so every engine given the same scenario simulates
     the identical contact process — the paired-comparison property the
     agreement grid (:mod:`repro.experiments.agreement`) relies on.
+
+    A scenario with a ``contact_source`` (trace-driven and mixed-fleet
+    workloads) delegates to it instead of the synthetic slot-profile
+    generator; the source receives the same seeded streams, so the
+    paired-comparison property holds for every workload.
     """
+    resolved = streams if streams is not None else RandomStreams(scenario.seed)
+    if scenario.contact_source is not None:
+        return scenario.contact_source.generate(scenario, resolved)
     generator = SyntheticTraceGenerator(
         scenario.profile,
         scenario.trace_config,
-        streams=streams if streams is not None else RandomStreams(scenario.seed),
+        streams=resolved,
     )
     return generator.generate()
 
@@ -110,6 +119,12 @@ class RunSpec:
             :data:`repro.experiments.registry.engine_factories` (the
             unified :class:`~repro.experiments.engine.Engine` protocol);
             default ``"fast"``, byte-identical to the historical path.
+        scenario_ref: optional :class:`~repro.scenarios.ScenarioRef`
+            recording which registry entry (name + canonical options)
+            the materialized *scenario* came from.  Execution never
+            reads it — it exists so :mod:`repro.cache.keys` can
+            fingerprint registry-named scenarios canonically instead of
+            hashing the whole materialized dataclass.
     """
 
     scenario: Scenario
@@ -117,6 +132,7 @@ class RunSpec:
     replicate: int = 0
     factory: Optional[SchedulerFactory] = None
     engine: str = "fast"
+    scenario_ref: Optional[ScenarioRef] = None
 
 
 def execute_run_spec(spec: RunSpec) -> RunResult:

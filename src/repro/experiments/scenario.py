@@ -48,6 +48,14 @@ class Scenario:
     #: CPU decision period for online schedulers, seconds.
     decision_period: float = 60.0
     seed: int = 1
+    #: Optional pluggable contact source (duck-typed:
+    #: ``generate(scenario, streams) -> ContactTrace``).  ``None`` means
+    #: contacts come from the slot profile via the synthetic generator.
+    #: Sources must be frozen, hashable, picklable dataclasses whose
+    #: output depends only on the trace fields (profile, epochs, seed)
+    #: — never on ``zeta_target``/``phi_max`` — so trace memoization
+    #: and cell caching stay sound.
+    contact_source: Optional[object] = None
 
     def __post_init__(self) -> None:
         require_positive("phi_max", self.phi_max)

@@ -60,6 +60,7 @@ from typing import (
 )
 
 from ..errors import ConfigurationError
+from ..scenarios import DEFAULT_SCENARIO, ScenarioRef, materialize_scenario
 from ..units import DAY
 from .agreement import AgreementPoint, AgreementResult
 from .engine import resolve_engine
@@ -93,6 +94,11 @@ __all__ = [
 
 #: The paper's two Φmax budgets, figure order (Figs. 5/7 then 6/8).
 PAPER_PHI_MAXES: Tuple[float, ...] = (DAY / 1000.0, DAY / 100.0)
+
+#: The implicit scenario axis of every pre-axis spec: just the paper
+#: workload.  ``to_dict`` omits ``axes.scenarios`` when it equals this,
+#: so existing spec files and artifacts stay byte-identical.
+_DEFAULT_SCENARIOS: Tuple[ScenarioRef, ...] = (ScenarioRef(DEFAULT_SCENARIO),)
 
 
 @dataclass(frozen=True)
@@ -141,7 +147,10 @@ class NetworkSection:
 #: so the serialized document and the dataclass can never drift apart.
 _SECTION_FIELDS: Dict[str, Tuple[str, ...]] = {
     "scenario": ("zeta_targets", "phi_maxes", "epochs", "seed"),
-    "axes": ("mechanisms", "engines", "replicates", "replicate_seeds"),
+    "axes": (
+        "mechanisms", "engines", "replicates", "replicate_seeds",
+        "scenarios",
+    ),
     "execution": (
         "jobs", "batch_size", "transport", "transport_options",
         "cache", "cache_options",
@@ -182,7 +191,13 @@ class StudySpec:
     * **axes** — ``mechanisms`` (registry names), ``engines`` (registry
       names; two or more turn the study into a paired agreement grid
       with the first engine as baseline), ``replicates`` /
-      ``replicate_seeds`` (explicit seeds override derivation);
+      ``replicate_seeds`` (explicit seeds override derivation), and
+      ``scenarios`` (named workloads from
+      :data:`~repro.experiments.registry.scenario_factories`: each
+      entry is a name string or ``{"name": ..., "options": {...}}``;
+      the default ``("paper-roadside",)`` reproduces every pre-axis
+      spec byte-identically, and the key is omitted from serialized
+      form when left at that default);
     * **execution** — ``jobs`` (worker processes; 1 = in-process),
       ``batch_size`` (shards per pool task, or ``"auto"``),
       ``transport`` (a transport-registry name — ``"serial"``,
@@ -211,6 +226,7 @@ class StudySpec:
     engines: Tuple[str, ...] = ("fast",)
     replicates: int = 1
     replicate_seeds: Optional[Tuple[int, ...]] = None
+    scenarios: Tuple[ScenarioRef, ...] = _DEFAULT_SCENARIOS
     # execution
     jobs: int = 1
     batch_size: Union[int, str] = "auto"
@@ -294,6 +310,30 @@ class StudySpec:
                     f"replicates={self.replicates} conflicts with "
                     f"{len(self.replicate_seeds)} explicit replicate_seeds"
                 )
+        raw_scenarios = self.scenarios
+        if isinstance(raw_scenarios, str):
+            raw_scenarios = _as_tuple(raw_scenarios)
+        elif isinstance(raw_scenarios, (Mapping, ScenarioRef)):
+            raw_scenarios = (raw_scenarios,)
+        try:
+            entries = tuple(raw_scenarios)
+        except TypeError:
+            raise ConfigurationError(
+                f"axes.scenarios must be a sequence of scenario entries, "
+                f"got {type(self.scenarios).__name__}"
+            ) from None
+        if not entries:
+            raise ConfigurationError("axes.scenarios must be non-empty")
+        refs = tuple(
+            ScenarioRef.from_entry(entry, where=f"axes.scenarios[{index}]")
+            for index, entry in enumerate(entries)
+        )
+        labels = [ref.label for ref in refs]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(
+                f"axes.scenarios entries must be distinct, got {labels}"
+            )
+        object.__setattr__(self, "scenarios", refs)
         if not isinstance(self.jobs, int) or self.jobs < 1:
             raise ConfigurationError(f"jobs must be an int >= 1, got {self.jobs!r}")
         if isinstance(self.batch_size, str):
@@ -365,6 +405,11 @@ class StudySpec:
             raise ConfigurationError(
                 f"with_predictions must be a bool, got {self.with_predictions!r}"
             )
+        if self.network is not None and self.scenarios != _DEFAULT_SCENARIOS:
+            raise ConfigurationError(
+                "network studies synthesize their own commuter fleet; "
+                "axes.scenarios applies to grid studies only"
+            )
 
     # ------------------------------------------------------------------
     # derived views
@@ -400,12 +445,22 @@ class StudySpec:
         if self.network is not None:
             return self.network.nodes
         return (
-            len(self.phi_maxes)
+            len(self.scenarios)
+            * len(self.phi_maxes)
             * len(self.zeta_targets)
             * len(self.mechanisms)
             * self.n_replicates
             * len(self.engines)
         )
+
+    @property
+    def has_default_scenarios(self) -> bool:
+        """True when the axis is the implicit paper workload alone."""
+        return self.scenarios == _DEFAULT_SCENARIOS
+
+    def scenario_labels(self) -> Tuple[str, ...]:
+        """The stable per-entry labels of the scenario axis."""
+        return tuple(ref.label for ref in self.scenarios)
 
     def resolved_seeds(self) -> List[int]:
         """The per-replicate scenario seeds this study will use."""
@@ -478,7 +533,13 @@ class StudySpec:
             body: Dict[str, Any] = {}
             for field_name in field_names:
                 value = getattr(self, field_name)
-                if field_name in _TUPLE_FIELDS:
+                if field_name == "scenarios":
+                    # Omitted at the default so pre-axis documents (and
+                    # every artifact embedding one) stay byte-identical.
+                    if value == _DEFAULT_SCENARIOS:
+                        continue
+                    value = [ref.to_entry() for ref in value]
+                elif field_name in _TUPLE_FIELDS:
                     value = list(value)
                 elif field_name == "replicate_seeds" and value is not None:
                     value = list(value)
@@ -566,8 +627,10 @@ class StudySpec:
 
         Mechanisms resolve against
         :data:`~repro.experiments.registry.mechanism_factories`, engines
-        through :func:`~repro.experiments.engine.resolve_engine`, and
-        the network node factory against
+        through :func:`~repro.experiments.engine.resolve_engine`,
+        scenarios through :func:`~repro.scenarios.materialize_scenario`
+        (options included — a bad option fails at load time, not in a
+        worker), and the network node factory against
         :data:`~repro.experiments.registry.node_factories` — the same
         resolution the workers will perform, so a spec that validates
         here executes anywhere the same registrations exist.
@@ -576,6 +639,10 @@ class StudySpec:
             mechanism_factories.resolve(name)
         for name in self.engines:
             resolve_engine(name)
+        for ref in self.scenarios:
+            # Materialize (not just resolve): a misspelled option key or
+            # bad value fails here, at load time, naming the scenario.
+            materialize_scenario(ref, epochs=self.epochs, seed=self.seed)
         validate_transport(self.resolved_transport, self.transport_options)
         if self.network is not None:
             node_factories.resolve(self.network.node_factory)
@@ -636,7 +703,10 @@ class StudySpec:
                 if section == "network" and document[section] is None:
                     document[section] = NetworkSection().to_dict()
                 body = document[section]
-                if not isinstance(body, dict) or key not in body:
+                known_section = key in _SECTION_FIELDS.get(section, ())
+                if not isinstance(body, dict) or (
+                    key not in body and not known_section
+                ):
                     raise ConfigurationError(
                         f"unknown StudySpec key {path!r}"
                     )
@@ -657,7 +727,12 @@ class StudyResult:
     listed engine (empty for network studies); *agreements* pairs every
     non-baseline engine against the baseline (the first listed engine)
     as an :class:`~repro.experiments.agreement.AgreementResult`;
-    *network* is the fleet result for network studies.
+    *network* is the fleet result for network studies.  Studies
+    sweeping several named scenarios hold one grid per
+    (engine, scenario) under the key ``"engine@label"`` — and one
+    agreement per (candidate, scenario) likewise — with each grid's
+    ``scenario`` field carrying the label; single-scenario studies keep
+    the plain engine/candidate keys (the historical artifact shape).
 
     *cells_computed* / *cells_cached* partition the study's runs into
     freshly executed cells and cells replayed from the content-addressed
@@ -674,13 +749,22 @@ class StudyResult:
     cells_computed: int = 0
     cells_cached: int = 0
 
-    def grid(self, engine: Optional[str] = None) -> GridResult:
-        """The grid for *engine* (default: the spec's first engine)."""
+    def grid(
+        self, engine: Optional[str] = None, scenario: Optional[str] = None
+    ) -> GridResult:
+        """The grid for *engine* (default: the spec's first engine).
+
+        Multi-scenario studies key grids ``"engine@label"``; pass the
+        scenario label to pick one (or address the composite key via
+        *engine* directly).
+        """
         if not self.grids:
             raise ConfigurationError(
                 "this study has no grid results (network study?)"
             )
         key = engine if engine is not None else self.spec.engines[0]
+        if scenario is not None:
+            key = f"{key}@{scenario}"
         if key not in self.grids:
             raise ConfigurationError(
                 f"no grid for engine {key!r}; have {sorted(self.grids)}"
@@ -729,9 +813,10 @@ class StudyResult:
     def to_csv(self) -> str:
         """The study's cells as CSV.
 
-        Grid studies concatenate every engine's cell rows (the
-        ``engine`` column disambiguates); network studies emit one row
-        per node.
+        Grid studies concatenate every grid's cell rows (the ``engine``
+        column — plus a leading ``scenario`` column when the study
+        swept named scenarios — disambiguates); network studies emit
+        one row per node.
         """
         from .reporting import format_csv
 
@@ -749,14 +834,16 @@ class StudyResult:
                 for node_id, outcome in sorted(self.network.outcomes.items())
             ]
             return format_csv(headers, rows)
+        columns = GRID_EXPORT_COLUMNS
+        if any(grid.scenario is not None for grid in self.grids.values()):
+            columns = ("scenario",) + GRID_EXPORT_COLUMNS
         rows = []
-        for engine in self.spec.engines:
-            if engine in self.grids:
-                rows.extend(
-                    [row[column] for column in GRID_EXPORT_COLUMNS]
-                    for row in self.grids[engine].cell_rows()
-                )
-        return format_csv(GRID_EXPORT_COLUMNS, rows)
+        for grid in self.grids.values():
+            rows.extend(
+                [row.get(column) for column in columns]
+                for row in grid.cell_rows()
+            )
+        return format_csv(columns, rows)
 
     def save(self, path: str) -> None:
         """Write the study to *path*: ``.json`` document or CSV cells."""
@@ -807,11 +894,19 @@ class StudyDocument:
                 ) from exc
         return cls.from_dict(data)
 
-    def cells(self, engine: Optional[str] = None) -> List[Dict[str, Any]]:
-        """The loaded grid cell rows for *engine* (default: baseline)."""
+    def cells(
+        self, engine: Optional[str] = None, scenario: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """The loaded grid cell rows for *engine* (default: baseline).
+
+        Multi-scenario artifacts key grids ``"engine@label"``; pass the
+        scenario label (or the composite key as *engine*) to pick one.
+        """
         if not self.grids:
             return []
         key = engine if engine is not None else self.spec.engines[0]
+        if scenario is not None:
+            key = f"{key}@{scenario}"
         if key not in self.grids:
             raise ConfigurationError(
                 f"no grid for engine {key!r}; have {sorted(self.grids)}"
@@ -914,9 +1009,11 @@ def run_study(
     :func:`~repro.experiments.sweep.sweep_grid` (one engine),
     :func:`~repro.experiments.agreement.agreement_grid` (two engines),
     and the fleet demo (a ``network`` section): the study flattens into
-    pure :class:`~repro.experiments.runner.RunSpec` shards (Φmax
-    outermost, then ζtarget, mechanism, replicate, engine innermost) on
-    the seeding contract of :mod:`repro.experiments.parallel`, streams
+    pure :class:`~repro.experiments.runner.RunSpec` shards (scenario
+    outermost, then Φmax, ζtarget, mechanism, replicate, engine
+    innermost — single-scenario studies are therefore shard-for-shard
+    identical to the historical flattening) on the seeding contract of
+    :mod:`repro.experiments.parallel`, streams
     them through the executor's
     :meth:`~repro.experiments.parallel.Executor.imap`, and reassembles
     by shard index — byte-identical for any worker count or completion
@@ -952,6 +1049,9 @@ def run_study(
             :class:`~repro.experiments.scenario.Scenario` template
             replacing the spec-derived paper scenario (its seed/epochs
             win over the spec's), for callers sweeping custom scenarios.
+            Mutually exclusive with a non-default ``axes.scenarios``
+            (named scenarios *are* the serializable way to sweep custom
+            workloads); such a combination raises.
 
     Returns:
         A :class:`StudyResult` with one grid per engine, paired
@@ -977,105 +1077,161 @@ def run_study(
         for name in spec.mechanisms:
             mechanism_factories.resolve(name)  # fail fast, parent-side
 
-    scenario_base = base if base is not None else spec.base_scenario()
-    seeds = _resolve_seeds(scenario_base.seed, spec.replicates, spec.replicate_seeds)
+    # The scenario axis, outermost.  The `base=` escape hatch replaces
+    # the whole axis with one anonymous template (ref None, so its cells
+    # fall back to materialized-scenario cache fingerprints); otherwise
+    # every axis entry materializes through the registry with the
+    # spec's epochs/seed applied — for the default axis this equals
+    # spec.base_scenario() field-for-field, keeping legacy studies
+    # byte-identical.
+    if base is not None:
+        if not spec.has_default_scenarios:
+            raise ConfigurationError(
+                "the base= scenario override and a non-default "
+                "axes.scenarios are mutually exclusive; register the "
+                "custom workload as a named scenario instead"
+            )
+        templates: List[Tuple[Optional[ScenarioRef], Scenario]] = [(None, base)]
+        anchor_seed = base.seed
+    else:
+        templates = [
+            (ref, materialize_scenario(ref, epochs=spec.epochs, seed=spec.seed))
+            for ref in spec.scenarios
+        ]
+        anchor_seed = spec.seed
+    seeds = _resolve_seeds(anchor_seed, spec.replicates, spec.replicate_seeds)
     names = list(spec.mechanisms)
     engines = spec.engines
     targets = spec.zeta_targets
 
     shards: List[RunSpec] = []
-    for phi_max in spec.phi_maxes:
-        budget_base = scenario_base.with_budget(phi_max)
-        for target in targets:
-            cell_base = budget_base.with_target(target)
-            for name in names:
-                for index, seed in enumerate(seeds):
-                    seeded = cell_base.with_seed(seed)
-                    for engine_name in engines:
-                        shards.append(
-                            RunSpec(
-                                scenario=seeded,
-                                mechanism=name,
-                                replicate=index,
-                                factory=(
-                                    factories[name] if factories is not None else None
-                                ),
-                                engine=engine_name,
+    for ref, template in templates:
+        for phi_max in spec.phi_maxes:
+            budget_base = template.with_budget(phi_max)
+            for target in targets:
+                cell_base = budget_base.with_target(target)
+                for name in names:
+                    for index, seed in enumerate(seeds):
+                        seeded = cell_base.with_seed(seed)
+                        for engine_name in engines:
+                            shards.append(
+                                RunSpec(
+                                    scenario=seeded,
+                                    mechanism=name,
+                                    replicate=index,
+                                    factory=(
+                                        factories[name]
+                                        if factories is not None
+                                        else None
+                                    ),
+                                    engine=engine_name,
+                                    scenario_ref=ref,
+                                )
                             )
-                        )
 
     with _StudyExecutor(spec, executor) as resolved:
         results = _stream_results(resolved, shards, progress)
 
-    # One GridResult per engine: the shard list interleaves engines
-    # innermost, so engine e's runs are results[e::n_engines] in exactly
-    # the historical sweep_grid flattening (Φmax, ζtarget, mechanism,
-    # replicate).  Closed-form predictions depend only on the budget, so
-    # they are computed once per Φmax and shared across engines.
+    # One GridResult per (scenario, engine): each scenario owns a
+    # contiguous result block, inside which the shard list interleaves
+    # engines innermost, so engine e's runs are block[e::n_engines] in
+    # exactly the historical sweep_grid flattening (Φmax, ζtarget,
+    # mechanism, replicate).  Single-scenario studies key grids by the
+    # engine name alone (the historical shape); multi-scenario studies
+    # key by "engine@label".  Closed-form predictions depend on the
+    # budget *and* the profile, so they are computed once per
+    # (scenario, Φmax) and shared across engines.
     n_engines = len(engines)
+    n_scenarios = len(templates)
+    multi_scenario = n_scenarios > 1
     block = len(targets) * len(names) * len(seeds)
-    predictions_by_budget: Dict[float, Mapping[str, list]] = {}
+    per_scenario = len(spec.phi_maxes) * block * n_engines
     grids: Dict[str, GridResult] = {}
-    for engine_index, engine_name in enumerate(engines):
-        engine_results = results[engine_index::n_engines]
-        budgets: Dict[float, SweepResult] = {}
-        for budget_index, phi_max in enumerate(spec.phi_maxes):
-            if spec.with_predictions:
-                if phi_max not in predictions_by_budget:
-                    predictions_by_budget[phi_max] = _predictions_for(
-                        scenario_base.with_budget(phi_max), names, targets
-                    )
-                predictions = predictions_by_budget[phi_max]
-            else:
-                predictions = {}
-            block_results = engine_results[
-                budget_index * block : (budget_index + 1) * block
-            ]
-            budgets[phi_max] = _assemble_sweep(
-                names, targets, len(seeds), block_results, predictions
-            )
-        grids[engine_name] = GridResult(
-            budgets=budgets,
-            phi_maxes=spec.phi_maxes,
-            zeta_targets=targets,
-            engine=engine_name,
-        )
-
-    # Two or more engines: deltas become paired automatically.  Engine
-    # runs of one replicate share that replicate's seed (the shards were
-    # built from one `seeded` scenario), so every candidate−baseline
-    # comparison is paired on an identical contact process.
     agreements: Dict[str, AgreementResult] = {}
-    if n_engines >= 2:
-        baseline_name = engines[0]
-        for candidate_offset, candidate_name in enumerate(engines[1:], start=1):
-            points: List[AgreementPoint] = []
-            cursor = 0
-            for phi_max in spec.phi_maxes:
-                for target in targets:
-                    for name in names:
-                        baseline_runs = []
-                        candidate_runs = []
-                        for _ in seeds:
-                            baseline_runs.append(results[cursor])
-                            candidate_runs.append(results[cursor + candidate_offset])
-                            cursor += n_engines
-                        points.append(
-                            AgreementPoint(
-                                mechanism=name,
-                                zeta_target=target,
-                                phi_max=phi_max,
-                                baseline=baseline_runs,
-                                candidate=candidate_runs,
-                            )
+    for scenario_index, (ref, template) in enumerate(templates):
+        scenario_results = results[
+            scenario_index * per_scenario : (scenario_index + 1) * per_scenario
+        ]
+        # Record the scenario label on results only when the axis is
+        # explicit — the implicit paper workload stays untagged so
+        # pre-axis artifacts remain byte-identical.
+        tag = None
+        if ref is not None and not spec.has_default_scenarios:
+            tag = ref.label
+        predictions_by_budget: Dict[float, Mapping[str, list]] = {}
+        for engine_index, engine_name in enumerate(engines):
+            engine_results = scenario_results[engine_index::n_engines]
+            budgets: Dict[float, SweepResult] = {}
+            for budget_index, phi_max in enumerate(spec.phi_maxes):
+                if spec.with_predictions:
+                    if phi_max not in predictions_by_budget:
+                        predictions_by_budget[phi_max] = _predictions_for(
+                            template.with_budget(phi_max), names, targets
                         )
-            agreements[candidate_name] = AgreementResult(
-                points=points,
-                engines=(baseline_name, candidate_name),
+                    predictions = predictions_by_budget[phi_max]
+                else:
+                    predictions = {}
+                block_results = engine_results[
+                    budget_index * block : (budget_index + 1) * block
+                ]
+                budgets[phi_max] = _assemble_sweep(
+                    names, targets, len(seeds), block_results, predictions
+                )
+            key = (
+                f"{engine_name}@{ref.label}" if multi_scenario else engine_name
+            )
+            grids[key] = GridResult(
+                budgets=budgets,
                 phi_maxes=spec.phi_maxes,
                 zeta_targets=targets,
-                mechanisms=tuple(names),
+                engine=engine_name,
+                scenario=tag,
             )
+
+        # Two or more engines: deltas become paired automatically.
+        # Engine runs of one replicate share that replicate's seed (the
+        # shards were built from one `seeded` scenario), so every
+        # candidate−baseline comparison is paired on an identical
+        # contact process.
+        if n_engines >= 2:
+            baseline_name = engines[0]
+            for candidate_offset, candidate_name in enumerate(
+                engines[1:], start=1
+            ):
+                points: List[AgreementPoint] = []
+                cursor = 0
+                for phi_max in spec.phi_maxes:
+                    for target in targets:
+                        for name in names:
+                            baseline_runs = []
+                            candidate_runs = []
+                            for _ in seeds:
+                                baseline_runs.append(scenario_results[cursor])
+                                candidate_runs.append(
+                                    scenario_results[cursor + candidate_offset]
+                                )
+                                cursor += n_engines
+                            points.append(
+                                AgreementPoint(
+                                    mechanism=name,
+                                    zeta_target=target,
+                                    phi_max=phi_max,
+                                    baseline=baseline_runs,
+                                    candidate=candidate_runs,
+                                )
+                            )
+                key = (
+                    f"{candidate_name}@{ref.label}"
+                    if multi_scenario
+                    else candidate_name
+                )
+                agreements[key] = AgreementResult(
+                    points=points,
+                    engines=(baseline_name, candidate_name),
+                    phi_maxes=spec.phi_maxes,
+                    zeta_targets=targets,
+                    mechanisms=tuple(names),
+                )
 
     cells_cached = sum(
         1 for result in results if getattr(result, "from_cache", False)

@@ -182,6 +182,11 @@ class GridResult:
     zeta_targets: Tuple[float, ...]
     #: The engine every cell ran on (an engine-registry name).
     engine: str = "fast"
+    #: The named scenario every cell ran under (a scenario label from
+    #: :class:`repro.scenarios.ScenarioRef`), or None for the implicit
+    #: paper workload — kept None there so pre-scenario-axis artifacts
+    #: stay byte-identical.
+    scenario: Optional[str] = None
 
     def budget(self, phi_max: float) -> SweepResult:
         """The sweep for one Φmax budget (exact value, in seconds)."""
@@ -227,13 +232,16 @@ class GridResult:
         for phi_max, sweep in self:
             for mechanism, column in sweep.points.items():
                 for point in column:
-                    row: Dict[str, object] = {
+                    row: Dict[str, object] = {}
+                    if self.scenario is not None:
+                        row["scenario"] = self.scenario
+                    row.update({
                         "engine": self.engine,
                         "phi_max": phi_max,
                         "zeta_target": point.zeta_target,
                         "mechanism": mechanism,
                         "n_replicates": point.n_replicates,
-                    }
+                    })
                     for metric in ("zeta", "phi", "rho"):
                         interval = point.interval(metric)
                         row[metric] = _finite_or_none(interval.mean)
@@ -253,17 +261,22 @@ class GridResult:
         """The grid as a JSON-clean document (plain lists/dicts/None).
 
         Top level: ``engine``, ``phi_maxes``, ``zeta_targets``,
-        ``n_replicates``, and ``cells`` (the :meth:`cell_rows` records).
-        Shared by :meth:`to_json` and
+        ``n_replicates``, and ``cells`` (the :meth:`cell_rows` records),
+        plus ``scenario`` when the grid ran under a named scenario (the
+        key is absent otherwise, keeping pre-scenario-axis artifacts
+        byte-identical).  Shared by :meth:`to_json` and
         :meth:`repro.experiments.spec.StudyResult.to_dict`.
         """
-        return {
-            "engine": self.engine,
+        document: Dict[str, object] = {"engine": self.engine}
+        if self.scenario is not None:
+            document["scenario"] = self.scenario
+        document.update({
             "phi_maxes": list(self.phi_maxes),
             "zeta_targets": list(self.zeta_targets),
             "n_replicates": self.n_replicates,
             "cells": self.cell_rows(),
-        }
+        })
+        return document
 
     def to_json(self, *, indent: int = 2) -> str:
         """The grid as a strict-JSON document (benches stop hand-rolling)."""
@@ -272,13 +285,18 @@ class GridResult:
     def to_csv(self) -> str:
         """The grid as CSV text, one row per cell.
 
-        Columns: :data:`GRID_EXPORT_COLUMNS`; empty cells stand for
-        None (non-finite CI bounds, missing predictions).
+        Columns: :data:`GRID_EXPORT_COLUMNS`, prefixed with a
+        ``scenario`` column when the grid ran under a named scenario;
+        empty cells stand for None (non-finite CI bounds, missing
+        predictions).
         """
+        columns = GRID_EXPORT_COLUMNS
+        if self.scenario is not None:
+            columns = ("scenario",) + GRID_EXPORT_COLUMNS
         return format_csv(
-            GRID_EXPORT_COLUMNS,
+            columns,
             [
-                [row[column] for column in GRID_EXPORT_COLUMNS]
+                [row[column] for column in columns]
                 for row in self.cell_rows()
             ],
         )

@@ -239,20 +239,26 @@ class _ProbeBook:
 # ----------------------------------------------------------------------
 # trace memoization (per process)
 # ----------------------------------------------------------------------
-_TRACE_MEMO: "OrderedDict[Tuple[object, object, int], ContactTrace]" = OrderedDict()
+_TRACE_MEMO: "OrderedDict[Tuple[object, ...], ContactTrace]" = OrderedDict()
 _TRACE_MEMO_LIMIT = 8
 
 
 def _memoized_trace(scenario: Scenario) -> ContactTrace:
     """The deterministic trace for *scenario*, cached per process.
 
-    The contact process depends only on the profile, the trace config
-    and the seed — not on ζtarget, Φmax or the mechanism — so a grid
-    shard reuses one generation across all cells that share a replicate
-    seed.  Traces are treated as immutable by every engine, so sharing
-    one instance across :class:`RunResult` s is safe.
+    The contact process depends only on the profile, the trace config,
+    the contact source, and the seed — not on ζtarget, Φmax or the
+    mechanism — so a grid shard reuses one generation across all cells
+    that share a replicate seed.  Traces are treated as immutable by
+    every engine, so sharing one instance across :class:`RunResult` s
+    is safe.
     """
-    key = (scenario.profile, scenario.trace_config, scenario.seed)
+    key = (
+        scenario.profile,
+        scenario.trace_config,
+        scenario.contact_source,
+        scenario.seed,
+    )
     trace = _TRACE_MEMO.get(key)
     if trace is None:
         trace = generate_trace(scenario)

@@ -1,0 +1,337 @@
+"""Built-in scenario factories: the paper workload plus six others.
+
+Every factory here registers into
+:data:`repro.experiments.registry.scenario_factories` at import time
+(module level, so workers resolve names after a plain import — the
+``registry-worker-resolvable`` lint rule checks this).  Factories take
+keyword-only options and return a fully-formed
+:class:`~repro.experiments.scenario.Scenario`; ``run_study`` then
+overrides the study-owned fields (``epochs``, ``seed``, and per-cell
+``zeta_target``/``phi_max``), so options describe the workload *shape*
+only.
+
+The seven built-ins:
+
+========================  ==================================================
+``"paper-roadside"``      the unchanged §VII-A rush-hour scenario
+``"diurnal"``             parameterized multi-peak time-of-day profile
+``"trace-driven"``        contacts replayed from a CSV/JSONL/native file
+``"mixed-fleet"``         vehicles + pedestrians + roadside units, each
+                          with its own arrival process
+``"flash-crowd"``         quiet day with one short extreme-density burst
+``"dead-zone"``           rush-hour day with coverage holes (no contacts)
+``"churn"``               epoch-to-epoch rate drift and rush-hour shift
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from ..core.snip_model import SnipModel
+from ..errors import ConfigurationError
+from ..experiments.registry import scenario_factories
+from ..experiments.scenario import (
+    PAPER_T_ON,
+    Scenario,
+    paper_roadside_scenario,
+)
+from ..mobility.profiles import RushHourSpec, SlotProfile
+from ..mobility.synthetic import ArrivalStyle, TraceConfig
+from ..mobility.traces import TraceFileSource
+from ..units import DAY, HOUR, require_positive
+from .fleet import FleetClass, MixedFleetSource
+
+__all__ = [
+    "churn_scenario",
+    "dead_zone_scenario",
+    "diurnal_scenario",
+    "flash_crowd_scenario",
+    "mixed_fleet_scenario",
+    "trace_driven_scenario",
+]
+
+#: Default fleet mix: commuter vehicles dominate, pedestrian-carried
+#: sensors linger longer but come rarely, roadside units are sparse and
+#: metronomic.
+_DEFAULT_FLEET = (
+    {"name": "vehicle", "style": "normal",
+     "mean_interval": 600.0, "mean_length": 2.0},
+    {"name": "pedestrian", "style": "poisson",
+     "mean_interval": 2400.0, "mean_length": 6.0},
+    {"name": "roadside-unit", "style": "deterministic",
+     "mean_interval": 7200.0, "mean_length": 12.0},
+)
+
+
+def _hour_windows(
+    windows: Sequence[Sequence[float]], what: str
+) -> Tuple[Tuple[float, float], ...]:
+    """Validate ``((lo_hours, hi_hours), ...)`` window options."""
+    cleaned = []
+    for window in windows:
+        if len(window) != 2:
+            raise ConfigurationError(
+                f"{what} entries must be (start_hour, end_hour) pairs, "
+                f"got {tuple(window)!r}"
+            )
+        lo, hi = float(window[0]), float(window[1])
+        if not 0 <= lo < hi <= 24:
+            raise ConfigurationError(
+                f"{what} window ({lo}, {hi}) must satisfy 0 <= start < "
+                f"end <= 24 hours"
+            )
+        cleaned.append((lo, hi))
+    if not cleaned:
+        raise ConfigurationError(f"{what} needs at least one window")
+    return tuple(cleaned)
+
+
+def _scenario_from_profile(profile: SlotProfile, *, t_on: float) -> Scenario:
+    """Wrap a profile with the paper's model and default sweep anchors.
+
+    The anchors (ζtarget 16 s, Φmax = Tepoch/1000) are placeholders:
+    ``run_study`` replaces them per cell, and direct callers use
+    ``with_target``/``with_budget`` exactly as with the paper factory.
+    """
+    return Scenario(
+        profile=profile,
+        model=SnipModel(t_on=require_positive("t_on", t_on)),
+        phi_max=DAY / 1000.0,
+        zeta_target=16.0,
+        trace_config=TraceConfig(style=ArrivalStyle.NORMAL, cv=0.1),
+    )
+
+
+scenario_factories.register("paper-roadside", paper_roadside_scenario)
+
+
+@scenario_factories.register("diurnal")
+def diurnal_scenario(
+    *,
+    peaks: Sequence[float] = (8.0, 17.5),
+    widths: Sequence[float] = (2.0, 2.0),
+    ratio: float = 6.0,
+    baseline_interval: float = 1800.0,
+    contact_length: float = 2.0,
+    slot_count: int = 24,
+    t_on: float = PAPER_T_ON,
+) -> Scenario:
+    """Multi-peak time-of-day contact-rate profile.
+
+    Generalizes the paper's two rush hours: each peak ``i`` is centred
+    at hour ``peaks[i]`` with total width ``widths[i]`` hours, and the
+    mean inter-contact interval inside any peak is
+    ``baseline_interval / ratio`` (so ``ratio`` is the peak-to-baseline
+    contact-*rate* ratio).  Peak slots are marked rush.
+    """
+    if len(peaks) == 0:
+        raise ConfigurationError("diurnal needs at least one peak")
+    if len(widths) != len(peaks):
+        raise ConfigurationError(
+            f"diurnal widths ({len(widths)}) must match peaks ({len(peaks)})"
+        )
+    if ratio < 1:
+        raise ConfigurationError(
+            f"diurnal ratio must be >= 1 (peaks are denser than "
+            f"baseline), got {ratio}"
+        )
+    require_positive("baseline_interval", baseline_interval)
+    windows = []
+    for peak, width in zip(peaks, widths):
+        require_positive("peak width", float(width))
+        lo = max(0.0, float(peak) - float(width) / 2.0)
+        hi = min(24.0, float(peak) + float(width) / 2.0)
+        if not lo < hi:
+            raise ConfigurationError(
+                f"diurnal peak at hour {peak} with width {width} lies "
+                f"outside the epoch"
+            )
+        windows.append((lo, hi))
+    profile = RushHourSpec(
+        epoch_length=DAY,
+        slot_count=int(slot_count),
+        rush_windows=tuple(windows),
+        rush_interval=baseline_interval / ratio,
+        other_interval=baseline_interval,
+        contact_length=require_positive("contact_length", contact_length),
+    ).to_profile()
+    return _scenario_from_profile(profile, t_on=t_on)
+
+
+@scenario_factories.register("trace-driven")
+def trace_driven_scenario(
+    *,
+    path: str,
+    fmt: Optional[str] = None,
+    time_scale: float = 1.0,
+    repeat_every: Optional[float] = None,
+    t_on: float = PAPER_T_ON,
+) -> Scenario:
+    """Contacts replayed from a trace file via the streaming reader.
+
+    The file (``path``; native, ``.csv``, or ``.jsonl`` — see
+    :mod:`repro.mobility.traces`) is read lazily at run time, clipped
+    to the study horizon, and never fully materialized, so city-scale
+    inputs are fine.  The slot profile backing the schedulers stays the
+    paper's rush-hour expectation — a trace that contradicts it is
+    exactly the robustness case this scenario exists to probe.
+    """
+    if not isinstance(path, str) or not path:
+        raise ConfigurationError(
+            "trace-driven requires a non-empty 'path' option"
+        )
+    source = TraceFileSource(
+        path=path, fmt=fmt, time_scale=time_scale, repeat_every=repeat_every
+    )
+    base = _scenario_from_profile(RushHourSpec().to_profile(), t_on=t_on)
+    return dataclasses.replace(base, contact_source=source)
+
+
+@scenario_factories.register("mixed-fleet")
+def mixed_fleet_scenario(
+    *,
+    classes: Sequence[dict] = _DEFAULT_FLEET,
+    t_on: float = PAPER_T_ON,
+) -> Scenario:
+    """Heterogeneous fleet: per-class arrival processes, merged.
+
+    ``classes`` is a sequence of ``{"name", "style", "mean_interval",
+    "mean_length"[, "cv"]}`` mappings (styles: ``"normal"``,
+    ``"poisson"``, ``"deterministic"``).  Each class draws from its own
+    ``fleet.<name>`` RNG substreams, so the merged trace is seed-stable
+    and independent of class order.  Schedulers still plan against the
+    paper's rush-hour profile — the fleet is the ground truth they are
+    judged on.
+    """
+    fleet = []
+    for index, entry in enumerate(classes):
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"mixed-fleet classes[{index}] must be a mapping, "
+                f"got {type(entry).__name__}"
+            )
+        unknown = sorted(
+            set(entry) - {"name", "style", "mean_interval", "mean_length", "cv"}
+        )
+        if unknown:
+            raise ConfigurationError(
+                f"mixed-fleet classes[{index}] has unknown key(s) {unknown}"
+            )
+        missing = sorted(
+            {"name", "style", "mean_interval", "mean_length"} - set(entry)
+        )
+        if missing:
+            raise ConfigurationError(
+                f"mixed-fleet classes[{index}] is missing key(s) {missing}"
+            )
+        fleet.append(FleetClass(**entry))
+    source = MixedFleetSource(classes=tuple(fleet))
+    base = _scenario_from_profile(RushHourSpec().to_profile(), t_on=t_on)
+    return dataclasses.replace(base, contact_source=source)
+
+
+@scenario_factories.register("flash-crowd")
+def flash_crowd_scenario(
+    *,
+    crowd_start: float = 12.0,
+    crowd_duration: float = 0.5,
+    intensity: float = 60.0,
+    baseline_interval: float = 3600.0,
+    contact_length: float = 2.0,
+    slot_count: int = 96,
+    t_on: float = PAPER_T_ON,
+) -> Scenario:
+    """Adversarial burst: a quiet day with one extreme-density window.
+
+    Outside the crowd the mean interval is ``baseline_interval``;
+    inside the window starting at hour ``crowd_start`` and lasting
+    ``crowd_duration`` hours it drops to ``baseline_interval /
+    intensity``.  The default 96 slots (15 min) resolve bursts shorter
+    than the paper's hour-long slots.  Crowd slots are marked rush.
+    """
+    require_positive("crowd_duration", crowd_duration)
+    if not 0 <= crowd_start < 24:
+        raise ConfigurationError(
+            f"crowd_start must be an hour in [0, 24), got {crowd_start}"
+        )
+    if intensity < 1:
+        raise ConfigurationError(
+            f"intensity must be >= 1 (the crowd is denser than the "
+            f"baseline), got {intensity}"
+        )
+    window = (float(crowd_start), min(24.0, float(crowd_start + crowd_duration)))
+    profile = RushHourSpec(
+        epoch_length=DAY,
+        slot_count=int(slot_count),
+        rush_windows=(window,),
+        rush_interval=require_positive("baseline_interval", baseline_interval)
+        / intensity,
+        other_interval=baseline_interval,
+        contact_length=require_positive("contact_length", contact_length),
+    ).to_profile()
+    return _scenario_from_profile(profile, t_on=t_on)
+
+
+@scenario_factories.register("dead-zone")
+def dead_zone_scenario(
+    *,
+    dead_windows: Sequence[Sequence[float]] = ((11.0, 13.0),),
+    t_on: float = PAPER_T_ON,
+) -> Scenario:
+    """Adversarial holes: the paper's day with zero-contact windows.
+
+    Slots whose midpoints fall inside any ``dead_windows`` entry (hour
+    pairs) get an infinite mean interval — no contacts at all — while
+    the rest of the profile, including the rush-hour markings the
+    schedulers plan around, stays exactly the paper's.
+    """
+    windows = _hour_windows(dead_windows, "dead_windows")
+    paper = RushHourSpec().to_profile()
+    intervals = []
+    for index in range(paper.slot_count):
+        midpoint_hours = (index + 0.5) * paper.slot_length / HOUR
+        dead = any(lo <= midpoint_hours < hi for lo, hi in windows)
+        intervals.append(float("inf") if dead else paper.mean_intervals[index])
+    profile = SlotProfile(
+        paper.epoch_length,
+        tuple(intervals),
+        paper.mean_lengths,
+        paper.rush_flags,
+    )
+    return _scenario_from_profile(profile, t_on=t_on)
+
+
+@scenario_factories.register("churn")
+def churn_scenario(
+    *,
+    rate_drift_cv: float = 0.3,
+    rush_shift_per_epoch: float = 0.25,
+    cv: float = 0.1,
+    t_on: float = PAPER_T_ON,
+) -> Scenario:
+    """Adversarial drift: the paper's day that refuses to repeat.
+
+    Every epoch, per-slot contact rates drift by a lognormal factor
+    with coefficient of variation ``rate_drift_cv``, and the rush hours
+    slide later by ``rush_shift_per_epoch`` hours — the synthetic
+    generator supports both natively (see
+    :class:`repro.mobility.synthetic.TraceConfig`).  Static plans rot;
+    adaptive mechanisms get to prove they re-learn.
+    """
+    if rate_drift_cv < 0:
+        raise ConfigurationError(
+            f"rate_drift_cv must be >= 0, got {rate_drift_cv}"
+        )
+    base = paper_roadside_scenario(t_on=t_on)
+    return dataclasses.replace(
+        base,
+        trace_config=TraceConfig(
+            style=ArrivalStyle.NORMAL,
+            cv=cv,
+            epochs=base.epochs,
+            rate_drift_cv=rate_drift_cv,
+            rush_shift_per_epoch=rush_shift_per_epoch,
+        ),
+    )
